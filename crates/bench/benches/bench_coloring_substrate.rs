@@ -1,0 +1,42 @@
+//! Wall-clock benchmarks for the symmetry-breaking substrate (Linial,
+//! Kuhn–Wattenhofer, Cole–Vishkin).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use local_coloring::{cole_vishkin_3color, kw_reduce, linial_color, Chains};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splitgraph::generators;
+use std::hint::black_box;
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = generators::random_regular(1000, 8, &mut rng).unwrap();
+    let ids: Vec<u64> = (0..1000).collect();
+
+    c.bench_function("linial_color/1000n_d8", |b| {
+        b.iter(|| linial_color(black_box(&g), &ids, 1000))
+    });
+    let lin = linial_color(&g, &ids, 1000);
+    c.bench_function("kw_reduce/1000n_d8", |b| {
+        b.iter(|| kw_reduce(black_box(&g), &lin.colors, lin.palette))
+    });
+    let chains = Chains::from_next((0..5000).map(|i| Some((i + 1) % 5000)).collect());
+    let chain_ids: Vec<u64> = (0..5000u64).map(|i| i * 2_654_435_761 % 1_000_003).collect();
+    c.bench_function("cole_vishkin/5000_cycle", |b| {
+        b.iter(|| cole_vishkin_3color(black_box(&chains), &chain_ids))
+    });
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_substrate
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Wall-clock benchmarks for the degree-splitting substrate (`abl_engine`
+//! timing side).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use degree_split::{eulerian_orientation, walk_splitting, WalkDecomposition};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use splitgraph::MultiGraph;
+use std::hint::black_box;
+
+fn random_multigraph(n: usize, m: usize, seed: u64) -> MultiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = MultiGraph::new(n);
+    for _ in 0..m {
+        let a = rng.random_range(0..n);
+        let mut b = rng.random_range(0..n);
+        while b == a {
+            b = rng.random_range(0..n);
+        }
+        g.add_edge(a, b);
+    }
+    g
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let g = random_multigraph(500, 10_000, 3);
+    c.bench_function("eulerian_orientation/500n_10k_edges", |b| {
+        b.iter(|| eulerian_orientation(black_box(&g)))
+    });
+    c.bench_function("walk_splitting_eps0.1/500n_10k_edges", |b| {
+        b.iter(|| walk_splitting(black_box(&g), 0.1))
+    });
+    c.bench_function("walk_decomposition/500n_10k_edges", |b| {
+        b.iter(|| WalkDecomposition::from_pairing(black_box(&g)))
+    });
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Wall-clock benchmarks for the Section 3 multicolor algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splitgraph::generators;
+use splitting_core as core;
+use std::hint::black_box;
+
+fn bench_multicolor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let def13 = generators::random_left_regular(128, 2048, 1024, &mut rng).unwrap();
+    let def12 = generators::random_biregular(128, 256, 64, &mut rng).unwrap();
+
+    c.bench_function("weak_multicolor_random/128x2048", |b| {
+        b.iter(|| core::weak_multicolor_random(black_box(&def13), 5))
+    });
+    c.bench_function("weak_multicolor_deterministic/128x2048", |b| {
+        b.iter(|| core::weak_multicolor_deterministic(black_box(&def13)).unwrap())
+    });
+    c.bench_function("multicolor_splitting_det/128x256_lambda0.5", |b| {
+        b.iter(|| core::multicolor_splitting_deterministic(black_box(&def12), 8, 0.5).unwrap())
+    });
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_multicolor
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Wall-clock benchmarks for the Section 4 reductions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splitgraph::generators;
+use splitting_reductions as red;
+use std::hint::black_box;
+
+fn bench_reductions(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = generators::random_regular(512, 64, &mut rng).unwrap();
+    let eps = red::feasible_eps(512, 64);
+
+    c.bench_function("uniform_splitting_det/512n_d64", |b| {
+        b.iter(|| red::uniform_splitting_deterministic(black_box(&g), eps, 64).unwrap())
+    });
+    c.bench_function("delta_coloring/512n_d64", |b| {
+        b.iter(|| red::delta_coloring_via_splitting(black_box(&g), 36, None).unwrap())
+    });
+    c.bench_function("mis_via_splitting/512n_d64", |b| {
+        b.iter(|| red::mis_via_splitting(black_box(&g), 36, 9))
+    });
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_reductions
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Wall-clock benchmarks for the shattering algorithm and Theorem 1.2
+//! (`lem29`/`thm12` timing side).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splitgraph::generators;
+use splitting_core as core;
+use std::hint::black_box;
+
+fn bench_shattering(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let small = generators::random_biregular(128, 256, 24, &mut rng).unwrap();
+    let large = generators::random_biregular(2048, 8192, 24, &mut rng).unwrap();
+
+    c.bench_function("shatter/128x256_d24", |b| {
+        b.iter(|| core::shatter(black_box(&small), 7))
+    });
+    c.bench_function("shatter/2048x8192_d24", |b| {
+        b.iter(|| core::shatter(black_box(&large), 7))
+    });
+    let cfg = core::Theorem12Config { c_constant: 1.5, ..Default::default() };
+    c.bench_function("theorem12/2048x8192_d24", |b| {
+        b.iter(|| core::theorem12(black_box(&large), &cfg).unwrap())
+    });
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_shattering
+}
+criterion_main!(benches);

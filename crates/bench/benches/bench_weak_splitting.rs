@@ -1,0 +1,53 @@
+//! Wall-clock benchmarks for the weak-splitting pipelines (experiments
+//! `lem21`, `lem22`, `thm25`, `thm27`, `thm12` — the timing side).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use degree_split::Flavor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splitgraph::generators;
+use splitting_core as core;
+use std::hint::black_box;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let lem21_instance = generators::random_biregular(100, 200, 18, &mut rng).unwrap();
+    let thm25_instance = generators::complete_bipartite(64, 512);
+    let thm27_instance = generators::random_biregular(12, 72, 12, &mut rng).unwrap();
+
+    c.bench_function("zero_round/100x200", |b| {
+        b.iter(|| core::zero_round_coloring(black_box(&lem21_instance), 7))
+    });
+    c.bench_function("lemma21/100x200_d18", |b| {
+        b.iter(|| {
+            core::basic_deterministic(black_box(&lem21_instance), lem21_instance.node_count())
+                .unwrap()
+        })
+    });
+    c.bench_function("lemma22/100x200_d18", |b| {
+        b.iter(|| {
+            core::truncated_deterministic(black_box(&lem21_instance), lem21_instance.node_count())
+                .unwrap()
+        })
+    });
+    c.bench_function("theorem25/K64x512", |b| {
+        b.iter(|| core::theorem25(black_box(&thm25_instance), Flavor::Deterministic).unwrap())
+    });
+    c.bench_function("theorem27/12x72_d12", |b| {
+        b.iter(|| core::theorem27(black_box(&thm27_instance), core::Variant::Deterministic).unwrap())
+    });
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_pipelines
+}
+criterion_main!(benches);

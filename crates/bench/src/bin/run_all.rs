@@ -1,0 +1,13 @@
+//! Runs every experiment of the per-experiment index in order, printing
+//! the tables EXPERIMENTS.md records. Pass `--quick` for a fast pass.
+fn main() {
+    let quick = splitting_bench::quick_flag();
+    for (id, runner) in splitting_bench::all_experiments() {
+        println!("========== experiment {id} ==========");
+        let start = std::time::Instant::now();
+        for t in runner(quick) {
+            t.print();
+        }
+        println!("(experiment {id} took {:.1?})\n", start.elapsed());
+    }
+}

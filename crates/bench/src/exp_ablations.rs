@@ -1,0 +1,149 @@
+//! Ablation experiments: design choices the paper fixes by fiat
+//! (`abl_eps`, `abl_shatter`, `abl_engine`).
+
+use crate::table::{fnum, Table};
+use degree_split::{
+    splitting_rounds_deterministic, DegreeSplitter, Engine, Flavor,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use splitgraph::{generators, MultiGraph};
+use splitting_core as core;
+
+/// `abl_eps` — DRR-I accuracy sweep: the paper's `ε = 1/k` balances rank
+/// decay against charged rounds.
+pub fn exp_abl_eps(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "abl_eps — DRR-I accuracy ablation (paper: ε = min{1/k, 1/3})",
+        &["ε", "k", "δ_k", "r_k", "charged rounds", "bound δ_k > ((1-ε)/2)^k·δ-2"],
+    );
+    let mut rng = StdRng::seed_from_u64(2000);
+    let b = generators::random_biregular(
+        if quick { 128 } else { 512 },
+        if quick { 96 } else { 384 },
+        48,
+        &mut rng,
+    )
+    .expect("feasible");
+    let k = 3;
+    for &eps in &[0.05, 0.1, 1.0 / 3.0, 0.5] {
+        let splitter = DegreeSplitter::new(eps, Engine::EulerianOracle, Flavor::Deterministic);
+        let red = core::degree_rank_reduction_i(&b, &splitter, k);
+        let last = red.trace.last().expect("k iterations");
+        t.row(vec![
+            fnum(eps),
+            k.to_string(),
+            last.min_left_degree.to_string(),
+            last.rank.to_string(),
+            fnum(red.ledger.charged_total()),
+            (last.min_left_degree as f64 > last.delta_lower_bound).to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// `abl_shatter` — shattering color-probability sweep (paper: 1/4 + 1/4).
+pub fn exp_abl_shatter(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "abl_shatter — shattering probability ablation (paper: p = 1/4 per color)",
+        &["p per color", "trials", "unsat rate", "mean uncolored fraction"],
+    );
+    let mut rng = StdRng::seed_from_u64(2100);
+    let b = generators::random_biregular(128, 256, 24, &mut rng).expect("feasible");
+    let trials = if quick { 10 } else { 50 };
+    for &p in &[0.1, 0.2, 0.25, 0.35, 0.45] {
+        let mut unsat = 0usize;
+        let mut uncolored = 0usize;
+        for seed in 0..trials {
+            let sh = core::shatter_with_probability(&b, seed as u64, p);
+            unsat += sh.satisfied.iter().filter(|&&s| !s).count();
+            uncolored += sh.colors.iter().filter(|c| c.is_none()).count();
+        }
+        t.row(vec![
+            fnum(p),
+            trials.to_string(),
+            fnum(unsat as f64 / (128.0 * trials as f64)),
+            fnum(uncolored as f64 / (256.0 * trials as f64)),
+        ]);
+    }
+    vec![t]
+}
+
+/// `abl_engine` — Eulerian oracle vs distributed walk engine: discrepancy
+/// distribution and round accounting.
+pub fn exp_abl_engine(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "abl_engine — degree-splitting engines (contract: disc ≤ ε·d + 2)",
+        &["engine", "ε", "max disc", "mean disc", "contract viol.", "rounds", "kind"],
+    );
+    let mut rng = StdRng::seed_from_u64(2200);
+    let n = if quick { 60 } else { 200 };
+    let m = if quick { 600 } else { 4000 };
+    let mut g = MultiGraph::new(n);
+    for _ in 0..m {
+        let a = rng.random_range(0..n);
+        let mut b = rng.random_range(0..n);
+        while b == a {
+            b = rng.random_range(0..n);
+        }
+        g.add_edge(a, b);
+    }
+    for &eps in &[0.25, 1.0 / 16.0] {
+        for (engine, name) in
+            [(Engine::EulerianOracle, "eulerian oracle"), (Engine::Walk, "walk engine")]
+        {
+            let s = DegreeSplitter::new(eps, engine, Flavor::Deterministic);
+            let r = s.split(&g, n);
+            let discs: Vec<usize> =
+                (0..n).map(|v| r.orientation.discrepancy(&g, v)).collect();
+            let max = *discs.iter().max().unwrap_or(&0);
+            let mean = discs.iter().sum::<usize>() as f64 / n as f64;
+            let violations = s.contract_violations(&g, &r.orientation).len();
+            let kind = if r.ledger.charged_total() > 0.0 { "charged" } else { "measured" };
+            t.row(vec![
+                name.into(),
+                fnum(eps),
+                max.to_string(),
+                fnum(mean),
+                violations.to_string(),
+                fnum(r.ledger.total()),
+                kind.into(),
+            ]);
+        }
+    }
+
+    let mut t2 = Table::new(
+        "abl_engine — Theorem 2.3 charged formula shape",
+        &["ε", "n", "deterministic rounds", "randomized/deterministic"],
+    );
+    for &eps in &[0.25, 0.0625] {
+        for &n in &[1 << 10, 1 << 16] {
+            let det = splitting_rounds_deterministic(eps, n);
+            let rand = degree_split::splitting_rounds_randomized(eps, n);
+            t2.row(vec![fnum(eps), n.to_string(), fnum(det), fnum(rand / det)]);
+        }
+    }
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abl_eps_oracle_meets_bounds() {
+        let tables = exp_abl_eps(true);
+        assert!(!tables[0].render().contains("false"));
+    }
+
+    #[test]
+    fn abl_engine_oracle_has_no_violations() {
+        let tables = exp_abl_engine(true);
+        let rendered = tables[0].render();
+        let oracle_rows: Vec<&str> =
+            rendered.lines().filter(|l| l.contains("eulerian")).collect();
+        for row in oracle_rows {
+            assert!(row.contains("| 0 "), "oracle must have zero violations: {row}");
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Experiments for Section 2: the weak-splitting algorithms
+//! (`lem21`, `lem22`, `lem24`, `thm25`, `lem26`, `thm27`, `lem29`, `thm12`).
+
+use crate::table::{fnum, Table};
+use degree_split::{DegreeSplitter, Engine, Flavor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splitgraph::math::{ceil_log2, log2};
+use splitgraph::{checks, generators, BipartiteGraph};
+use splitting_core as core;
+
+fn biregular(u: usize, v: usize, d: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::random_biregular(u, v, d, &mut rng).expect("feasible parameters")
+}
+
+/// `lem21` — Lemma 2.1: measured+charged rounds vs the `Δ·r` prediction.
+pub fn exp_lem21(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "lem21 — Lemma 2.1: deterministic weak splitting in O(Δ·r) rounds (δ ≥ 2·log n)",
+        &["|U|", "|V|", "Δ=δ", "r", "Δ·r", "rounds(total)", "rounds/Δr", "valid"],
+    );
+    let sweep: &[(usize, usize, usize)] = if quick {
+        &[(100, 100, 18), (200, 100, 18)]
+    } else {
+        &[(100, 100, 18), (200, 100, 18), (200, 100, 36), (400, 100, 36), (384, 96, 48)]
+    };
+    for (i, &(u, v, d)) in sweep.iter().enumerate() {
+        let b = biregular(u, v, d, 100 + i as u64);
+        let out = core::basic_deterministic(&b, b.node_count()).expect("regime holds");
+        let valid = checks::is_weak_splitting(&b, &out.colors, 0);
+        let dr = (b.max_left_degree() * b.rank()) as f64;
+        t.row(vec![
+            u.to_string(),
+            v.to_string(),
+            d.to_string(),
+            b.rank().to_string(),
+            fnum(dr),
+            fnum(out.ledger.total()),
+            fnum(out.ledger.total() / dr),
+            valid.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// `lem22` — Lemma 2.2: truncation makes rounds scale with `r·log n`, not `Δ·r`.
+pub fn exp_lem22(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "lem22 — Lemma 2.2: degree truncation, rounds O(r·log n) independent of Δ",
+        &["|U|", "|V|", "δ=Δ", "r", "r·log n", "rounds(trunc)", "rounds(full 2.1)", "valid"],
+    );
+    let sweep: &[(usize, usize, usize)] =
+        if quick { &[(96, 192, 32)] } else { &[(96, 192, 32), (96, 192, 64), (96, 192, 128)] };
+    for (i, &(u, v, d)) in sweep.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(200 + i as u64);
+        let b = generators::random_left_regular(u, v, d, &mut rng).expect("feasible");
+        let trunc = core::truncated_deterministic(&b, b.node_count()).expect("regime holds");
+        let full = core::basic_deterministic(&b, b.node_count()).expect("regime holds");
+        let valid = checks::is_weak_splitting(&b, &trunc.colors, 0);
+        let rlogn = b.rank() as f64 * log2(b.node_count());
+        t.row(vec![
+            u.to_string(),
+            v.to_string(),
+            d.to_string(),
+            b.rank().to_string(),
+            fnum(rlogn),
+            fnum(trunc.ledger.total()),
+            fnum(full.ledger.total()),
+            valid.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// `lem24` — Lemma 2.4: per-iteration `δ_k`/`r_k` against both bounds.
+pub fn exp_lem24(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "lem24 — Lemma 2.4: Degree-Rank Reduction I trace vs bounds (ε = 0.2)",
+        &["k", "δ_k", "bound: ((1-ε)/2)^k·δ-2", "r_k", "bound: ((1+ε)/2)^k·r+3", "ok"],
+    );
+    let b = biregular(if quick { 128 } else { 512 }, if quick { 96 } else { 384 }, 48, 300);
+    let splitter = DegreeSplitter::new(0.2, Engine::EulerianOracle, Flavor::Deterministic);
+    let k = if quick { 3 } else { 5 };
+    let red = core::degree_rank_reduction_i(&b, &splitter, k);
+    for s in &red.trace {
+        let ok = (s.min_left_degree as f64) > s.delta_lower_bound
+            && (s.rank as f64) < s.rank_upper_bound;
+        t.row(vec![
+            s.iteration.to_string(),
+            s.min_left_degree.to_string(),
+            fnum(s.delta_lower_bound),
+            s.rank.to_string(),
+            fnum(s.rank_upper_bound),
+            ok.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// `thm25` — Theorem 2.5: rounds vs the paper's formula across the sweep.
+pub fn exp_thm25(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "thm25 — Theorem 2.5: rounds vs r/δ·log²n + log³n·(loglog n)^1.1",
+        &["n", "δ", "r", "DRR iters", "rounds(total)", "paper bound", "rounds/bound", "valid"],
+    );
+    // complete bipartite instances put δ deep above 48·log n so DRR-I runs
+    let sweep: &[(usize, usize)] =
+        if quick { &[(64, 512)] } else { &[(64, 512), (96, 768), (128, 1024)] };
+    for &(u, v) in sweep {
+        let b = generators::complete_bipartite(u, v);
+        let (out, report) = core::theorem25(&b, Flavor::Deterministic).expect("regime holds");
+        let valid = checks::is_weak_splitting(&b, &out.colors, 0);
+        let bound =
+            core::theorem25_round_bound(b.node_count(), b.min_left_degree(), b.rank());
+        t.row(vec![
+            b.node_count().to_string(),
+            b.min_left_degree().to_string(),
+            b.rank().to_string(),
+            report.drr_iterations.to_string(),
+            fnum(out.ledger.total()),
+            fnum(bound),
+            fnum(out.ledger.total() / bound),
+            valid.to_string(),
+        ]);
+    }
+    // crossover: below 48·log n, Lemma 2.2 runs directly
+    let mut t2 = Table::new(
+        "thm25 — dispatch crossover at δ vs 48·log n",
+        &["n", "δ", "48·log n", "DRR iters"],
+    );
+    for &(u, v, d) in &[(120usize, 100usize, 20usize), (64, 512, 512)] {
+        let b = if d == 512 {
+            generators::complete_bipartite(u, v)
+        } else {
+            biregular(u, v, d, 301)
+        };
+        let (_, report) = core::theorem25(&b, Flavor::Deterministic).expect("regime holds");
+        t2.row(vec![
+            b.node_count().to_string(),
+            b.min_left_degree().to_string(),
+            fnum(48.0 * log2(b.node_count())),
+            report.drr_iterations.to_string(),
+        ]);
+    }
+    vec![t, t2]
+}
+
+/// `lem26` — Lemma 2.6: DRR-II rank trace reaches exactly 1 at `⌈log r⌉`.
+pub fn exp_lem26(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "lem26 — Lemma 2.6: DRR-II rank per iteration (reaches 1 at ⌈log r⌉)",
+        &["r₀", "⌈log r⌉", "rank trace", "final rank", "min degree trace"],
+    );
+    // the last row (δ = 12, r = 2) sits in the Theorem 2.7 regime δ ≥ 6r:
+    // the min-degree trace stays ≥ 2 as the proof requires
+    let sweep: &[(usize, usize, usize)] =
+        if quick { &[(60, 40, 18)] } else { &[(60, 40, 18), (80, 16, 10), (128, 64, 32), (12, 72, 12)] };
+    for (i, &(u, v, d)) in sweep.iter().enumerate() {
+        let b = biregular(u, v, d, 400 + i as u64);
+        let eps = 1.0 / (10.0 * b.max_left_degree() as f64);
+        let splitter = DegreeSplitter::new(eps, Engine::EulerianOracle, Flavor::Deterministic);
+        let k = ceil_log2(b.rank().max(1)) as usize;
+        let red = core::degree_rank_reduction_ii(&b, &splitter, k);
+        let ranks: Vec<String> = red.trace.iter().map(|s| s.rank.to_string()).collect();
+        let degs: Vec<String> =
+            red.trace.iter().map(|s| s.min_left_degree.to_string()).collect();
+        t.row(vec![
+            b.rank().to_string(),
+            k.to_string(),
+            ranks.join(" → "),
+            red.graph.rank().to_string(),
+            degs.join(" → "),
+        ]);
+    }
+    vec![t]
+}
+
+/// `thm27` — Theorem 2.7: validity and rounds in the `δ ≥ 6r` regime.
+pub fn exp_thm27(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "thm27 — Theorem 2.7: δ ≥ 6r regime, deterministic vs randomized",
+        &["n", "δ", "r", "det rounds", "rand rounds", "det valid", "rand valid"],
+    );
+    let sweep: &[(usize, usize, usize)] =
+        if quick { &[(12, 72, 12)] } else { &[(12, 72, 12), (24, 144, 12), (48, 288, 24)] };
+    for (i, &(u, v, d)) in sweep.iter().enumerate() {
+        let b = biregular(u, v, d, 500 + i as u64);
+        let det = core::theorem27(&b, core::Variant::Deterministic).expect("regime holds");
+        let rand = core::theorem27(&b, core::Variant::Randomized(7)).expect("regime holds");
+        t.row(vec![
+            b.node_count().to_string(),
+            b.min_left_degree().to_string(),
+            b.rank().to_string(),
+            fnum(det.ledger.total()),
+            fnum(rand.ledger.total()),
+            checks::is_weak_splitting(&b, &det.colors, 0).to_string(),
+            checks::is_weak_splitting(&b, &rand.colors, 0).to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// `lem29` — Lemma 2.9: empirical unsatisfied probability decays
+/// exponentially in Δ.
+pub fn exp_lem29(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "lem29 — Lemma 2.9: Pr[u unsatisfied] after shattering vs Δ (exponential decay)",
+        &["Δ=δ", "trials", "unsat rate", "rate/previous", "paper bound e^{-ηΔ} shape"],
+    );
+    let trials = if quick { 20 } else { 100 };
+    let degrees: &[usize] = if quick { &[8, 16, 32] } else { &[8, 16, 24, 32, 48] };
+    let mut prev: Option<f64> = None;
+    for (i, &d) in degrees.iter().enumerate() {
+        let b = biregular(128, 256, d, 600 + i as u64);
+        let mut unsat = 0usize;
+        for seed in 0..trials {
+            let sh = core::shatter(&b, seed as u64);
+            unsat += sh.satisfied.iter().filter(|&&s| !s).count();
+        }
+        let rate = unsat as f64 / (128.0 * trials as f64);
+        let ratio = prev.map(|p| if rate > 0.0 { p / rate } else { f64::INFINITY });
+        t.row(vec![
+            d.to_string(),
+            trials.to_string(),
+            fnum(rate),
+            ratio.map_or("—".into(), fnum),
+            "halving Δ-step multiplies rate".into(),
+        ]);
+        prev = Some(rate);
+    }
+    vec![t]
+}
+
+/// `thm12` — Theorem 1.2: residual component sizes vs the `poly(r, log n)`
+/// bound, rounds, validity.
+pub fn exp_thm12(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "thm12 — Theorem 1.2: shattering + per-component Thm 2.5",
+        &["n", "δ", "r", "unsat", "max comp", "bound r⁴log⁶n", "rounds", "valid"],
+    );
+    let sweep: &[(usize, usize, usize)] = if quick {
+        &[(2048, 8192, 24)]
+    } else {
+        &[(2048, 8192, 24), (4096, 14336, 28), (8192, 32768, 28)]
+    };
+    for (i, &(u, v, d)) in sweep.iter().enumerate() {
+        let b = biregular(u, v, d, 700 + i as u64);
+        let cfg = core::Theorem12Config {
+            c_constant: 1.5,
+            seed: 900 + i as u64,
+            ..Default::default()
+        };
+        match core::theorem12_with_report(&b, &cfg) {
+            Ok((out, report)) => {
+                let valid = checks::is_weak_splitting(&b, &out.colors, 0);
+                let n = b.node_count() as f64;
+                let bound = (b.rank() as f64).powi(4) * n.log2().powi(6);
+                t.row(vec![
+                    b.node_count().to_string(),
+                    b.min_left_degree().to_string(),
+                    b.rank().to_string(),
+                    report.unsatisfied.to_string(),
+                    report.max_component.to_string(),
+                    fnum(bound),
+                    fnum(out.ledger.total()),
+                    valid.to_string(),
+                ]);
+            }
+            Err(e) => t.row(vec![
+                b.node_count().to_string(),
+                b.min_left_degree().to_string(),
+                b.rank().to_string(),
+                format!("error: {e}"),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                "false".into(),
+            ]),
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lem21_quick_produces_rows() {
+        let tables = exp_lem21(true);
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].row_count() >= 2);
+        assert!(tables[0].render().contains("true"));
+    }
+
+    #[test]
+    fn lem24_bounds_all_hold() {
+        let tables = exp_lem24(true);
+        assert!(!tables[0].render().contains("false"));
+    }
+
+    #[test]
+    fn lem26_reaches_rank_one() {
+        let tables = exp_lem26(true);
+        let rendered = tables[0].render();
+        assert!(rendered.contains("→"));
+    }
+
+    #[test]
+    fn thm27_quick_valid() {
+        let tables = exp_thm27(true);
+        assert!(!tables[0].render().contains("false"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Experiments for Section 3: the multicolor completeness results
+//! (`thm32`, `thm33`).
+
+use crate::table::{fnum, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splitgraph::math::{weak_multicolor_degree_threshold, weak_multicolor_required_colors};
+use splitgraph::{checks, generators, BipartiteGraph};
+use splitting_core as core;
+
+fn def13_instance(u: usize, v: usize, d: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::random_left_regular(u, v, d, &mut rng).expect("feasible")
+}
+
+/// `thm32` — C-weak multicolor splitting: membership (randomized +
+/// derandomized) and the reduction back to weak splitting.
+pub fn exp_thm32(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "thm32 — Theorem 3.2: C-weak multicolor splitting membership",
+        &["n", "deg", "C=⌈2log n⌉", "min distinct (rand)", "min distinct (det)", "required", "valid"],
+    );
+    let sweep: &[(usize, usize, usize)] =
+        if quick { &[(128, 2048, 1024)] } else { &[(128, 2048, 1024), (192, 3072, 1536)] };
+    for (i, &(u, v, d)) in sweep.iter().enumerate() {
+        let b = def13_instance(u, v, d, 800 + i as u64);
+        let n = b.node_count();
+        let required = weak_multicolor_required_colors(n);
+        let rand = core::weak_multicolor_random(&b, 31 + i as u64);
+        let det = core::weak_multicolor_deterministic(&b).expect("regime holds");
+        let distinct_min = |colors: &[u32]| {
+            (0..b.left_count())
+                .map(|uu| {
+                    let mut s = std::collections::HashSet::new();
+                    for &vv in b.left_neighbors(uu) {
+                        s.insert(colors[vv]);
+                    }
+                    s.len()
+                })
+                .min()
+                .unwrap_or(0)
+        };
+        let dr = distinct_min(&rand.colors);
+        let dd = distinct_min(&det.colors);
+        let valid = checks::is_weak_multicolor_splitting(
+            &b,
+            &det.colors,
+            weak_multicolor_degree_threshold(n),
+            required,
+        );
+        t.row(vec![
+            n.to_string(),
+            d.to_string(),
+            det.palette.to_string(),
+            dr.to_string(),
+            dd.to_string(),
+            required.to_string(),
+            valid.to_string(),
+        ]);
+    }
+
+    let mut t2 = Table::new(
+        "thm32 — reduction: weak splitting via weak multicolor (O(C) phases)",
+        &["n", "C", "phase rounds (2·C)", "weak splitting valid"],
+    );
+    let b = def13_instance(128, 2048, 1024, 900);
+    let out = core::weak_splitting_via_weak_multicolor(&b).expect("regime holds");
+    let c = weak_multicolor_required_colors(b.node_count());
+    let phase_rounds = out
+        .ledger
+        .entries()
+        .iter()
+        .find(|e| e.label.contains("phases on B'"))
+        .map_or(0.0, |e| e.rounds);
+    t2.row(vec![
+        b.node_count().to_string(),
+        c.to_string(),
+        fnum(phase_rounds),
+        checks::is_weak_splitting(&b, &out.colors, 0).to_string(),
+    ]);
+    vec![t, t2]
+}
+
+/// `thm33` — (C, λ)-multicolor splitting membership and the iterated
+/// refinement reduction.
+pub fn exp_thm33(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "thm33 — Theorem 3.3: (C, λ)-multicolor splitting membership",
+        &["n", "deg", "λ", "C'", "max load / cap", "valid"],
+    );
+    let lambdas: &[f64] = if quick { &[0.5] } else { &[0.75, 0.5, 0.25] };
+    for (i, &lambda) in lambdas.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+        let b = generators::random_biregular(128, 256, 64, &mut rng).expect("feasible");
+        let out =
+            core::multicolor_splitting_deterministic(&b, 16, lambda).expect("regime holds");
+        let valid = checks::is_multicolor_splitting(&b, &out.colors, out.palette, lambda, 0);
+        // worst load fraction over constraints and colors
+        let mut worst = 0.0f64;
+        for uu in 0..b.left_count() {
+            let mut counts = vec![0usize; out.palette as usize];
+            for &vv in b.left_neighbors(uu) {
+                counts[out.colors[vv] as usize] += 1;
+            }
+            let cap = (lambda * b.left_degree(uu) as f64).ceil();
+            let max = *counts.iter().max().unwrap() as f64;
+            worst = worst.max(max / cap);
+        }
+        t.row(vec![
+            b.node_count().to_string(),
+            "64".into(),
+            fnum(lambda),
+            out.palette.to_string(),
+            fnum(worst),
+            valid.to_string(),
+        ]);
+    }
+
+    let mut t2 = Table::new(
+        "thm33 — iterated reduction: class-fraction decay toward 1/(2·log n)",
+        &["iteration", "max class fraction", "λ^i target"],
+    );
+    let b = def13_instance(128, 3072, 1536, 1100);
+    let cfg = core::Theorem33Config { c: 16, lambda: 0.5, alpha: 16.0 };
+    let (colors, report, _ledger) =
+        core::weak_multicolor_via_multicolor_splitting(&b, &cfg).expect("regime holds");
+    for (i, &f) in report.class_fractions.iter().enumerate() {
+        t2.row(vec![
+            (i + 1).to_string(),
+            fnum(f),
+            fnum(0.5f64.powi(i as i32 + 1)),
+        ]);
+    }
+    let mut t3 = Table::new(
+        "thm33 — final refinement summary",
+        &["iterations", "total colors C''", "min distinct colors", "required 2·log n"],
+    );
+    let required = weak_multicolor_required_colors(b.node_count());
+    let distinct_min = (0..b.left_count())
+        .map(|uu| {
+            let mut s = std::collections::HashSet::new();
+            for &vv in b.left_neighbors(uu) {
+                s.insert(colors[vv]);
+            }
+            s.len()
+        })
+        .min()
+        .unwrap_or(0);
+    t3.row(vec![
+        report.iterations.to_string(),
+        report.total_colors.to_string(),
+        distinct_min.to_string(),
+        required.to_string(),
+    ]);
+    vec![t, t2, t3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thm32_quick_valid() {
+        let tables = exp_thm32(true);
+        assert_eq!(tables.len(), 2);
+        assert!(!tables[0].render().contains("false"));
+        assert!(!tables[1].render().contains("false"));
+    }
+}

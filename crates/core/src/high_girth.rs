@@ -1,0 +1,272 @@
+//! Section 5: weak splitting in girth-≥10 bipartite graphs.
+//!
+//! On high-girth instances the shattering events at distinct neighbors of a
+//! variable are independent, which upgrades the residual guarantee from
+//! "small components" to the *structural* property `δ_H ≥ 6·r_H`
+//! (Lemma 5.1) — exactly Theorem 2.7's regime, with no dependence on
+//! component sizes. Theorem 5.2 derandomizes the shattering through a
+//! coloring of `B⁴` (`O(Δ²r²)` colors dominate the round cost) and
+//! Theorem 5.3 keeps it randomized.
+//!
+//! Substitution note (recorded in DESIGN.md): the paper derandomizes the
+//! 1-round shattering via [GHK16] into an SLOCAL(4) algorithm consuming the
+//! `B⁴` coloring. We compute that coloring (it dominates the rounds, as in
+//! the paper) but replace the SLOCAL estimator pass with seeded shattering
+//! whose Lemma 5.1 postcondition `δ_H ≥ 6·r_H` is *verified* and retried —
+//! a Las Vegas variant with identical output guarantees and round shape.
+
+use crate::outcome::{SplitError, SplitOutcome};
+use crate::shatter::{shatter, ShatterOutcome};
+use crate::thm27::{theorem27, Variant};
+use local_coloring::color_power;
+use local_runtime::RoundLedger;
+use splitgraph::{bipartite_girth, checks, BipartiteGraph, Color};
+
+/// Residual statistics of one shattering run — the Lemma 5.1 quantities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lemma51Stats {
+    /// Minimum residual degree over unsatisfied constraints (`None` when
+    /// every constraint was satisfied).
+    pub delta_h: Option<usize>,
+    /// Maximum residual variable degree `r_H`.
+    pub rank_h: usize,
+    /// Number of unsatisfied constraints.
+    pub unsatisfied: usize,
+    /// Whether `δ_H ≥ 6·r_H` holds (trivially true with no unsatisfied
+    /// constraints).
+    pub holds: bool,
+}
+
+/// Runs the shattering once and reports the Lemma 5.1 quantities.
+pub fn lemma51_stats(b: &BipartiteGraph, seed: u64) -> Lemma51Stats {
+    let sh = shatter(b, seed);
+    stats_from_shatter(b, &sh)
+}
+
+fn stats_from_shatter(b: &BipartiteGraph, sh: &ShatterOutcome) -> Lemma51Stats {
+    let delta_h = (0..b.left_count())
+        .filter(|&u| !sh.satisfied[u])
+        .map(|u| sh.residual.left_degree(u))
+        .min();
+    let rank_h = sh.residual.rank();
+    let unsatisfied = sh.satisfied.iter().filter(|&&s| !s).count();
+    let holds = match delta_h {
+        None => true,
+        Some(d) => d >= 6 * rank_h,
+    };
+    Lemma51Stats { delta_h, rank_h, unsatisfied, holds }
+}
+
+/// Scheduling engine for the `B⁴` coloring of Theorem 5.2 (same tradeoff
+/// as [`crate::basic::SchedulingMode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GirthScheduling {
+    /// Sequential greedy on `B⁴`, rounds charged as `Δ(B⁴)+1 + log* n`.
+    #[default]
+    Reference,
+    /// Linial + KW on `B⁴`, rounds measured (×4 simulation overhead).
+    Distributed,
+}
+
+/// Runs the Theorem 5.2 pipeline (deterministic finish). Set
+/// `verify_girth` to certify the input (costs an `O(n·m)` centralized
+/// check, recommended in tests).
+///
+/// # Errors
+///
+/// [`SplitError::Precondition`] if the girth check fails;
+/// [`SplitError::RandomizedFailure`] if no shattering seed satisfies
+/// Lemma 5.1 within the attempt budget; inner Theorem 2.7 errors propagate.
+pub fn theorem52(
+    b: &BipartiteGraph,
+    seed: u64,
+    verify_girth: bool,
+    scheduling: GirthScheduling,
+) -> Result<SplitOutcome, SplitError> {
+    high_girth_pipeline(b, seed, verify_girth, scheduling, Variant::Deterministic)
+}
+
+/// Runs the Theorem 5.3 pipeline (randomized finish; no `B⁴` coloring, the
+/// components are handled by the randomized Theorem 2.7).
+///
+/// # Errors
+///
+/// As for [`theorem52`].
+pub fn theorem53(
+    b: &BipartiteGraph,
+    seed: u64,
+    verify_girth: bool,
+) -> Result<SplitOutcome, SplitError> {
+    let mut out = high_girth_pipeline(
+        b,
+        seed,
+        verify_girth,
+        GirthScheduling::Reference,
+        Variant::Randomized(seed ^ 0x9e37_79b9),
+    )?;
+    // Theorem 5.3 does not pay for the deterministic B⁴ scheduling
+    let mut ledger = RoundLedger::new();
+    for e in out.ledger.entries() {
+        if !e.label.contains("B⁴") {
+            match e.kind {
+                local_runtime::CostKind::Measured => ledger.add_measured(e.label.clone(), e.rounds),
+                local_runtime::CostKind::Charged => ledger.add_charged(e.label.clone(), e.rounds),
+            }
+        }
+    }
+    out.ledger = ledger;
+    Ok(out)
+}
+
+fn high_girth_pipeline(
+    b: &BipartiteGraph,
+    seed: u64,
+    verify_girth: bool,
+    scheduling: GirthScheduling,
+    finish: Variant,
+) -> Result<SplitOutcome, SplitError> {
+    if verify_girth {
+        if let Some(girth) = bipartite_girth(b) {
+            if girth < 10 {
+                return Err(SplitError::Precondition {
+                    requirement: "girth ≥ 10".into(),
+                    actual: format!("girth = {girth}"),
+                });
+            }
+        }
+    }
+    let mut ledger = RoundLedger::new();
+
+    // the B⁴ scheduling coloring (Theorem 5.2's dominant O(Δ²r²) term)
+    if matches!(finish, Variant::Deterministic) {
+        match scheduling {
+            GirthScheduling::Reference => {
+                // Δ(B⁴) < (Δ·r)², and the Las Vegas shattering substitution
+                // never consumes the colors, so the palette is charged from
+                // the analytic degree bound without materializing B⁴
+                let degree_bound = (b.max_left_degree() * b.rank().max(1)).pow(2);
+                ledger.add_charged(
+                    "B⁴ scheduling coloring (Δ²r² + log* n)",
+                    (degree_bound + 1) as f64
+                        + splitgraph::math::log_star(b.node_count().max(2)) as f64,
+                );
+            }
+            GirthScheduling::Distributed => {
+                let host = b.to_graph();
+                let ids: Vec<u64> = (0..host.node_count() as u64).collect();
+                let out = color_power(&host, 4, &ids, host.node_count().max(1) as u64);
+                ledger.add_measured("B⁴ scheduling coloring (Linial + KW)", out.rounds as f64);
+            }
+        }
+    }
+
+    // shattering until the Lemma 5.1 structural property holds
+    const ATTEMPTS: usize = 24;
+    let mut chosen: Option<ShatterOutcome> = None;
+    for attempt in 0..ATTEMPTS {
+        let sh = shatter(b, seed.wrapping_add(attempt as u64));
+        let stats = stats_from_shatter(b, &sh);
+        ledger.add_measured("shattering (coloring + uncoloring)", sh.rounds as f64);
+        if stats.holds {
+            chosen = Some(sh);
+            break;
+        }
+    }
+    let sh = chosen.ok_or(SplitError::RandomizedFailure {
+        phase: "high-girth shattering (Lemma 5.1 postcondition)".into(),
+        attempts: ATTEMPTS,
+    })?;
+
+    // solve the residual in the Theorem 2.7 regime
+    let mut colors: Vec<Option<Color>> = sh.colors.clone();
+    let unsat: Vec<usize> = (0..b.left_count()).filter(|&u| !sh.satisfied[u]).collect();
+    if !unsat.is_empty() {
+        let uncolored: Vec<usize> =
+            (0..b.right_count()).filter(|&v| sh.colors[v].is_none()).collect();
+        let right_local: std::collections::HashMap<usize, usize> =
+            uncolored.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut h = BipartiteGraph::new(unsat.len(), uncolored.len());
+        for (i, &u) in unsat.iter().enumerate() {
+            for &v in sh.residual.left_neighbors(u) {
+                h.add_edge(i, right_local[&v]).expect("residual edges stay simple");
+            }
+        }
+        let inner = theorem27(&h, finish)?;
+        ledger.merge_prefixed("residual (Theorem 2.7)", inner.ledger);
+        for (j, &orig) in uncolored.iter().enumerate() {
+            colors[orig] = Some(inner.colors[j]);
+        }
+    }
+    let colors: Vec<Color> = colors.into_iter().map(|c| c.unwrap_or(Color::Red)).collect();
+    debug_assert!(checks::is_weak_splitting(b, &colors, 0));
+    Ok(SplitOutcome { colors, ledger })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use splitgraph::generators;
+
+    /// Explicit girth-12 incidence instance of the projective plane of
+    /// order `q`: constraint degrees `q + 1`, rank 2.
+    fn girth_instance(q: u64) -> BipartiteGraph {
+        generators::projective_girth12_bipartite(q).unwrap().0
+    }
+
+    #[test]
+    fn lemma51_holds_on_high_girth_instances() {
+        // δ = 24: unsatisfied constraints are dominated by the
+        // uncolor-all case (residual degree 24 ≥ 6·r_H = 12)
+        let b = girth_instance(23);
+        let mut holds = 0;
+        for seed in 0..10 {
+            if lemma51_stats(&b, seed).holds {
+                holds += 1;
+            }
+        }
+        assert!(holds >= 8, "Lemma 5.1 held only {holds}/10 times");
+    }
+
+    #[test]
+    fn theorem52_end_to_end() {
+        let b = girth_instance(23);
+        let out = theorem52(&b, 7, true, GirthScheduling::Reference).unwrap();
+        assert!(checks::is_weak_splitting(&b, &out.colors, 0));
+        assert!(out.ledger.charged_total() > 0.0, "B⁴ coloring must be charged");
+    }
+
+    #[test]
+    fn theorem53_end_to_end() {
+        let b = girth_instance(23);
+        let out = theorem53(&b, 11, true).unwrap();
+        assert!(checks::is_weak_splitting(&b, &out.colors, 0));
+        assert!(
+            out.ledger.entries().iter().all(|e| !e.label.contains("B⁴")),
+            "randomized variant must not pay for the B⁴ coloring"
+        );
+    }
+
+    #[test]
+    fn girth_verification_rejects_short_cycles() {
+        // K_{2,2} has girth 4
+        let b = generators::complete_bipartite(6, 6);
+        assert!(matches!(
+            theorem52(&b, 0, true, GirthScheduling::Reference),
+            Err(SplitError::Precondition { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_fields_consistent() {
+        let b = girth_instance(13);
+        let s = lemma51_stats(&b, 9);
+        if s.unsatisfied == 0 {
+            assert_eq!(s.delta_h, None);
+            assert!(s.holds);
+        } else {
+            assert!(s.delta_h.is_some());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Parameter-dispatching weak-splitting façade.
+//!
+//! Picks the right theorem's pipeline for an instance's `(n, δ, r)`
+//! parameters, mirroring the case analysis running through the paper:
+//! `δ ≥ 6r` → Theorem 2.7; `δ ≥ 2·log n` → Theorem 2.5 (deterministic) or
+//! the zero-round algorithm (randomized); `δ ≥ c·log(r·log n)` →
+//! Theorem 1.2 (randomized only). Anything below those regimes is exactly
+//! the open territory the paper maps out, and the solver says so.
+
+use crate::outcome::{SplitError, SplitOutcome};
+use crate::thm12::{theorem12, Theorem12Config};
+use crate::thm25::theorem25;
+use crate::thm27::{theorem27, Variant};
+use crate::zero_round::zero_round_whp;
+use degree_split::Flavor;
+use splitgraph::math::weak_splitting_degree_threshold;
+use splitgraph::BipartiteGraph;
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeakSplittingSolver {
+    /// Allow randomized pipelines (deterministic-only mode reproduces the
+    /// paper's deterministic track).
+    pub allow_randomized: bool,
+    /// Master seed for randomized pipelines.
+    pub seed: u64,
+    /// The Theorem 1.2 constant `c`.
+    pub thm12_constant: f64,
+}
+
+impl Default for WeakSplittingSolver {
+    fn default() -> Self {
+        WeakSplittingSolver { allow_randomized: true, seed: 0xD15C0, thm12_constant: 3.0 }
+    }
+}
+
+/// Which pipeline the dispatcher chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pipeline {
+    /// Theorem 2.7 (`δ ≥ 6r`).
+    Theorem27,
+    /// Theorem 2.5 (deterministic, `δ ≥ 2·log n`).
+    Theorem25,
+    /// Zero-round randomized (`δ ≥ 2·log n`).
+    ZeroRound,
+    /// Theorem 1.2 (randomized, `δ ≥ c·log(r·log n)`).
+    Theorem12,
+}
+
+impl WeakSplittingSolver {
+    /// The pipeline the dispatcher would choose for `b`, if any.
+    pub fn plan(&self, b: &BipartiteGraph) -> Option<Pipeline> {
+        let delta = b.min_left_degree();
+        let rank = b.rank();
+        let n = b.node_count();
+        if delta >= 6 * rank && delta >= 2 {
+            return Some(Pipeline::Theorem27);
+        }
+        if delta >= weak_splitting_degree_threshold(n) {
+            return Some(if self.allow_randomized {
+                Pipeline::ZeroRound
+            } else {
+                Pipeline::Theorem25
+            });
+        }
+        if self.allow_randomized {
+            let req = self.thm12_constant
+                * splitgraph::math::log2(
+                    ((rank.max(1) as f64) * splitgraph::math::log2(n.max(2))).ceil() as usize + 1,
+                );
+            if delta as f64 >= req {
+                return Some(Pipeline::Theorem12);
+            }
+        }
+        None
+    }
+
+    /// Solves `b` with the dispatched pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SplitError::Precondition`] when the instance lies outside
+    /// every regime the paper covers, or propagates pipeline errors.
+    pub fn solve(&self, b: &BipartiteGraph) -> Result<(SplitOutcome, Pipeline), SplitError> {
+        let plan = self.plan(b).ok_or_else(|| SplitError::Precondition {
+            requirement: "one of: δ ≥ 6r; δ ≥ 2·log n; randomized and δ ≥ c·log(r·log n)"
+                .into(),
+            actual: format!(
+                "δ = {}, r = {}, n = {}",
+                b.min_left_degree(),
+                b.rank(),
+                b.node_count()
+            ),
+        })?;
+        let out = match plan {
+            Pipeline::Theorem27 => {
+                let variant = if self.allow_randomized {
+                    Variant::Randomized(self.seed)
+                } else {
+                    Variant::Deterministic
+                };
+                theorem27(b, variant)?
+            }
+            Pipeline::Theorem25 => theorem25(b, Flavor::Deterministic).map(|(o, _)| o)?,
+            Pipeline::ZeroRound => zero_round_whp(b, self.seed, 32)?,
+            Pipeline::Theorem12 => {
+                let cfg = Theorem12Config {
+                    seed: self.seed,
+                    c_constant: self.thm12_constant,
+                    ..Theorem12Config::default()
+                };
+                theorem12(b, &cfg)?
+            }
+        };
+        Ok((out, plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use splitgraph::checks::is_weak_splitting;
+    use splitgraph::generators;
+
+    #[test]
+    fn dispatches_theorem27_for_skewed_instances() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = generators::random_biregular(12, 72, 12, &mut rng).unwrap();
+        let solver = WeakSplittingSolver { allow_randomized: false, ..Default::default() };
+        assert_eq!(solver.plan(&b), Some(Pipeline::Theorem27));
+        let (out, plan) = solver.solve(&b).unwrap();
+        assert_eq!(plan, Pipeline::Theorem27);
+        assert!(is_weak_splitting(&b, &out.colors, 0));
+    }
+
+    #[test]
+    fn dispatches_theorem25_deterministically() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = generators::random_biregular(100, 100, 20, &mut rng).unwrap();
+        let solver = WeakSplittingSolver { allow_randomized: false, ..Default::default() };
+        assert_eq!(solver.plan(&b), Some(Pipeline::Theorem25));
+        let (out, _) = solver.solve(&b).unwrap();
+        assert!(is_weak_splitting(&b, &out.colors, 0));
+    }
+
+    #[test]
+    fn dispatches_zero_round_when_randomized_allowed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = generators::random_biregular(100, 100, 20, &mut rng).unwrap();
+        let solver = WeakSplittingSolver::default();
+        assert_eq!(solver.plan(&b), Some(Pipeline::ZeroRound));
+        let (out, _) = solver.solve(&b).unwrap();
+        assert!(is_weak_splitting(&b, &out.colors, 0));
+    }
+
+    #[test]
+    fn dispatches_theorem12_in_the_shattering_window() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // δ = 24 < 2·log n ≈ 27 but ≥ c·log(r·log n): the Theorem 1.2 window
+        let b = generators::random_biregular(1024, 4096, 24, &mut rng).unwrap();
+        let solver = WeakSplittingSolver { thm12_constant: 1.5, ..Default::default() };
+        assert_eq!(solver.plan(&b), Some(Pipeline::Theorem12));
+        let (out, plan) = solver.solve(&b).unwrap();
+        assert_eq!(plan, Pipeline::Theorem12);
+        assert!(is_weak_splitting(&b, &out.colors, 0));
+        // deterministic-only mode has no pipeline for this window
+        let det = WeakSplittingSolver { allow_randomized: false, ..Default::default() };
+        assert_eq!(det.plan(&b), None);
+    }
+
+    #[test]
+    fn uncovered_regime_reported() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // δ = 4: below every regime
+        let b = generators::random_biregular(128, 256, 4, &mut rng).unwrap();
+        let solver = WeakSplittingSolver::default();
+        assert_eq!(solver.plan(&b), None);
+        assert!(matches!(solver.solve(&b), Err(SplitError::Precondition { .. })));
+    }
+}

@@ -1,0 +1,225 @@
+//! Walk decompositions of multigraphs.
+//!
+//! Pairing the incident edges at every node decomposes the edge set into
+//! maximal walks: consecutive walk edges share a node at which they are
+//! paired. Since every edge has at most one pairing partner at each
+//! endpoint, the "paired at a common node" relation turns the edge set into
+//! a disjoint union of paths and cycles — a [`Chains`] structure over edge
+//! ids — which is exactly what the distributed degree-splitting engine
+//! segments and orients. The pairing itself is a 0-round local choice.
+
+use local_coloring::Chains;
+use splitgraph::{EdgeId, MultiGraph};
+
+/// A walk decomposition: chains over edge ids plus, for every edge, its
+/// traversal direction along its walk.
+#[derive(Debug, Clone)]
+pub struct WalkDecomposition {
+    /// Chain structure over edge ids (`next` = following edge in the walk).
+    pub chains: Chains,
+    /// `direction[e] = (tail, head)`: edge `e` traversed tail → head when
+    /// following its walk in `next` order.
+    pub direction: Vec<(usize, usize)>,
+}
+
+impl WalkDecomposition {
+    /// Computes the walk decomposition induced by pairing each node's
+    /// incident edge occurrences in incidence-list order
+    /// (`(1st, 2nd), (3rd, 4th), …`; odd nodes leave their last occurrence
+    /// unpaired).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` contains a self-loop (the paper's pairing multigraphs
+    /// never do; both occurrences of a loop would be at the same node).
+    pub fn from_pairing(g: &MultiGraph) -> Self {
+        let m = g.edge_count();
+        // partner[e][side]: the edge paired with `e` at endpoint `side`
+        // (0 = first endpoint, 1 = second endpoint), if any
+        let mut partner: Vec<[Option<EdgeId>; 2]> = vec![[None, None]; m];
+        let side_of = |e: EdgeId, v: usize| -> usize {
+            let (a, b) = g.endpoints(e);
+            assert_ne!(a, b, "self-loops are not supported by walk pairing");
+            if a == v {
+                0
+            } else {
+                debug_assert_eq!(b, v);
+                1
+            }
+        };
+        for v in 0..g.node_count() {
+            let inc = g.incident_edges(v);
+            for pair in inc.chunks_exact(2) {
+                let (e1, e2) = (pair[0], pair[1]);
+                partner[e1][side_of(e1, v)] = Some(e2);
+                partner[e2][side_of(e2, v)] = Some(e1);
+            }
+        }
+
+        // traverse walks, fixing a direction for every edge: first all open
+        // walks (starting from free ends), then the remaining cycles
+        let mut next: Vec<Option<EdgeId>> = vec![None; m];
+        let mut direction: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX); m];
+        let mut visited = vec![false; m];
+
+        let traverse = |start: EdgeId,
+                            start_tail_side: usize,
+                            next: &mut Vec<Option<EdgeId>>,
+                            direction: &mut Vec<(usize, usize)>,
+                            visited: &mut Vec<bool>| {
+            let mut cur = start;
+            let mut tail_side = start_tail_side;
+            loop {
+                visited[cur] = true;
+                let (a, b) = g.endpoints(cur);
+                let (tail, head) = if tail_side == 0 { (a, b) } else { (b, a) };
+                direction[cur] = (tail, head);
+                let head_side = 1 - tail_side;
+                match partner[cur][head_side] {
+                    None => break,
+                    Some(nx) => {
+                        next[cur] = Some(nx);
+                        if nx == start {
+                            break; // closed the cycle
+                        }
+                        tail_side = side_of(nx, head);
+                        cur = nx;
+                    }
+                }
+            }
+        };
+
+        // phase 1: open walks begin at a (edge, side) with no partner
+        for e in 0..m {
+            for side in 0..2 {
+                if partner[e][side].is_none() && !visited[e] {
+                    traverse(e, side, &mut next, &mut direction, &mut visited);
+                }
+            }
+        }
+        // phase 2: everything still unvisited lies on cycles
+        for e in 0..m {
+            if !visited[e] {
+                traverse(e, 0, &mut next, &mut direction, &mut visited);
+            }
+        }
+        WalkDecomposition { chains: Chains::from_next(next), direction }
+    }
+
+    /// Number of edge positions (edges of the underlying multigraph).
+    pub fn len(&self) -> usize {
+        self.direction.len()
+    }
+
+    /// Whether the decomposition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.direction.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every consecutive pair of walk edges must share the node that the
+    /// directions claim: head of `e` = tail of `next(e)`.
+    fn assert_consistent(g: &MultiGraph, w: &WalkDecomposition) {
+        for e in 0..g.edge_count() {
+            let (tail, head) = w.direction[e];
+            let (a, b) = g.endpoints(e);
+            assert!(
+                (tail, head) == (a, b) || (tail, head) == (b, a),
+                "direction of edge {e} does not match its endpoints"
+            );
+            if let Some(nx) = w.chains.next(e) {
+                assert_eq!(w.direction[nx].0, head, "walk broken between {e} and {nx}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_graph_single_walk() {
+        let mut g = MultiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let w = WalkDecomposition::from_pairing(&g);
+        assert_consistent(&g, &w);
+        // the path is one maximal walk: exactly one edge has no successor
+        let ends = (0..3).filter(|&e| w.chains.next(e).is_none()).count();
+        assert_eq!(ends, 1);
+    }
+
+    #[test]
+    fn cycle_graph_single_closed_walk() {
+        let mut g = MultiGraph::new(5);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+        }
+        let w = WalkDecomposition::from_pairing(&g);
+        assert_consistent(&g, &w);
+        // closed walk: every edge has a successor
+        assert!((0..5).all(|e| w.chains.next(e).is_some()));
+    }
+
+    #[test]
+    fn star_decomposes_into_short_walks() {
+        // center of degree 4 pairs its edges into two walks of length 2
+        let mut g = MultiGraph::new(5);
+        for leaf in 1..5 {
+            g.add_edge(0, leaf);
+        }
+        let w = WalkDecomposition::from_pairing(&g);
+        assert_consistent(&g, &w);
+        let ends = (0..4).filter(|&e| w.chains.next(e).is_none()).count();
+        assert_eq!(ends, 2, "two maximal walks expected");
+    }
+
+    #[test]
+    fn parallel_edges_form_cycle() {
+        let mut g = MultiGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        let w = WalkDecomposition::from_pairing(&g);
+        assert_consistent(&g, &w);
+        assert!((0..2).all(|e| w.chains.next(e).is_some()), "2-cycle of parallel edges");
+    }
+
+    #[test]
+    fn every_edge_appears_in_exactly_one_walk() {
+        let mut g = MultiGraph::new(6);
+        let edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (1, 4)];
+        for &(a, b) in &edges {
+            g.add_edge(a, b);
+        }
+        let w = WalkDecomposition::from_pairing(&g);
+        assert_consistent(&g, &w);
+        assert_eq!(w.len(), edges.len());
+        // walks partition edges: following next from each start covers all
+        let mut covered = vec![false; edges.len()];
+        for e in 0..edges.len() {
+            if w.chains.prev(e).is_none() || !covered[e] {
+                let mut cur = Some(e);
+                let mut steps = 0;
+                while let Some(x) = cur {
+                    if covered[x] {
+                        break;
+                    }
+                    covered[x] = true;
+                    cur = w.chains.next(x);
+                    steps += 1;
+                    assert!(steps <= edges.len(), "walk runs forever");
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loops() {
+        let mut g = MultiGraph::new(1);
+        g.add_edge(0, 0);
+        let _ = WalkDecomposition::from_pairing(&g);
+    }
+}

@@ -1,0 +1,349 @@
+//! Pessimistic estimators in product form.
+//!
+//! All derandomizations in the paper ([GHK16]-style, used by Lemma 2.1,
+//! Lemma 3.1, Theorems 3.2/3.3 and Section 4) share one shape: variables
+//! (right-side nodes) pick colors uniformly from a palette of size `C`, and
+//! each constraint `u` fails with small probability. The failure estimators
+//! used here all decompose as
+//!
+//! ```text
+//! φ_u = factor^{m_u} · Σ_x base_u · step^{F_{u,x}}
+//! ```
+//!
+//! where `m_u` counts `u`'s unfixed neighbors and `F_{u,x}` its fixed
+//! neighbors of color `x`. Crucially, the uniform average over the next
+//! fixed color satisfies `(1/C)·Σ_x φ'_u(x) = φ_u` exactly (because
+//! `(C − 1 + step)/C = factor`), so greedily picking the minimizing color
+//! never increases `Φ = Σ_u φ_u` — the method of conditional expectations.
+//! At a full assignment every violated constraint contributes at least 1 to
+//! `Φ`, so `Φ_initial < 1` certifies success.
+//!
+//! Instantiations:
+//!
+//! * [`ColoringEstimator::monochromatic`] — weak splitting (Lemma 2.1):
+//!   `C = 2`, `φ_u` = number of colors absent from `u`'s neighborhood,
+//!   damped by `2^{-m}`;
+//! * [`ColoringEstimator::missing_color`] — C-weak multicolor splitting
+//!   (Theorem 3.2): expected number of missing colors;
+//! * [`ColoringEstimator::overload`] — (C, λ)-multicolor splitting and
+//!   uniform splitting (Theorem 3.3, Section 4): per-color Chernoff/MGF
+//!   upper-tail bound `e^{t(F − cap − 1)}·E[e^{t·future}]`.
+
+use splitgraph::BipartiteGraph;
+
+/// A product-form pessimistic estimator over a bipartite instance.
+#[derive(Debug, Clone)]
+pub struct ColoringEstimator {
+    palette: u32,
+    factor: f64,
+    step: f64,
+    base_zero: Vec<f64>,
+}
+
+impl ColoringEstimator {
+    /// Estimator for weak splitting: fails when a constraint sees only one
+    /// color (Definition 1.1). `Φ_initial = Σ_u 2·2^{-deg(u)} < 1` whenever
+    /// `deg(u) ≥ 2·log n` — exactly the Lemma 2.1 regime.
+    pub fn monochromatic(b: &BipartiteGraph) -> Self {
+        ColoringEstimator {
+            palette: 2,
+            factor: 0.5,
+            step: 0.0,
+            base_zero: vec![1.0; b.left_count()],
+        }
+    }
+
+    /// Estimator for C-weak multicolor splitting: `φ_u` is the expected
+    /// number of palette colors absent from `u`'s neighborhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `palette < 2`.
+    pub fn missing_color(b: &BipartiteGraph, palette: u32) -> Self {
+        assert!(palette >= 2, "palette must have at least two colors");
+        ColoringEstimator {
+            palette,
+            factor: 1.0 - 1.0 / palette as f64,
+            step: 0.0,
+            base_zero: vec![1.0; b.left_count()],
+        }
+    }
+
+    /// Estimator for per-color overload: constraint `u` fails if any color
+    /// occurs more than `caps[u]` times among its neighbors. `t > 0` is the
+    /// MGF parameter (see [`chernoff_t`] for the standard choice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `palette < 2`, `t ≤ 0`, or `caps.len() != b.left_count()`.
+    pub fn overload(b: &BipartiteGraph, palette: u32, caps: &[usize], t: f64) -> Self {
+        assert!(palette >= 2, "palette must have at least two colors");
+        assert!(t > 0.0, "MGF parameter must be positive");
+        assert_eq!(caps.len(), b.left_count(), "cap vector length mismatch");
+        let et = t.exp();
+        ColoringEstimator {
+            palette,
+            factor: 1.0 + (et - 1.0) / palette as f64,
+            step: et,
+            base_zero: caps.iter().map(|&cap| (-t * (cap as f64 + 1.0)).exp()).collect(),
+        }
+    }
+
+    /// Exempts constraint `u`: its `φ_u` becomes identically 0, so it never
+    /// influences greedy choices (used for constraints that cannot be
+    /// violated, e.g. uniform-splitting nodes below the degree floor whose
+    /// cap equals their degree).
+    pub fn exempt(&mut self, u: usize) {
+        self.base_zero[u] = 0.0;
+    }
+
+    /// Palette size `C`.
+    pub fn palette(&self) -> u32 {
+        self.palette
+    }
+
+    /// The per-unfixed-variable damping factor.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// The per-fixed-occurrence multiplicative step.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// `base_u · step^F` — the contribution of one color with `F` fixed
+    /// occurrences at constraint `u`.
+    pub fn base(&self, u: usize, fixed: u32) -> f64 {
+        if self.step == 0.0 {
+            if fixed == 0 {
+                self.base_zero[u]
+            } else {
+                0.0
+            }
+        } else {
+            self.base_zero[u] * self.step.powi(fixed as i32)
+        }
+    }
+
+    /// `φ_u` from the per-color fixed counts and the unfixed count.
+    pub fn phi(&self, u: usize, fixed_counts: &[u32], unfixed: usize) -> f64 {
+        debug_assert_eq!(fixed_counts.len(), self.palette as usize);
+        let s: f64 = fixed_counts.iter().map(|&f| self.base(u, f)).sum();
+        self.factor.powi(unfixed as i32) * s
+    }
+}
+
+/// The standard Chernoff MGF parameter `t = ln(cap·C/d)` for bounding
+/// `Pr[Bin(d, 1/C) > cap]`, clamped to be positive.
+pub fn chernoff_t(cap: f64, palette: u32, degree: f64) -> f64 {
+    ((cap * palette as f64 / degree.max(1.0)).ln()).max(0.05)
+}
+
+/// Incremental fixer state: per-constraint fixed counts, unfixed counts and
+/// running base sums, supporting O(1) re-evaluation of `φ_u` per candidate.
+#[derive(Debug, Clone)]
+pub struct FixerState {
+    est: ColoringEstimator,
+    /// `F_{u,x}` — fixed neighbors of `u` with color `x`.
+    counts: Vec<Vec<u32>>,
+    /// `m_u` — unfixed neighbors of `u`.
+    unfixed: Vec<usize>,
+    /// `S_u = Σ_x base(u, F_{u,x})`.
+    sums: Vec<f64>,
+}
+
+impl FixerState {
+    /// Initializes the state for an instance where every variable is
+    /// unfixed.
+    pub fn new(b: &BipartiteGraph, est: ColoringEstimator) -> Self {
+        let c = est.palette as usize;
+        let counts = vec![vec![0u32; c]; b.left_count()];
+        let unfixed: Vec<usize> = (0..b.left_count()).map(|u| b.left_degree(u)).collect();
+        let sums: Vec<f64> =
+            (0..b.left_count()).map(|u| c as f64 * est.base(u, 0)).collect();
+        FixerState { est, counts, unfixed, sums }
+    }
+
+    /// The estimator.
+    pub fn estimator(&self) -> &ColoringEstimator {
+        &self.est
+    }
+
+    /// Current `φ_u`.
+    pub fn phi(&self, u: usize) -> f64 {
+        self.est.factor.powi(self.unfixed[u] as i32) * self.sums[u]
+    }
+
+    /// Current total `Φ = Σ_u φ_u`.
+    pub fn total(&self) -> f64 {
+        (0..self.sums.len()).map(|u| self.phi(u)).sum()
+    }
+
+    /// `φ_u` if one more neighbor were fixed to color `x`.
+    pub fn phi_after(&self, u: usize, x: u32) -> f64 {
+        let old = self.est.base(u, self.counts[u][x as usize]);
+        let new = self.est.base(u, self.counts[u][x as usize] + 1);
+        self.est.factor.powi(self.unfixed[u] as i32 - 1) * (self.sums[u] - old + new)
+    }
+
+    /// Commits color `x` for one neighbor of constraint `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` has no unfixed neighbors left.
+    pub fn commit(&mut self, u: usize, x: u32) {
+        assert!(self.unfixed[u] > 0, "constraint {u} has no unfixed neighbors");
+        let old = self.est.base(u, self.counts[u][x as usize]);
+        self.counts[u][x as usize] += 1;
+        let new = self.est.base(u, self.counts[u][x as usize]);
+        self.sums[u] += new - old;
+        self.unfixed[u] -= 1;
+    }
+
+    /// For variable `v` of instance `b`, the color minimizing the summed
+    /// `φ'` over `v`'s constraints (ties break toward the smaller color).
+    pub fn best_color(&self, b: &BipartiteGraph, v: usize) -> u32 {
+        let mut best = 0u32;
+        let mut best_score = f64::INFINITY;
+        for x in 0..self.est.palette {
+            let score: f64 =
+                b.right_neighbors(v).iter().map(|&u| self.phi_after(u, x)).sum();
+            if score < best_score {
+                best_score = score;
+                best = x;
+            }
+        }
+        best
+    }
+
+    /// Fixes variable `v` of `b` to color `x`, updating all its constraints.
+    pub fn fix(&mut self, b: &BipartiteGraph, v: usize, x: u32) {
+        for &u in b.right_neighbors(v) {
+            self.commit(u, x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitgraph::BipartiteGraph;
+
+    fn one_constraint(degree: usize) -> BipartiteGraph {
+        let edges: Vec<(usize, usize)> = (0..degree).map(|v| (0, v)).collect();
+        BipartiteGraph::from_edges(1, degree, &edges).unwrap()
+    }
+
+    #[test]
+    fn monochromatic_initial_value() {
+        let b = one_constraint(4);
+        let est = ColoringEstimator::monochromatic(&b);
+        let st = FixerState::new(&b, est);
+        // Φ = 2 · 2^{-4} = 0.125
+        assert!((st.total() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monochromatic_phi_reaches_one_on_failure() {
+        let b = one_constraint(3);
+        let mut st = FixerState::new(&b, ColoringEstimator::monochromatic(&b));
+        for v in 0..3 {
+            st.fix(&b, v, 0); // all red
+        }
+        assert!((st.phi(0) - 1.0).abs() < 1e-12, "violated constraint must contribute 1");
+    }
+
+    #[test]
+    fn monochromatic_phi_vanishes_on_success() {
+        let b = one_constraint(3);
+        let mut st = FixerState::new(&b, ColoringEstimator::monochromatic(&b));
+        st.fix(&b, 0, 0);
+        st.fix(&b, 1, 1);
+        st.fix(&b, 2, 0);
+        assert_eq!(st.phi(0), 0.0);
+    }
+
+    #[test]
+    fn greedy_average_equals_phi() {
+        // the conditional-expectation identity: mean over colors of φ' = φ
+        let b = one_constraint(5);
+        for est in [
+            ColoringEstimator::monochromatic(&b),
+            ColoringEstimator::missing_color(&b, 7),
+            ColoringEstimator::overload(&b, 3, &[2], 0.9),
+        ] {
+            let c = est.palette();
+            let mut st = FixerState::new(&b, est);
+            st.fix(&b, 0, 0); // make the state non-trivial
+            let phi = st.phi(0);
+            let mean: f64 =
+                (0..c).map(|x| st.phi_after(0, x)).sum::<f64>() / c as f64;
+            assert!((mean - phi).abs() < 1e-9 * phi.max(1.0), "mean {mean} vs φ {phi}");
+        }
+    }
+
+    #[test]
+    fn greedy_choice_never_increases_phi() {
+        let b = one_constraint(6);
+        let mut st = FixerState::new(&b, ColoringEstimator::missing_color(&b, 3));
+        let mut last = st.total();
+        for v in 0..6 {
+            let x = st.best_color(&b, v);
+            st.fix(&b, v, x);
+            let now = st.total();
+            assert!(now <= last + 1e-12, "Φ increased: {last} → {now}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn overload_counts_violations_at_completion() {
+        let b = one_constraint(4);
+        // cap 2, so three of one color violate
+        let est = ColoringEstimator::overload(&b, 2, &[2], 1.0);
+        let mut st = FixerState::new(&b, est);
+        for v in 0..3 {
+            st.fix(&b, v, 0);
+        }
+        st.fix(&b, 3, 1);
+        assert!(st.phi(0) >= 1.0, "violation must contribute at least 1, got {}", st.phi(0));
+    }
+
+    #[test]
+    fn overload_small_when_satisfied() {
+        let b = one_constraint(4);
+        let est = ColoringEstimator::overload(&b, 2, &[3], 1.0);
+        let mut st = FixerState::new(&b, est);
+        st.fix(&b, 0, 0);
+        st.fix(&b, 1, 0);
+        st.fix(&b, 2, 1);
+        st.fix(&b, 3, 1);
+        assert!(st.phi(0) < 1.0);
+    }
+
+    #[test]
+    fn exempt_constraints_contribute_zero() {
+        let b = one_constraint(3);
+        let mut est = ColoringEstimator::overload(&b, 2, &[0], 1.0);
+        est.exempt(0);
+        let mut st = FixerState::new(&b, est);
+        assert_eq!(st.total(), 0.0);
+        st.fix(&b, 0, 0);
+        st.fix(&b, 1, 0);
+        assert_eq!(st.phi(0), 0.0, "exempt constraint stays at zero");
+    }
+
+    #[test]
+    fn chernoff_t_positive() {
+        assert!(chernoff_t(10.0, 4, 100.0) > 0.0);
+        assert!(chernoff_t(1.0, 2, 1000.0) >= 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn missing_color_rejects_tiny_palette() {
+        let b = one_constraint(2);
+        let _ = ColoringEstimator::missing_color(&b, 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! Cole–Vishkin coloring and spaced ruling sets on chains.
+//!
+//! The walk-decomposition engine of the degree-splitting substrate cuts
+//! walks (disjoint paths and cycles over *edge positions*) into short
+//! segments. The machinery here runs on an abstract [`Chains`] structure:
+//! Cole–Vishkin reduces unique IDs to 3 colors in `log* + O(1)` iterations,
+//! and a greedy-by-color pass over the distance-`L` power yields cut points
+//! with spacing in `[L+1, 2L+1]`. Round counts are reported in chain-graph
+//! rounds; simulating them on the host network costs a constant factor
+//! (each chain position is an edge of the host, adjacent positions share a
+//! host node).
+
+/// Disjoint union of paths and cycles over positions `0..len`, given by
+/// successor/predecessor pointers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chains {
+    next: Vec<Option<usize>>,
+    prev: Vec<Option<usize>>,
+}
+
+impl Chains {
+    /// Builds a chain structure from successor pointers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two positions share a successor (the structure would not be
+    /// a disjoint union of paths and cycles) or a successor is out of range.
+    pub fn from_next(next: Vec<Option<usize>>) -> Self {
+        let n = next.len();
+        let mut prev = vec![None; n];
+        for (i, &nx) in next.iter().enumerate() {
+            if let Some(j) = nx {
+                assert!(j < n, "successor {j} out of range");
+                assert!(prev[j].is_none(), "two positions share successor {j}");
+                prev[j] = Some(i);
+            }
+        }
+        Chains { next, prev }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.next.is_empty()
+    }
+
+    /// Successor of `i`.
+    pub fn next(&self, i: usize) -> Option<usize> {
+        self.next[i]
+    }
+
+    /// Predecessor of `i`.
+    pub fn prev(&self, i: usize) -> Option<usize> {
+        self.prev[i]
+    }
+}
+
+/// Result of Cole–Vishkin: a proper 3-coloring along chain edges plus the
+/// number of chain-graph rounds consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainColoring {
+    /// Color per position, in `{0, 1, 2}`.
+    pub colors: Vec<u8>,
+    /// Chain-graph rounds: one per Cole–Vishkin iteration plus three
+    /// shift-down rounds for the 6 → 3 reduction.
+    pub rounds: usize,
+}
+
+/// Cole–Vishkin 3-coloring of `chains` starting from unique `ids`.
+///
+/// Iterated bit-comparison with the successor reduces `b`-bit colors to
+/// `O(log b)`-bit colors per round, reaching the 6-color fixed point after
+/// `log* + O(1)` iterations; three final rounds recolor classes 5, 4, 3
+/// greedily (chain degree ≤ 2 leaves a free color in `{0, 1, 2}`).
+///
+/// # Panics
+///
+/// Panics if `ids` are not unique per chain edge (adjacent positions must
+/// start with different colors) or lengths mismatch.
+pub fn cole_vishkin_3color(chains: &Chains, ids: &[u64]) -> ChainColoring {
+    let n = chains.len();
+    assert_eq!(ids.len(), n, "id vector length mismatch");
+    let mut colors: Vec<u64> = ids.to_vec();
+    let mut rounds = 0usize;
+
+    // iterate until every color fits in {0..5}
+    loop {
+        let max = colors.iter().copied().max().unwrap_or(0);
+        if max < 6 {
+            break;
+        }
+        let new: Vec<u64> = (0..n)
+            .map(|i| {
+                let c = colors[i];
+                match chains.next(i) {
+                    Some(j) => {
+                        let d = colors[j];
+                        assert_ne!(c, d, "adjacent positions share a color");
+                        let bit = (c ^ d).trailing_zeros() as u64;
+                        2 * bit + ((c >> bit) & 1)
+                    }
+                    None => {
+                        // tail: fold to bit 0 of own color; differs from the
+                        // predecessor's choice by the standard CV argument
+                        c & 1
+                    }
+                }
+            })
+            .collect();
+        colors = new;
+        rounds += 1;
+    }
+
+    // 6 → 3: recolor classes 5, 4, 3 greedily
+    for class in (3..6u64).rev() {
+        for i in 0..n {
+            if colors[i] == class {
+                let mut used = [false; 3];
+                if let Some(j) = chains.next(i) {
+                    if colors[j] < 3 {
+                        used[colors[j] as usize] = true;
+                    }
+                }
+                if let Some(j) = chains.prev(i) {
+                    if colors[j] < 3 {
+                        used[colors[j] as usize] = true;
+                    }
+                }
+                colors[i] = used.iter().position(|&u| !u).expect("degree ≤ 2 in chains") as u64;
+            }
+        }
+        rounds += 1;
+    }
+
+    ChainColoring { colors: colors.into_iter().map(|c| c as u8).collect(), rounds }
+}
+
+/// Result of the spaced ruling-set computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RulingSet {
+    /// Whether each position is a cut point.
+    pub cut: Vec<bool>,
+    /// Chain-graph rounds consumed (`3·spacing`, one greedy sweep per color
+    /// class with `spacing`-hop lookaround).
+    pub rounds: usize,
+}
+
+/// Greedy MIS of the distance-`spacing` power of the chains, scheduled by a
+/// 3-coloring: selected positions are pairwise more than `spacing` apart
+/// along their chain, and every position is within `2·spacing` of a selected
+/// one (on cycles; path ends may be further than `spacing` from a cut only
+/// toward the boundary).
+///
+/// # Panics
+///
+/// Panics if `spacing == 0` or the coloring is not a valid 3-coloring.
+pub fn spaced_ruling_set(chains: &Chains, coloring: &[u8], spacing: usize) -> RulingSet {
+    let n = chains.len();
+    assert!(spacing > 0, "spacing must be positive");
+    assert_eq!(coloring.len(), n, "coloring length mismatch");
+    assert!(coloring.iter().all(|&c| c < 3), "expected a 3-coloring");
+    let mut cut = vec![false; n];
+    for class in 0..3u8 {
+        for i in 0..n {
+            if coloring[i] != class || cut[i] {
+                continue;
+            }
+            // join unless a cut lies within `spacing` hops in either direction
+            let mut blocked = false;
+            let mut fwd = chains.next(i);
+            let mut bwd = chains.prev(i);
+            for _ in 0..spacing {
+                if let Some(j) = fwd {
+                    if j == i {
+                        break; // wrapped a short cycle
+                    }
+                    if cut[j] {
+                        blocked = true;
+                        break;
+                    }
+                    fwd = chains.next(j);
+                }
+                if blocked {
+                    break;
+                }
+                if let Some(j) = bwd {
+                    if j == i {
+                        break;
+                    }
+                    if cut[j] {
+                        blocked = true;
+                        break;
+                    }
+                    bwd = chains.prev(j);
+                }
+            }
+            if !blocked {
+                cut[i] = true;
+            }
+        }
+    }
+    RulingSet { cut, rounds: 3 * spacing }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_chain(n: usize) -> Chains {
+        Chains::from_next((0..n).map(|i| if i + 1 < n { Some(i + 1) } else { None }).collect())
+    }
+
+    fn cycle_chain(n: usize) -> Chains {
+        Chains::from_next((0..n).map(|i| Some((i + 1) % n)).collect())
+    }
+
+    fn assert_proper(chains: &Chains, colors: &[u8]) {
+        for i in 0..chains.len() {
+            if let Some(j) = chains.next(i) {
+                assert_ne!(colors[i], colors[j], "positions {i} → {j} share color");
+            }
+        }
+    }
+
+    #[test]
+    fn from_next_builds_prev() {
+        let c = path_chain(4);
+        assert_eq!(c.prev(0), None);
+        assert_eq!(c.prev(3), Some(2));
+        assert_eq!(c.next(3), None);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "share successor")]
+    fn from_next_rejects_merging() {
+        let _ = Chains::from_next(vec![Some(2), Some(2), None]);
+    }
+
+    #[test]
+    fn cv_colors_long_path() {
+        let chains = path_chain(1000);
+        let ids: Vec<u64> = (0..1000).map(|i| i * 2_654_435_761 % 1_000_003).collect();
+        let out = cole_vishkin_3color(&chains, &ids);
+        assert_proper(&chains, &out.colors);
+        assert!(out.colors.iter().all(|&c| c < 3));
+        assert!(out.rounds <= 10, "rounds = {}", out.rounds);
+    }
+
+    #[test]
+    fn cv_colors_cycles_of_all_parities() {
+        for n in [3usize, 4, 5, 17, 100] {
+            let chains = cycle_chain(n);
+            let ids: Vec<u64> = (0..n as u64).map(|i| i * 7 + 1).collect();
+            let out = cole_vishkin_3color(&chains, &ids);
+            assert_proper(&chains, &out.colors);
+            assert!(out.colors.iter().all(|&c| c < 3), "cycle {n}");
+        }
+    }
+
+    #[test]
+    fn cv_on_union_of_chains() {
+        // two paths and a cycle in one structure
+        let mut next = vec![None; 10];
+        next[0] = Some(1);
+        next[1] = Some(2); // path 0-1-2
+        next[3] = Some(4); // path 3-4
+        next[5] = Some(6);
+        next[6] = Some(7);
+        next[7] = Some(5); // cycle 5-6-7
+        next[8] = Some(9); // path 8-9
+        let chains = Chains::from_next(next);
+        let ids: Vec<u64> = (0..10).map(|i| 1000 - 13 * i).collect();
+        let out = cole_vishkin_3color(&chains, &ids);
+        assert_proper(&chains, &out.colors);
+    }
+
+    #[test]
+    fn ruling_set_spacing_invariants() {
+        let n = 500;
+        let chains = cycle_chain(n);
+        let ids: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % 10_007).collect();
+        let coloring = cole_vishkin_3color(&chains, &ids);
+        for spacing in [1usize, 3, 8] {
+            let rs = spaced_ruling_set(&chains, &coloring.colors, spacing);
+            let cuts: Vec<usize> = (0..n).filter(|&i| rs.cut[i]).collect();
+            assert!(!cuts.is_empty());
+            // independence: consecutive cuts along the cycle are > spacing apart
+            for w in 0..cuts.len() {
+                let a = cuts[w];
+                let b = cuts[(w + 1) % cuts.len()];
+                let gap = (b + n - a) % n;
+                if cuts.len() > 1 {
+                    assert!(gap > spacing, "cuts {a}, {b} too close (spacing {spacing})");
+                }
+            }
+            // domination: every position within 2·spacing of a cut
+            for i in 0..n {
+                let ok = (0..=2 * spacing).any(|d| rs.cut[(i + d) % n] || rs.cut[(i + n - d % n) % n]);
+                assert!(ok, "position {i} uncovered at spacing {spacing}");
+            }
+            assert_eq!(rs.rounds, 3 * spacing);
+        }
+    }
+
+    #[test]
+    fn ruling_set_on_short_cycle_picks_one() {
+        let chains = cycle_chain(3);
+        let coloring = cole_vishkin_3color(&chains, &[5, 9, 14]);
+        let rs = spaced_ruling_set(&chains, &coloring.colors, 10);
+        let count = rs.cut.iter().filter(|&&c| c).count();
+        assert_eq!(count, 1, "a 3-cycle with spacing 10 gets exactly one cut");
+    }
+
+    #[test]
+    fn empty_chains() {
+        let chains = Chains::from_next(vec![]);
+        assert!(chains.is_empty());
+        let out = cole_vishkin_3color(&chains, &[]);
+        assert!(out.colors.is_empty());
+    }
+}

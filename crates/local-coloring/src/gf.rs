@@ -1,0 +1,183 @@
+//! Prime-field arithmetic for Linial's cover-free families.
+//!
+//! Linial's color reduction encodes colors as low-degree polynomials over a
+//! prime field `GF(q)`; two distinct degree-`d` polynomials agree on at most
+//! `d` points, which is exactly the cover-freeness the algorithm needs. The
+//! fields used here are tiny (`q = O(Δ · log n)`), so trial division and
+//! `u64`/`u128` arithmetic are ample.
+
+/// Whether `x` is prime (deterministic trial division; intended for the
+/// small moduli of Linial schedules).
+pub fn is_prime(x: u64) -> bool {
+    if x < 2 {
+        return false;
+    }
+    if x % 2 == 0 {
+        return x == 2;
+    }
+    let mut d = 3u64;
+    while d.saturating_mul(d) <= x {
+        if x % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The smallest prime `≥ x`.
+///
+/// # Panics
+///
+/// Panics if the search would overflow `u64` (never for realistic inputs —
+/// Bertrand's postulate guarantees a prime below `2x`).
+pub fn next_prime(mut x: u64) -> u64 {
+    if x <= 2 {
+        return 2;
+    }
+    if x % 2 == 0 {
+        x += 1;
+    }
+    loop {
+        if is_prime(x) {
+            return x;
+        }
+        x = x.checked_add(2).expect("prime search overflow");
+    }
+}
+
+/// The prime field `GF(q)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimeField {
+    q: u64,
+}
+
+impl PrimeField {
+    /// Creates `GF(q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not prime.
+    pub fn new(q: u64) -> Self {
+        assert!(is_prime(q), "field order {q} is not prime");
+        PrimeField { q }
+    }
+
+    /// The field order.
+    pub fn order(&self) -> u64 {
+        self.q
+    }
+
+    /// Addition mod `q`.
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        ((a as u128 + b as u128) % self.q as u128) as u64
+    }
+
+    /// Multiplication mod `q`.
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        ((a as u128 * b as u128) % self.q as u128) as u64
+    }
+
+    /// Evaluates the polynomial with the given coefficients
+    /// (`coeffs[i]` is the coefficient of `x^i`) at `x`, via Horner.
+    pub fn eval_poly(&self, coeffs: &[u64], x: u64) -> u64 {
+        let x = x % self.q;
+        let mut acc = 0u64;
+        for &c in coeffs.iter().rev() {
+            acc = self.add(self.mul(acc, x), c % self.q);
+        }
+        acc
+    }
+
+    /// Decomposes `value` into `digits` base-`q` digits, least significant
+    /// first — the canonical encoding of a color as a polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value ≥ q^digits` (the color would not be injectively
+    /// encoded).
+    pub fn digits(&self, mut value: u64, digits: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(digits);
+        for _ in 0..digits {
+            out.push(value % self.q);
+            value /= self.q;
+        }
+        assert_eq!(value, 0, "value does not fit in {digits} base-{} digits", self.q);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_small_cases() {
+        let primes: Vec<u64> = (0..30).filter(|&x| is_prime(x)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+        assert!(is_prime(7919));
+        assert!(!is_prime(7917));
+    }
+
+    #[test]
+    fn next_prime_values() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(3), 3);
+        assert_eq!(next_prime(4), 5);
+        assert_eq!(next_prime(14), 17);
+        assert_eq!(next_prime(7908), 7919);
+    }
+
+    #[test]
+    #[should_panic(expected = "not prime")]
+    fn field_rejects_composite() {
+        let _ = PrimeField::new(9);
+    }
+
+    #[test]
+    fn field_ops() {
+        let f = PrimeField::new(7);
+        assert_eq!(f.add(5, 4), 2);
+        assert_eq!(f.mul(3, 5), 1);
+        assert_eq!(f.order(), 7);
+    }
+
+    #[test]
+    fn horner_matches_naive() {
+        let f = PrimeField::new(11);
+        // p(x) = 3 + 2x + x^2
+        let coeffs = [3, 2, 1];
+        for x in 0..11 {
+            let naive = (3 + 2 * x + x * x) % 11;
+            assert_eq!(f.eval_poly(&coeffs, x), naive);
+        }
+    }
+
+    #[test]
+    fn digits_roundtrip() {
+        let f = PrimeField::new(5);
+        let d = f.digits(123, 4); // 123 = 3 + 4*5 + 4*25 + 0*125
+        assert_eq!(d, vec![3, 4, 4, 0]);
+        let rebuilt: u64 = d.iter().rev().fold(0, |acc, &x| acc * 5 + x);
+        assert_eq!(rebuilt, 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn digits_overflow_panics() {
+        let f = PrimeField::new(3);
+        let _ = f.digits(100, 2); // 100 > 3^2
+    }
+
+    #[test]
+    fn distinct_polynomials_agree_on_few_points() {
+        // the cover-freeness fact the Linial step relies on
+        let f = PrimeField::new(13);
+        let a = f.digits(17, 3);
+        let b = f.digits(29, 3);
+        let agreements =
+            (0..13).filter(|&x| f.eval_poly(&a, x) == f.eval_poly(&b, x)).count();
+        assert!(agreements <= 2, "degree-2 polynomials agree on {agreements} > 2 points");
+    }
+}

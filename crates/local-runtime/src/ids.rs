@@ -1,0 +1,110 @@
+//! Unique-identifier assignments.
+//!
+//! LOCAL lower bounds and algorithms are sensitive to the ID space: Linial's
+//! coloring consumes IDs from a polynomial range, and the Section 2.5
+//! reduction orients edges by ID comparisons. These strategies make the
+//! choice explicit and reproducible.
+
+use crate::rngs::splitmix64;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Strategy for assigning unique IDs to the `n` nodes of a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdAssignment {
+    /// `ids[v] = v`: the adversary-friendliest deterministic choice.
+    Sequential,
+    /// A random permutation of `0..n`, seeded for reproducibility.
+    Shuffled(u64),
+    /// IDs spread over a polynomial range (`v ↦ v² + v + 1`), exercising
+    /// algorithms that must cope with IDs much larger than `n`.
+    PolynomialSpread,
+}
+
+impl IdAssignment {
+    /// Produces the ID vector for `n` nodes. IDs are guaranteed unique.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use local_runtime::IdAssignment;
+    ///
+    /// let ids = IdAssignment::Sequential.assign(4);
+    /// assert_eq!(ids, vec![0, 1, 2, 3]);
+    /// let spread = IdAssignment::PolynomialSpread.assign(3);
+    /// assert_eq!(spread, vec![1, 3, 7]);
+    /// ```
+    pub fn assign(&self, n: usize) -> Vec<u64> {
+        match *self {
+            IdAssignment::Sequential => (0..n as u64).collect(),
+            IdAssignment::Shuffled(seed) => {
+                let mut ids: Vec<u64> = (0..n as u64).collect();
+                let mut rng = StdRng::seed_from_u64(splitmix64(seed));
+                ids.shuffle(&mut rng);
+                ids
+            }
+            IdAssignment::PolynomialSpread => {
+                (0..n as u64).map(|v| v * v + v + 1).collect()
+            }
+        }
+    }
+
+    /// Upper bound on the assigned ID values plus one (the "ID space size"
+    /// parameter consumed by Linial-style algorithms).
+    pub fn space_size(&self, n: usize) -> u64 {
+        match *self {
+            IdAssignment::Sequential | IdAssignment::Shuffled(_) => n as u64,
+            IdAssignment::PolynomialSpread => {
+                let v = n.saturating_sub(1) as u64;
+                v * v + v + 2
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_unique(ids: &[u64]) -> bool {
+        let mut s = ids.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        s.len() == ids.len()
+    }
+
+    #[test]
+    fn sequential_ids() {
+        let ids = IdAssignment::Sequential.assign(5);
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(IdAssignment::Sequential.space_size(5), 5);
+    }
+
+    #[test]
+    fn shuffled_is_permutation_and_seeded() {
+        let a = IdAssignment::Shuffled(3).assign(100);
+        let b = IdAssignment::Shuffled(3).assign(100);
+        let c = IdAssignment::Shuffled(4).assign(100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(all_unique(&a));
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn polynomial_spread_unique_and_within_space() {
+        let ids = IdAssignment::PolynomialSpread.assign(50);
+        assert!(all_unique(&ids));
+        let space = IdAssignment::PolynomialSpread.space_size(50);
+        assert!(ids.iter().all(|&x| x < space));
+    }
+
+    #[test]
+    fn empty_assignment() {
+        assert!(IdAssignment::Sequential.assign(0).is_empty());
+        assert!(IdAssignment::Shuffled(1).assign(0).is_empty());
+    }
+}

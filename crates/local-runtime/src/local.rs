@@ -1,0 +1,357 @@
+//! The synchronous LOCAL model executor.
+//!
+//! The LOCAL model [Linial '92; Peleg '00] is a synchronous message-passing
+//! model: in every round each node may send an arbitrarily large message to
+//! each neighbor, receive the messages of its neighbors, and update its
+//! state. Complexity is the number of rounds. This executor runs one
+//! [`NodeProgram`] instance per node, delivers messages along the edges of a
+//! [`Graph`], and reports measured rounds and message counts.
+//!
+//! Ports: node `u`'s ports are `0..degree(u)`; port `p` leads to
+//! `graph.neighbors(u)[p]`. Incoming messages are tagged with the
+//! *receiver's* port towards the sender, so programs can reason purely in
+//! terms of their local port numbering (no global indices needed), exactly
+//! as in the formal model.
+
+use splitgraph::Graph;
+
+/// Port number that broadcasts a message to every neighbor.
+pub const BROADCAST: usize = usize::MAX;
+
+/// Static knowledge available to a node at wake-up: its unique ID, its
+/// degree, and the global parameter `n` (standard in the LOCAL model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeContext {
+    /// Simulator index of the node (stable across the run; programs should
+    /// treat it as opaque — distributed logic must use `id`).
+    pub node: usize,
+    /// The node's unique identifier.
+    pub id: u64,
+    /// The node's degree (number of ports).
+    pub degree: usize,
+    /// Number of nodes in the network.
+    pub n: usize,
+}
+
+/// A per-node program for the LOCAL executor.
+///
+/// The executor calls [`NodeProgram::init`] once (round 0, no inbox), then
+/// repeatedly [`NodeProgram::round`] with the messages received that round,
+/// until every node reports [`NodeProgram::is_done`] or the round limit is
+/// hit. Messages are `(port, message)` pairs; use [`BROADCAST`] as the port
+/// to send to all neighbors.
+pub trait NodeProgram {
+    /// Message type exchanged with neighbors.
+    type Msg: Clone;
+    /// Final output of a node.
+    type Output;
+
+    /// Round-0 initialization; returns the messages to deliver in round 1.
+    fn init(&mut self, ctx: &NodeContext) -> Vec<(usize, Self::Msg)>;
+
+    /// One synchronous round: receives `(port, message)` pairs sent by
+    /// neighbors in the previous round, returns messages for the next round.
+    fn round(&mut self, ctx: &NodeContext, inbox: &[(usize, Self::Msg)]) -> Vec<(usize, Self::Msg)>;
+
+    /// Whether this node has terminated (done nodes no longer act; messages
+    /// addressed to them are dropped).
+    fn is_done(&self) -> bool;
+
+    /// The node's output, read after the run completes.
+    fn output(&self) -> Self::Output;
+}
+
+/// Result of a LOCAL execution.
+#[derive(Debug, Clone)]
+pub struct LocalRun<O> {
+    /// Per-node outputs, indexed by node.
+    pub outputs: Vec<O>,
+    /// Number of message-passing rounds executed (round 0 init is free).
+    pub rounds: usize,
+    /// Total messages delivered (a broadcast counts once per neighbor).
+    pub messages: usize,
+    /// Whether all nodes terminated before the round limit.
+    pub completed: bool,
+}
+
+/// Runs one [`NodeProgram`] per node of `g` for at most `max_rounds` rounds.
+///
+/// `make` constructs the program for each node from its [`NodeContext`].
+///
+/// # Panics
+///
+/// Panics if `ids.len() != g.node_count()` or a program sends to an invalid
+/// port.
+///
+/// # Examples
+///
+/// Flood the maximum ID through a path (takes `n − 1 = 3` rounds):
+///
+/// ```
+/// use local_runtime::{run_local, NodeContext, NodeProgram, BROADCAST};
+/// use splitgraph::Graph;
+///
+/// struct MaxId {
+///     best: u64,
+///     rounds_left: usize,
+/// }
+/// impl NodeProgram for MaxId {
+///     type Msg = u64;
+///     type Output = u64;
+///     fn init(&mut self, ctx: &NodeContext) -> Vec<(usize, u64)> {
+///         self.best = ctx.id;
+///         self.rounds_left = ctx.n - 1; // the diameter certainly is smaller
+///         vec![(BROADCAST, self.best)]
+///     }
+///     fn round(&mut self, _ctx: &NodeContext, inbox: &[(usize, u64)]) -> Vec<(usize, u64)> {
+///         let incoming = inbox.iter().map(|&(_, x)| x).max().unwrap_or(0);
+///         let changed = incoming > self.best;
+///         self.best = self.best.max(incoming);
+///         self.rounds_left -= 1;
+///         if changed { vec![(BROADCAST, self.best)] } else { vec![] }
+///     }
+///     fn is_done(&self) -> bool {
+///         self.rounds_left == 0
+///     }
+///     fn output(&self) -> u64 {
+///         self.best
+///     }
+/// }
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let run = run_local(&g, &[9, 2, 5, 1], 100, |_| MaxId { best: 0, rounds_left: 1 });
+/// assert!(run.completed);
+/// assert_eq!(run.rounds, 3);
+/// assert!(run.outputs.iter().all(|&x| x == 9));
+/// ```
+pub fn run_local<P: NodeProgram>(
+    g: &Graph,
+    ids: &[u64],
+    max_rounds: usize,
+    mut make: impl FnMut(&NodeContext) -> P,
+) -> LocalRun<P::Output> {
+    let n = g.node_count();
+    assert_eq!(ids.len(), n, "id vector length mismatch");
+
+    // port of v towards u, aligned with g.neighbors(v)
+    let port_towards = |v: usize, u: usize| -> usize {
+        g.neighbors(v).binary_search(&u).expect("port lookup of non-neighbor")
+    };
+
+    let contexts: Vec<NodeContext> = (0..n)
+        .map(|v| NodeContext { node: v, id: ids[v], degree: g.degree(v), n })
+        .collect();
+    let mut programs: Vec<P> = contexts.iter().map(|ctx| make(ctx)).collect();
+
+    let mut messages = 0usize;
+    // inboxes[v] = (port of v, msg)
+    let mut inboxes: Vec<Vec<(usize, P::Msg)>> = vec![Vec::new(); n];
+
+    let deliver = |v: usize,
+                       out: Vec<(usize, P::Msg)>,
+                       inboxes: &mut Vec<Vec<(usize, P::Msg)>>,
+                       messages: &mut usize| {
+        for (port, msg) in out {
+            if port == BROADCAST {
+                for &u in g.neighbors(v) {
+                    inboxes[u].push((port_towards(u, v), msg.clone()));
+                    *messages += 1;
+                }
+            } else {
+                assert!(port < g.degree(v), "node {v} sent to invalid port {port}");
+                let u = g.neighbors(v)[port];
+                inboxes[u].push((port_towards(u, v), msg.clone()));
+                *messages += 1;
+            }
+        }
+    };
+
+    for v in 0..n {
+        let out = programs[v].init(&contexts[v]);
+        deliver(v, out, &mut inboxes, &mut messages);
+    }
+
+    let mut rounds = 0usize;
+    let mut completed = programs.iter().all(NodeProgram::is_done);
+    while !completed && rounds < max_rounds {
+        let taken: Vec<Vec<(usize, P::Msg)>> =
+            std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
+        for (v, inbox) in taken.into_iter().enumerate() {
+            if programs[v].is_done() {
+                continue; // dropped: terminated nodes no longer act
+            }
+            let out = programs[v].round(&contexts[v], &inbox);
+            deliver(v, out, &mut inboxes, &mut messages);
+        }
+        rounds += 1;
+        completed = programs.iter().all(NodeProgram::is_done);
+    }
+
+    LocalRun {
+        outputs: programs.iter().map(NodeProgram::output).collect(),
+        rounds,
+        messages,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each node outputs the multiset of neighbor IDs it saw in round 1.
+    struct CollectNeighbors {
+        seen: Vec<u64>,
+        done: bool,
+    }
+
+    impl NodeProgram for CollectNeighbors {
+        type Msg = u64;
+        type Output = Vec<u64>;
+        fn init(&mut self, ctx: &NodeContext) -> Vec<(usize, u64)> {
+            vec![(BROADCAST, ctx.id)]
+        }
+        fn round(&mut self, _ctx: &NodeContext, inbox: &[(usize, u64)]) -> Vec<(usize, u64)> {
+            self.seen = inbox.iter().map(|&(_, x)| x).collect();
+            self.seen.sort_unstable();
+            self.done = true;
+            vec![]
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+        fn output(&self) -> Vec<u64> {
+            self.seen.clone()
+        }
+    }
+
+    #[test]
+    fn one_round_neighbor_exchange() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let run = run_local(&g, &[10, 20, 30], 5, |_| CollectNeighbors { seen: vec![], done: false });
+        assert!(run.completed);
+        assert_eq!(run.rounds, 1);
+        assert_eq!(run.outputs[0], vec![20]);
+        assert_eq!(run.outputs[1], vec![10, 30]);
+        assert_eq!(run.outputs[2], vec![20]);
+        // 3 broadcasts over degrees 1, 2, 1 = 4 messages
+        assert_eq!(run.messages, 4);
+    }
+
+    /// Never terminates: used to exercise the round limit.
+    struct Chatter;
+    impl NodeProgram for Chatter {
+        type Msg = ();
+        type Output = ();
+        fn init(&mut self, _ctx: &NodeContext) -> Vec<(usize, ())> {
+            vec![(BROADCAST, ())]
+        }
+        fn round(&mut self, _ctx: &NodeContext, _inbox: &[(usize, ())]) -> Vec<(usize, ())> {
+            vec![(BROADCAST, ())]
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+        fn output(&self) {}
+    }
+
+    #[test]
+    fn round_limit_stops_runaway_programs() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let run = run_local(&g, &[0, 1], 7, |_| Chatter);
+        assert!(!run.completed);
+        assert_eq!(run.rounds, 7);
+    }
+
+    /// Zero-round program: decides at init.
+    struct ZeroRound;
+    impl NodeProgram for ZeroRound {
+        type Msg = ();
+        type Output = u64;
+        fn init(&mut self, _ctx: &NodeContext) -> Vec<(usize, ())> {
+            vec![]
+        }
+        fn round(&mut self, _ctx: &NodeContext, _inbox: &[(usize, ())]) -> Vec<(usize, ())> {
+            vec![]
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+        fn output(&self) -> u64 {
+            7
+        }
+    }
+
+    #[test]
+    fn zero_round_algorithms_cost_zero_rounds() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let run = run_local(&g, &[0, 1], 10, |_| ZeroRound);
+        assert!(run.completed);
+        assert_eq!(run.rounds, 0);
+        assert_eq!(run.messages, 0);
+        assert_eq!(run.outputs, vec![7, 7]);
+    }
+
+    /// Sends on a specific port and checks the receiving port tag.
+    struct PortEcho {
+        got: Option<(usize, u64)>,
+        done: bool,
+    }
+    impl NodeProgram for PortEcho {
+        type Msg = u64;
+        type Output = Option<(usize, u64)>;
+        fn init(&mut self, ctx: &NodeContext) -> Vec<(usize, u64)> {
+            if ctx.id == 0 && ctx.degree > 1 {
+                vec![(1, 99)] // send to second port only
+            } else {
+                vec![]
+            }
+        }
+        fn round(&mut self, _ctx: &NodeContext, inbox: &[(usize, u64)]) -> Vec<(usize, u64)> {
+            if let Some(&(p, m)) = inbox.first() {
+                self.got = Some((p, m));
+            }
+            self.done = true;
+            vec![]
+        }
+        fn is_done(&self) -> bool {
+            self.done
+        }
+        fn output(&self) -> Option<(usize, u64)> {
+            self.got
+        }
+    }
+
+    #[test]
+    fn port_addressing_and_tagging() {
+        // triangle; node 0 sends to its port 1 = neighbor 2
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
+        let run = run_local(&g, &[0, 1, 2], 5, |_| PortEcho { got: None, done: false });
+        assert_eq!(run.outputs[1], None);
+        // node 2's neighbors are [0, 1]; port towards 0 is 0
+        assert_eq!(run.outputs[2], Some((0, 99)));
+        assert_eq!(run.messages, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid port")]
+    fn invalid_port_panics() {
+        struct BadPort;
+        impl NodeProgram for BadPort {
+            type Msg = ();
+            type Output = ();
+            fn init(&mut self, _ctx: &NodeContext) -> Vec<(usize, ())> {
+                vec![(5, ())]
+            }
+            fn round(&mut self, _ctx: &NodeContext, _inbox: &[(usize, ())]) -> Vec<(usize, ())> {
+                vec![]
+            }
+            fn is_done(&self) -> bool {
+                false
+            }
+            fn output(&self) {}
+        }
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let _ = run_local(&g, &[0, 1], 5, |_| BadPort);
+    }
+}

@@ -1,0 +1,179 @@
+//! Round accounting.
+//!
+//! Composite algorithms in the paper chain genuinely distributed phases with
+//! cited black-box subroutines (e.g., the degree-splitting of Theorem 2.3).
+//! The [`RoundLedger`] keeps the two kinds of cost separate and labelled so
+//! experiments can report *measured* rounds (executed in the simulator) and
+//! *charged* rounds (the cited theorem's formula) without mixing them.
+
+use std::fmt;
+
+/// Whether a ledger entry was measured in the simulator or charged from a
+/// cited complexity formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostKind {
+    /// Rounds executed by the LOCAL simulator.
+    Measured,
+    /// Rounds charged according to a cited theorem's complexity formula.
+    Charged,
+}
+
+impl fmt::Display for CostKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostKind::Measured => write!(f, "measured"),
+            CostKind::Charged => write!(f, "charged"),
+        }
+    }
+}
+
+/// One accounted phase of an algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// Human-readable phase label (e.g., `"degree splitting (Thm 2.3)"`).
+    pub label: String,
+    /// Round cost of the phase.
+    pub rounds: f64,
+    /// Whether the cost was measured or charged.
+    pub kind: CostKind,
+}
+
+/// Accumulated round costs of a (possibly composite) distributed algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use local_runtime::RoundLedger;
+///
+/// let mut ledger = RoundLedger::new();
+/// ledger.add_measured("shattering", 2.0);
+/// ledger.add_charged("degree splitting (Thm 2.3)", 128.0);
+/// assert_eq!(ledger.measured_total(), 2.0);
+/// assert_eq!(ledger.charged_total(), 128.0);
+/// assert_eq!(ledger.total(), 130.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundLedger {
+    entries: Vec<LedgerEntry>,
+}
+
+impl RoundLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        RoundLedger::default()
+    }
+
+    /// Records a phase whose rounds were executed by the simulator.
+    pub fn add_measured(&mut self, label: impl Into<String>, rounds: f64) {
+        self.entries.push(LedgerEntry { label: label.into(), rounds, kind: CostKind::Measured });
+    }
+
+    /// Records a phase whose rounds are charged from a cited formula.
+    pub fn add_charged(&mut self, label: impl Into<String>, rounds: f64) {
+        self.entries.push(LedgerEntry { label: label.into(), rounds, kind: CostKind::Charged });
+    }
+
+    /// Appends all entries of `other`.
+    pub fn merge(&mut self, other: RoundLedger) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Appends all entries of `other` with a prefix on each label.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: RoundLedger) {
+        for mut e in other.entries {
+            e.label = format!("{prefix}: {}", e.label);
+            self.entries.push(e);
+        }
+    }
+
+    /// All recorded entries, in insertion order.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Sum of measured rounds.
+    pub fn measured_total(&self) -> f64 {
+        self.sum(CostKind::Measured)
+    }
+
+    /// Sum of charged rounds.
+    pub fn charged_total(&self) -> f64 {
+        self.sum(CostKind::Charged)
+    }
+
+    /// Sum of all rounds (measured + charged).
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|e| e.rounds).sum()
+    }
+
+    fn sum(&self, kind: CostKind) -> f64 {
+        self.entries.iter().filter(|e| e.kind == kind).map(|e| e.rounds).sum()
+    }
+}
+
+impl fmt::Display for RoundLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "round ledger ({} entries):", self.entries.len())?;
+        for e in &self.entries {
+            writeln!(f, "  [{}] {}: {:.1}", e.kind, e.label, e.rounds)?;
+        }
+        write!(
+            f,
+            "  total: {:.1} ({:.1} measured + {:.1} charged)",
+            self.total(),
+            self.measured_total(),
+            self.charged_total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ledger_sums_to_zero() {
+        let l = RoundLedger::new();
+        assert_eq!(l.total(), 0.0);
+        assert_eq!(l.measured_total(), 0.0);
+        assert_eq!(l.charged_total(), 0.0);
+        assert!(l.entries().is_empty());
+    }
+
+    #[test]
+    fn totals_separate_kinds() {
+        let mut l = RoundLedger::new();
+        l.add_measured("a", 3.0);
+        l.add_measured("b", 4.0);
+        l.add_charged("c", 100.0);
+        assert_eq!(l.measured_total(), 7.0);
+        assert_eq!(l.charged_total(), 100.0);
+        assert_eq!(l.total(), 107.0);
+        assert_eq!(l.entries().len(), 3);
+    }
+
+    #[test]
+    fn merge_and_prefix() {
+        let mut a = RoundLedger::new();
+        a.add_measured("x", 1.0);
+        let mut b = RoundLedger::new();
+        b.add_charged("y", 2.0);
+        a.merge_prefixed("phase 1", b.clone());
+        a.merge(b);
+        assert_eq!(a.entries().len(), 3);
+        assert_eq!(a.entries()[1].label, "phase 1: y");
+        assert_eq!(a.entries()[2].label, "y");
+        assert_eq!(a.total(), 5.0);
+    }
+
+    #[test]
+    fn display_contains_kinds() {
+        let mut l = RoundLedger::new();
+        l.add_measured("shatter", 2.0);
+        l.add_charged("oracle", 10.0);
+        let s = l.to_string();
+        assert!(s.contains("[measured] shatter"));
+        assert!(s.contains("[charged] oracle"));
+        assert!(s.contains("12.0"));
+    }
+}

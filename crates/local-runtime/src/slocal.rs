@@ -1,0 +1,213 @@
+//! The SLOCAL model executor (Ghaffari, Kuhn, Maus; STOC '17).
+//!
+//! In an `SLOCAL(t)` algorithm the nodes are processed in an *arbitrary*
+//! sequential order; when processed, a node reads the current state of its
+//! `t`-hop neighborhood (including outputs already committed by earlier
+//! nodes there) and irrevocably writes its own state. The derandomization
+//! results the paper builds on ([GHK16]) produce SLOCAL(2) algorithms which
+//! are then compiled to LOCAL via distance colorings.
+//!
+//! The executor *enforces locality*: the view handed to the callback panics
+//! if the callback reads a node outside the declared radius, so an algorithm
+//! validated here provably is an SLOCAL(t) algorithm.
+
+use splitgraph::Graph;
+use std::collections::VecDeque;
+
+/// Read access to the states within radius `t` of the node being processed.
+#[derive(Debug)]
+pub struct SLocalView<'a, S> {
+    center: usize,
+    graph: &'a Graph,
+    states: &'a [S],
+    /// sorted node list within the radius
+    in_range: &'a [usize],
+}
+
+impl<'a, S> SLocalView<'a, S> {
+    /// The node currently being processed.
+    pub fn center(&self) -> usize {
+        self.center
+    }
+
+    /// The host graph (topology is assumed globally known up to radius; the
+    /// paper's algorithms only inspect edges within the view).
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// Whether `w` lies within the declared radius of the center.
+    pub fn contains(&self, w: usize) -> bool {
+        self.in_range.binary_search(&w).is_ok()
+    }
+
+    /// Nodes within the radius, sorted ascending.
+    pub fn nodes_in_range(&self) -> &'a [usize] {
+        self.in_range
+    }
+
+    /// Current state of `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` lies outside the declared radius — this is the locality
+    /// enforcement that certifies the algorithm as SLOCAL(t).
+    pub fn state(&self, w: usize) -> &S {
+        assert!(
+            self.contains(w),
+            "SLOCAL locality violation: node {w} outside radius of {}",
+            self.center
+        );
+        &self.states[w]
+    }
+}
+
+/// Runs an SLOCAL(`radius`) algorithm over `g` in the given processing
+/// `order`, starting from `init` states. The callback receives each node and
+/// its radius-limited view and returns the node's new state.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..n` or `init.len() != n`.
+///
+/// # Examples
+///
+/// Sequential greedy coloring is SLOCAL(1):
+///
+/// ```
+/// use local_runtime::run_slocal;
+/// use splitgraph::{checks, Graph};
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// let order: Vec<usize> = (0..4).collect();
+/// let colors = run_slocal(&g, &order, 1, vec![u32::MAX; 4], |v, view| {
+///     let mut used: Vec<u32> = view
+///         .graph()
+///         .neighbors(v)
+///         .iter()
+///         .map(|&w| *view.state(w))
+///         .filter(|&c| c != u32::MAX)
+///         .collect();
+///     used.sort_unstable();
+///     (0..).find(|c| !used.contains(c)).unwrap()
+/// });
+/// assert!(checks::is_proper_coloring(&g, &colors));
+/// ```
+pub fn run_slocal<S, F>(
+    g: &Graph,
+    order: &[usize],
+    radius: usize,
+    init: Vec<S>,
+    mut process: F,
+) -> Vec<S>
+where
+    F: FnMut(usize, &SLocalView<'_, S>) -> S,
+{
+    let n = g.node_count();
+    assert_eq!(init.len(), n, "initial state length mismatch");
+    {
+        let mut seen = vec![false; n];
+        assert_eq!(order.len(), n, "order must cover every node");
+        for &v in order {
+            assert!(v < n && !seen[v], "order must be a permutation of 0..n");
+            seen[v] = true;
+        }
+    }
+    let mut states = init;
+    let mut dist = vec![usize::MAX; n];
+    for &v in order {
+        // collect radius-ball around v
+        let mut in_range = vec![v];
+        dist[v] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(v);
+        while let Some(x) = queue.pop_front() {
+            if dist[x] == radius {
+                continue;
+            }
+            for &y in g.neighbors(x) {
+                if dist[y] == usize::MAX {
+                    dist[y] = dist[x] + 1;
+                    in_range.push(y);
+                    queue.push_back(y);
+                }
+            }
+        }
+        in_range.sort_unstable();
+        let new_state = {
+            let view = SLocalView { center: v, graph: g, states: &states, in_range: &in_range };
+            process(v, &view)
+        };
+        states[v] = new_state;
+        for &w in &in_range {
+            dist[w] = usize::MAX;
+        }
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_contains_exactly_radius_ball() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let order = [2, 0, 1, 3, 4];
+        run_slocal(&g, &order, 2, vec![(); 5], |v, view| {
+            if v == 2 {
+                assert_eq!(view.nodes_in_range(), &[0, 1, 2, 3, 4]);
+            }
+            if v == 0 {
+                assert_eq!(view.nodes_in_range(), &[0, 1, 2]);
+                assert!(!view.contains(3));
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "locality violation")]
+    fn reading_outside_radius_panics() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let order = [0, 1, 2, 3];
+        run_slocal(&g, &order, 1, vec![0u32; 4], |v, view| {
+            if v == 0 {
+                let _ = view.state(3); // distance 3 > radius 1
+            }
+            0
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn duplicate_order_rejected() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        run_slocal(&g, &[0, 0], 1, vec![(); 2], |_, _| {});
+    }
+
+    #[test]
+    fn later_nodes_see_earlier_outputs() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let order = [0, 1, 2];
+        // each node records 1 + max of already-decided neighbors
+        let states = run_slocal(&g, &order, 1, vec![0u32; 3], |v, view| {
+            1 + view
+                .graph()
+                .neighbors(v)
+                .iter()
+                .map(|&w| *view.state(w))
+                .max()
+                .unwrap_or(0)
+        });
+        assert_eq!(states, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn radius_zero_sees_only_self() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        run_slocal(&g, &[1, 0], 0, vec![(); 2], |v, view| {
+            assert_eq!(view.nodes_in_range(), &[v]);
+            assert_eq!(view.center(), v);
+        });
+    }
+}

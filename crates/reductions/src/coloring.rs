@@ -1,0 +1,218 @@
+//! Lemma 4.1: `(1 + o(1))·Δ` vertex coloring via recursive uniform
+//! splitting.
+//!
+//! Recursively split the graph into halves until the per-part maximum
+//! degree drops to `Δ* = poly log n`, then color the parts with disjoint
+//! palettes using a `(d+1)`-coloring subroutine. With splitting accuracy
+//! `ε` per level, `2^k` parts of degree `≤ Δ·((1+ε)/2)^k` cost
+//! `2^k·(Δ·((1+ε)/2)^k + 1) ≈ (1+ε)^k·Δ + 2^k` colors in total — a
+//! `(1+o(1))·Δ` palette when `ε = o(1/log Δ)` and `2^k = o(Δ)`.
+//!
+//! The paper's splitting accuracy `ε = 1/log² n` needs degrees
+//! `Ω(log n·log⁴ n)` to certify; at reproduction scale the accuracy is
+//! chosen per level by [`crate::feasible_eps`], which preserves the
+//! `(1+o(1))` shape (the ratio table of experiment `lem41` records it).
+//! The base case stands in for [FHK16] with a greedy `(d+1)` coloring,
+//! charged `O(√d) + log* n` rounds per the citation.
+
+use crate::uniform::{feasible_eps, uniform_splitting_deterministic};
+use local_coloring::greedy_sequential;
+use local_runtime::RoundLedger;
+use splitgraph::math::log_star;
+use splitgraph::{checks, Color, Graph, MultiColor};
+use splitting_core::SplitError;
+
+/// Diagnostics of the Lemma 4.1 pipeline.
+#[derive(Debug, Clone)]
+pub struct ColoringReport {
+    /// Recursion levels executed.
+    pub levels: usize,
+    /// Per-level splitting accuracies used.
+    pub eps_per_level: Vec<f64>,
+    /// Maximum part degree entering the base case.
+    pub base_degree: usize,
+    /// Total palette size used.
+    pub palette: u32,
+    /// `palette / (Δ + 1)` — the `(1 + o(1))` factor under measurement.
+    pub ratio: f64,
+}
+
+/// Runs the Lemma 4.1 pipeline deterministically.
+///
+/// `base_degree_target` bounds the degree at which recursion stops and the
+/// base `(d+1)`-coloring takes over (the paper uses `poly log n`; pass e.g.
+/// `4·⌈log₂ n⌉²`). Parts whose certified accuracy would exceed `max_eps`
+/// (default 1/4 when `None`) also stop splitting.
+///
+/// # Errors
+///
+/// Propagates estimator failures from the splitter (not expected: accuracy
+/// is chosen feasibly).
+pub fn delta_coloring_via_splitting(
+    g: &Graph,
+    base_degree_target: usize,
+    max_eps: Option<f64>,
+) -> Result<(Vec<MultiColor>, ColoringReport, RoundLedger), SplitError> {
+    let n = g.node_count();
+    let delta = g.max_degree();
+    let max_eps = max_eps.unwrap_or(0.25);
+    let mut ledger = RoundLedger::new();
+
+    // part labels; refined by one bit per level
+    let mut part: Vec<u64> = vec![0; n];
+    let mut level = 0usize;
+    let mut eps_per_level = Vec::new();
+    let mut current_max_degree = delta;
+
+    loop {
+        if current_max_degree <= base_degree_target {
+            break;
+        }
+        // split every part in parallel; constraints apply to nodes with at
+        // least half the part's max degree (the "modified problem")
+        let eps = feasible_eps(n, current_max_degree / 2);
+        if eps > max_eps {
+            break; // degrees too small to certify a useful split
+        }
+        let mut parts: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        for v in 0..n {
+            parts.entry(part[v]).or_default().push(v);
+        }
+        let mut level_measured = 0.0f64;
+        let mut level_charged = 0.0f64;
+        for (label, members) in parts {
+            let mut keep = vec![false; n];
+            for &v in &members {
+                keep[v] = true;
+            }
+            let sub = g.induced_subgraph(&keep);
+            let sub_delta = sub.max_degree();
+            if sub_delta <= base_degree_target {
+                continue; // this part is already done
+            }
+            let out = uniform_splitting_deterministic(&sub, eps, sub_delta.div_ceil(2))?;
+            // parts run in parallel: per-kind maximum
+            level_measured = level_measured.max(out.ledger.measured_total());
+            level_charged = level_charged.max(out.ledger.charged_total());
+            for &v in &members {
+                let bit = u64::from(out.colors[v] == Color::Blue);
+                part[v] = (label << 1) | bit;
+            }
+        }
+        ledger.add_measured(format!("level {level} splitting (parallel parts)"), level_measured);
+        ledger.add_charged(format!("level {level} scheduling (parallel parts)"), level_charged);
+        eps_per_level.push(eps);
+        level += 1;
+        current_max_degree =
+            (((1.0 + eps) / 2.0) * current_max_degree as f64).ceil() as usize;
+        if level > 64 {
+            break; // safety: cannot recurse past the label width
+        }
+    }
+
+    // base case: disjoint palettes per part, greedy (d+1) coloring standing
+    // in for [FHK16] (charged O(√d + log* n))
+    let mut parts: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    for v in 0..n {
+        parts.entry(part[v]).or_default().push(v);
+    }
+    let mut colors: Vec<MultiColor> = vec![0; n];
+    let mut next_palette_start: u32 = 0;
+    let mut base_degree = 0usize;
+    let mut base_charge = 0.0f64;
+    for (_, members) in parts {
+        let mut keep = vec![false; n];
+        for &v in &members {
+            keep[v] = true;
+        }
+        let sub = g.induced_subgraph(&keep);
+        let d = sub.max_degree();
+        base_degree = base_degree.max(d);
+        let order: Vec<usize> = members.clone();
+        let local = greedy_sequential(&sub, &{
+            // greedy over the full index space, but only members get colors
+            let mut full: Vec<usize> = members.clone();
+            let mut seen = keep.clone();
+            for v in 0..n {
+                if !seen[v] {
+                    full.push(v);
+                    seen[v] = true;
+                }
+            }
+            full
+        });
+        let _ = order;
+        for &v in &members {
+            colors[v] = next_palette_start + local[v];
+        }
+        next_palette_start += d as u32 + 1;
+        base_charge = base_charge.max((d as f64).sqrt() + log_star(n.max(2)) as f64);
+    }
+    ledger.add_charged("base (d+1)-coloring (FHK16: √d + log* n, parallel parts)", base_charge);
+
+    debug_assert!(checks::is_proper_coloring(g, &colors));
+    let report = ColoringReport {
+        levels: level,
+        eps_per_level,
+        base_degree,
+        palette: next_palette_start,
+        ratio: next_palette_start as f64 / (delta + 1) as f64,
+    };
+    Ok((colors, report, ledger))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use splitgraph::generators;
+
+    #[test]
+    fn colors_random_regular_graph_properly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::random_regular(512, 64, &mut rng).unwrap();
+        let (colors, report, _ledger) =
+            delta_coloring_via_splitting(&g, 16, None).unwrap();
+        assert!(checks::is_proper_coloring(&g, &colors));
+        assert!(report.palette >= 65, "needs at least Δ+1 colors");
+        assert!(report.ratio < 3.0, "ratio {} far above (1+o(1))", report.ratio);
+    }
+
+    #[test]
+    fn splitting_levels_reduce_base_degree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // degree 512 at n = 2048: certified ε ≈ 0.33 permits splitting
+        let g = generators::random_regular(2048, 512, &mut rng).unwrap();
+        let (colors, report, _) =
+            delta_coloring_via_splitting(&g, 64, Some(0.35)).unwrap();
+        assert!(checks::is_proper_coloring(&g, &colors));
+        assert!(report.levels >= 1, "expected at least one split");
+        assert!(
+            report.base_degree < 512,
+            "base degree {} did not shrink",
+            report.base_degree
+        );
+    }
+
+    #[test]
+    fn no_levels_needed_for_small_degree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::random_regular(100, 6, &mut rng).unwrap();
+        let (colors, report, _) = delta_coloring_via_splitting(&g, 16, None).unwrap();
+        assert!(checks::is_proper_coloring(&g, &colors));
+        assert_eq!(report.levels, 0);
+        assert!(report.palette <= 7);
+    }
+
+    #[test]
+    fn ratio_stays_near_one_with_splitting() {
+        // larger Δ leaves room for splitting: the measured (1+o(1)) factor
+        // must stay close to 1 even after the recursion
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::random_regular(2048, 512, &mut rng).unwrap();
+        let (_, report, _) = delta_coloring_via_splitting(&g, 64, Some(0.35)).unwrap();
+        assert!(report.ratio < 2.0, "ratio {}", report.ratio);
+    }
+}

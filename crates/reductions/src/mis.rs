@@ -1,0 +1,263 @@
+//! Lemma 4.2: maximal independent set via heavy-node elimination.
+//!
+//! The MIS algorithm runs `O(log Δ)` *steps*, each halving the maximum
+//! degree by eliminating the *heavy* nodes (degree ≥ Δ/2). One elimination
+//! iteration sparsifies the heavy subgraph by repeated splitting — blue
+//! nodes go passive, as do nodes with too few red neighbors — until active
+//! degrees are `O(log n)`, computes an MIS on the sparse active graph, and
+//! removes it with its neighborhood. Lemma 4.4 shows every iteration covers
+//! an `Ω(1/log³ n)` fraction of the heavy nodes, so `O(log⁴ n)` iterations
+//! clear them. The base case (`Δ ≤ poly log n`) stands in for [BEK14b] with
+//! a coloring-driven greedy MIS.
+//!
+//! Reproduction notes: the splitting inside an iteration uses the
+//! *randomized* uniform splitting (the paper's `A` is hypothetical — an
+//! efficient deterministic LOCAL splitter is the open problem; Section 4
+//! only needs *some* splitting oracle, and the experiments report its cost
+//! separately). All outputs are verified maximal independent sets of the
+//! original graph.
+
+use crate::uniform::uniform_splitting_random;
+use local_coloring::greedy_sequential;
+use local_runtime::{NodeRngs, RoundLedger};
+use splitgraph::math::{ceil_log2, log2};
+use splitgraph::{checks, Color, Graph};
+
+/// Diagnostics of the heavy-node-elimination MIS.
+#[derive(Debug, Clone, Default)]
+pub struct MisReport {
+    /// Degree-halving steps executed.
+    pub steps: usize,
+    /// Total heavy-node elimination iterations across steps.
+    pub elimination_iterations: usize,
+    /// Splitting invocations consumed.
+    pub splittings: usize,
+    /// Nodes selected into the MIS.
+    pub mis_size: usize,
+}
+
+/// Runs the Lemma 4.2 pipeline.
+///
+/// `base_degree` is the `poly log n` threshold below which the base MIS
+/// takes over (e.g. `4·⌈log₂ n⌉`); `seed` drives the internal splittings.
+pub fn mis_via_splitting(
+    g: &Graph,
+    base_degree: usize,
+    seed: u64,
+) -> (Vec<bool>, MisReport, RoundLedger) {
+    let n = g.node_count();
+    let rngs = NodeRngs::new(seed);
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut in_mis = vec![false; n];
+    let mut ledger = RoundLedger::new();
+    let mut report = MisReport::default();
+    let log_n = log2(n.max(2)).ceil().max(1.0) as usize;
+
+    let mut round_counter: u64 = 0;
+    loop {
+        let current = g.induced_subgraph(&alive);
+        let delta = (0..n).filter(|&v| alive[v]).map(|v| current.degree(v)).max().unwrap_or(0);
+        if delta <= base_degree {
+            break;
+        }
+        report.steps += 1;
+        // eliminate heavy nodes (degree ≥ Δ/2) of the current residual
+        let mut guard = 0usize;
+        loop {
+            let current = g.induced_subgraph(&alive);
+            let heavy: Vec<usize> = (0..n)
+                .filter(|&v| alive[v] && 2 * current.degree(v) >= delta)
+                .collect();
+            if heavy.is_empty() {
+                break;
+            }
+            guard += 1;
+            report.elimination_iterations += 1;
+            if guard > 40 * log_n.pow(3) {
+                // safety valve far above the Lemma 4.4 budget
+                break;
+            }
+
+            // G' = heavy nodes plus neighbors; everyone starts active
+            let mut active = vec![false; n];
+            for &v in &heavy {
+                active[v] = true;
+                for &w in current.neighbors(v) {
+                    if alive[w] {
+                        active[w] = true;
+                    }
+                }
+            }
+
+            // sparsify by repeated splitting until active degrees ≤ 4·log n
+            let target = 4 * log_n;
+            let red_floor = log_n;
+            let max_iters = 2 * ceil_log2(delta.max(2)) as usize + 2;
+            for _ in 0..max_iters {
+                let act = g.induced_subgraph(&{
+                    let mut keep = vec![false; n];
+                    for v in 0..n {
+                        keep[v] = active[v];
+                    }
+                    keep
+                });
+                let act_delta =
+                    (0..n).filter(|&v| active[v]).map(|v| act.degree(v)).max().unwrap_or(0);
+                if act_delta <= target {
+                    break;
+                }
+                round_counter += 1;
+                let sides = uniform_splitting_random(&act, rngs.derive(round_counter).master());
+                report.splittings += 1;
+                ledger.add_measured("splitting inside heavy elimination", 0.0);
+                // blue variables go passive; then nodes with too few red
+                // neighbors go passive
+                let mut next_active = active.clone();
+                for v in 0..n {
+                    if active[v] && sides[v] == Color::Blue {
+                        next_active[v] = false;
+                    }
+                }
+                for v in 0..n {
+                    if next_active[v] {
+                        let red_nbrs = act
+                            .neighbors(v)
+                            .iter()
+                            .filter(|&&w| next_active[w])
+                            .count();
+                        if red_nbrs < red_floor && !heavy.contains(&v) {
+                            next_active[v] = false;
+                        }
+                    }
+                }
+                // never passivate everything: keep heavy nodes active
+                for &v in &heavy {
+                    next_active[v] = true;
+                }
+                active = next_active;
+            }
+
+            // MIS on the sparse active graph (base MIS), then remove it and
+            // its neighborhood from the residual
+            let act_keep: Vec<bool> = (0..n).map(|v| active[v]).collect();
+            let act = g.induced_subgraph(&act_keep);
+            let (mis, rounds) = base_mis(&act, &act_keep);
+            ledger.add_measured("MIS on sparsified active graph", rounds);
+            let mut removed_any = false;
+            for v in 0..n {
+                if mis[v] {
+                    in_mis[v] = true;
+                    alive[v] = false;
+                    removed_any = true;
+                    for &w in g.neighbors(v) {
+                        alive[w] = false;
+                    }
+                }
+            }
+            if !removed_any {
+                break; // no progress possible (empty active graph)
+            }
+        }
+    }
+
+    // base case: MIS on the low-degree remainder
+    let keep: Vec<bool> = alive.clone();
+    let rest = g.induced_subgraph(&keep);
+    let (mis, rounds) = base_mis(&rest, &keep);
+    ledger.add_measured("base MIS on low-degree remainder", rounds);
+    for v in 0..n {
+        if mis[v] {
+            in_mis[v] = true;
+        }
+    }
+    report.mis_size = in_mis.iter().filter(|&&x| x).count();
+    debug_assert!(checks::is_mis(g, &in_mis), "output must be a valid MIS");
+    (in_mis, report, ledger)
+}
+
+/// Coloring-driven greedy MIS (the [BEK14b] stand-in): `(d+1)`-color the
+/// graph, then sweep the color classes — class-`c` nodes join when no
+/// neighbor joined earlier. Returns the indicator restricted to `mask` and
+/// the measured class-sweep rounds (the coloring itself is charged by the
+/// caller's ledger conventions at `O(Δ + log* n)`; here it is the dominant
+/// palette-many sweeps that we count).
+fn base_mis(g: &Graph, mask: &[bool]) -> (Vec<bool>, f64) {
+    let n = g.node_count();
+    let order: Vec<usize> = (0..n).collect();
+    let colors = greedy_sequential(g, &order);
+    let palette = colors.iter().copied().max().map_or(1, |c| c + 1);
+    let mut in_mis = vec![false; n];
+    for class in 0..palette {
+        for v in 0..n {
+            if mask[v]
+                && colors[v] == class
+                && !in_mis[v]
+                && !g.neighbors(v).iter().any(|&w| in_mis[w])
+            {
+                in_mis[v] = true;
+            }
+        }
+    }
+    (in_mis, palette as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use splitgraph::generators;
+
+    #[test]
+    fn produces_valid_mis_on_random_regular() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::random_regular(300, 32, &mut rng).unwrap();
+        let (mis, report, _) = mis_via_splitting(&g, 16, 7);
+        assert!(checks::is_mis(&g, &mis));
+        assert!(report.mis_size >= 300 / 33, "Lemma 4.3 size bound");
+        assert!(report.steps >= 1);
+    }
+
+    #[test]
+    fn produces_valid_mis_on_sparse_graph() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::random_regular(200, 4, &mut rng).unwrap();
+        let (mis, report, _) = mis_via_splitting(&g, 16, 3);
+        assert!(checks::is_mis(&g, &mis));
+        assert_eq!(report.steps, 0, "low degree goes straight to the base case");
+    }
+
+    #[test]
+    fn handles_disconnected_and_isolated_nodes() {
+        let mut g = Graph::new(10);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(2, 3).unwrap();
+        let (mis, _, _) = mis_via_splitting(&g, 4, 1);
+        assert!(checks::is_mis(&g, &mis));
+        // isolated nodes must join
+        for v in 4..10 {
+            assert!(mis[v], "isolated node {v} must be in the MIS");
+        }
+    }
+
+    #[test]
+    fn base_mis_respects_lemma_4_3() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::random_regular(120, 6, &mut rng).unwrap();
+        let mask = vec![true; 120];
+        let (mis, _) = base_mis(&g, &mask);
+        assert!(checks::is_mis(&g, &mis));
+        let size = mis.iter().filter(|&&x| x).count();
+        assert!(size >= 120 / 7, "MIS size {size} below n/(Δ+1)");
+    }
+
+    #[test]
+    fn dense_graph_exercises_heavy_elimination() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::random_regular(256, 64, &mut rng).unwrap();
+        let (mis, report, _) = mis_via_splitting(&g, 8, 11);
+        assert!(checks::is_mis(&g, &mis));
+        assert!(report.elimination_iterations >= 1);
+        assert!(report.splittings >= 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! The uniform (strong) splitting problem of Section 4.1.
+//!
+//! Partition the nodes of `G` into red and blue so that every node of
+//! sufficiently large degree has between `(1/2 − ε)·d(v)` and
+//! `(1/2 + ε)·d(v)` neighbors on each side. The randomized solution is one
+//! coin flip per node; the derandomized solution runs the
+//! conditional-expectation fixer with the Chernoff/MGF overload estimator
+//! on the doubling instance of Section 1.2 (constraints = nodes,
+//! variables = nodes, caps = `(1/2 + ε)·d(v)` per side — capping *both*
+//! colors enforces the lower bounds too).
+//!
+//! The Chernoff union bound certifies success only when
+//! `ε² · d ≳ ln n`; [`feasible_eps`] computes the smallest certified `ε`
+//! for a given degree, which the Section 4 pipelines use adaptively (the
+//! paper runs with `ε = 1/log² n` and degree `Ω(log n/ε²)` — same
+//! constraint, asymptotic form).
+
+use derand::{sequential_fix, ColoringEstimator};
+use local_runtime::{NodeRngs, RoundLedger};
+use rand::RngExt;
+use splitgraph::generators::doubling_instance;
+use splitgraph::math::log_star;
+use splitgraph::{checks, Color, Graph};
+use splitting_core::{SplitError, SplitOutcome};
+
+/// The smallest accuracy `ε` such that the Chernoff union bound over `2n`
+/// (node, side) events certifies a uniform splitting for minimum
+/// constrained degree `d`: `ε = √(3·ln(4n)/d)`, clamped to `(0, 1/2]`.
+pub fn feasible_eps(n: usize, d: usize) -> f64 {
+    let n = n.max(2) as f64;
+    let d = d.max(1) as f64;
+    (3.0 * (4.0 * n).ln() / d).sqrt().min(0.5)
+}
+
+/// One-coin-per-node randomized uniform splitting (zero rounds). Callers
+/// verify with [`checks::is_uniform_splitting`].
+pub fn uniform_splitting_random(g: &Graph, seed: u64) -> Vec<Color> {
+    let rngs = NodeRngs::new(seed);
+    (0..g.node_count()).map(|v| Color::from_bool(rngs.rng(v, 0).random_bool(0.5))).collect()
+}
+
+/// Derandomized uniform splitting with accuracy `eps`, constraining only
+/// nodes of degree at least `min_degree`.
+///
+/// # Errors
+///
+/// Returns [`SplitError::EstimatorTooLarge`] when the Chernoff bound does
+/// not certify the `(eps, min_degree)` combination (use [`feasible_eps`]).
+pub fn uniform_splitting_deterministic(
+    g: &Graph,
+    eps: f64,
+    min_degree: usize,
+) -> Result<SplitOutcome, SplitError> {
+    let b = doubling_instance(g);
+    // constraints below the degree floor are exempted: give them the
+    // trivial cap d(v) (never binding)
+    let caps: Vec<usize> = (0..g.node_count())
+        .map(|v| {
+            let d = g.degree(v);
+            if d >= min_degree {
+                ((0.5 + eps) * d as f64).floor() as usize
+            } else {
+                d
+            }
+        })
+        .collect();
+    // MGF parameter for the (1/2+ε) cap over Bin(d, 1/2): t = ln(1 + 2ε)
+    let t = (1.0 + 2.0 * eps).ln().max(1e-6);
+    let mut est = ColoringEstimator::overload(&b, 2, &caps, t);
+    // nodes below the degree floor cannot be violated (cap = degree):
+    // remove them from the union bound entirely
+    for v in 0..g.node_count() {
+        if g.degree(v) < min_degree {
+            est.exempt(v);
+        }
+    }
+
+    // the greedy pass runs sequentially (it is the SLOCAL(2) algorithm);
+    // LOCAL compilation costs are charged per [GHK17a]: a Δ²-coloring of G²
+    // schedules the phases, two rounds per class (materializing G² on the
+    // dense Section 4 instances would cost Θ(n·Δ²) memory for no output
+    // difference)
+    let sched_palette = (g.max_degree() * g.max_degree()).min(g.node_count().max(1));
+    let mut ledger = RoundLedger::new();
+    ledger.add_charged(
+        "G² scheduling coloring (Δ² + log* n)",
+        (sched_palette + 1) as f64 + log_star(g.node_count().max(2)) as f64,
+    );
+    ledger.add_charged(
+        "conditional-expectation phases (compiled)",
+        2.0 * (sched_palette + 1) as f64,
+    );
+    let order: Vec<usize> = (0..b.right_count()).collect();
+    let fix = sequential_fix(&b, est, &order);
+    if fix.initial_phi >= 1.0 {
+        return Err(SplitError::EstimatorTooLarge { phi: fix.initial_phi });
+    }
+    let colors: Vec<Color> =
+        fix.colors.iter().map(|&x| if x == 0 { Color::Red } else { Color::Blue }).collect();
+    debug_assert!(checks::is_uniform_splitting(g, &colors, eps, min_degree));
+    Ok(SplitOutcome { colors, ledger })
+}
+
+/// The clique gadget of the Section 4.1 Remark: pads every node of degree
+/// below `delta` with virtual clique neighbors so the padded graph has
+/// minimum degree `delta`; returns the padded graph (original nodes keep
+/// their indices) and the original node count.
+///
+/// # Panics
+///
+/// Panics if `delta` exceeds the padded clique capacity (needs
+/// `delta ≥ 1`).
+pub fn pad_low_degrees(g: &Graph, delta: usize) -> (Graph, usize) {
+    assert!(delta >= 1, "target degree must be positive");
+    let n = g.node_count();
+    let deficient: Vec<usize> = (0..n).filter(|&v| g.degree(v) < delta).collect();
+    if deficient.is_empty() {
+        return (g.clone(), n);
+    }
+    // one shared (delta+1)-clique provides attachment points; each
+    // deficient node connects to `delta - deg` clique members. Clique
+    // members gain at most |deficient| extra degree — acceptable for the
+    // modified problem, which constrains only nodes of degree ≥ Δ/2 in the
+    // *original* roles; the gadget mirrors the paper's O(n) construction.
+    let clique = delta + 1;
+    let mut padded = Graph::new(n + clique);
+    for (u, v) in g.edges() {
+        padded.add_edge(u, v).expect("original edges stay simple");
+    }
+    for i in 0..clique {
+        for j in i + 1..clique {
+            padded.add_edge(n + i, n + j).expect("clique edges are fresh");
+        }
+    }
+    for &v in &deficient {
+        let need = delta - g.degree(v);
+        for k in 0..need {
+            padded.add_edge(v, n + (v + k) % clique).expect("gadget edges are fresh");
+        }
+    }
+    (padded, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use splitgraph::generators;
+
+    #[test]
+    fn randomized_splitting_usually_valid_at_high_degree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::random_regular(256, 64, &mut rng).unwrap();
+        let eps = feasible_eps(256, 64);
+        let mut ok = 0;
+        for seed in 0..10 {
+            let colors = uniform_splitting_random(&g, seed);
+            if checks::is_uniform_splitting(&g, &colors, eps, 64) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 8, "only {ok}/10 random splittings valid at ε = {eps:.3}");
+    }
+
+    #[test]
+    fn deterministic_splitting_always_valid() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::random_regular(128, 48, &mut rng).unwrap();
+        let eps = feasible_eps(128, 48);
+        let out = uniform_splitting_deterministic(&g, eps, 48).unwrap();
+        assert!(checks::is_uniform_splitting(&g, &out.colors, eps, 48));
+    }
+
+    #[test]
+    fn deterministic_rejects_infeasible_eps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::random_regular(128, 16, &mut rng).unwrap();
+        // ε far below the certified accuracy for degree 16
+        assert!(matches!(
+            uniform_splitting_deterministic(&g, 0.01, 16),
+            Err(SplitError::EstimatorTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn min_degree_exempts_small_nodes() {
+        // a star: the center has high degree, leaves degree 1
+        let mut g = Graph::new(65);
+        for leaf in 1..65 {
+            g.add_edge(0, leaf).unwrap();
+        }
+        let eps = feasible_eps(65, 64);
+        let out = uniform_splitting_deterministic(&g, eps, 32).unwrap();
+        assert!(checks::is_uniform_splitting(&g, &out.colors, eps, 32));
+    }
+
+    #[test]
+    fn feasible_eps_decreases_with_degree() {
+        assert!(feasible_eps(1024, 64) > feasible_eps(1024, 256));
+        assert!(feasible_eps(1024, 100_000) < 0.02);
+        assert!(feasible_eps(4, 1) <= 0.5);
+    }
+
+    #[test]
+    fn pad_low_degrees_reaches_target() {
+        let g = generators::path(6); // end nodes have degree 1
+        let (padded, orig) = pad_low_degrees(&g, 3);
+        assert_eq!(orig, 6);
+        for v in 0..6 {
+            assert!(padded.degree(v) >= 3, "node {v} degree {}", padded.degree(v));
+        }
+        // original edges intact
+        for (u, v) in g.edges() {
+            assert!(padded.contains_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn pad_noop_when_degrees_suffice() {
+        let g = generators::complete(5);
+        let (padded, orig) = pad_low_degrees(&g, 3);
+        assert_eq!(padded.node_count(), 5);
+        assert_eq!(orig, 5);
+    }
+}

@@ -1,0 +1,81 @@
+//! Output label types shared across the reproduction.
+
+use std::fmt;
+
+/// The two colors of a (weak) splitting (Definition 1.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Color {
+    /// The "red" class.
+    Red,
+    /// The "blue" class.
+    Blue,
+}
+
+impl Color {
+    /// The opposite color.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use splitgraph::Color;
+    /// assert_eq!(Color::Red.flipped(), Color::Blue);
+    /// ```
+    pub fn flipped(self) -> Color {
+        match self {
+            Color::Red => Color::Blue,
+            Color::Blue => Color::Red,
+        }
+    }
+
+    /// Both colors, in a fixed order (`Red`, `Blue`).
+    pub fn both() -> [Color; 2] {
+        [Color::Red, Color::Blue]
+    }
+
+    /// Maps a boolean coin to a color (`true` → `Red`).
+    pub fn from_bool(red: bool) -> Color {
+        if red {
+            Color::Red
+        } else {
+            Color::Blue
+        }
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Color::Red => write!(f, "red"),
+            Color::Blue => write!(f, "blue"),
+        }
+    }
+}
+
+/// A color from a palette of configurable size (multicolor splitting,
+/// Definitions 1.2 and 1.3). Colors are dense indices `0..C`.
+pub type MultiColor = u32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive() {
+        for c in Color::both() {
+            assert_eq!(c.flipped().flipped(), c);
+            assert_ne!(c.flipped(), c);
+        }
+    }
+
+    #[test]
+    fn from_bool_roundtrip() {
+        assert_eq!(Color::from_bool(true), Color::Red);
+        assert_eq!(Color::from_bool(false), Color::Blue);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(Color::Red.to_string(), "red");
+        assert_eq!(Color::Blue.to_string(), "blue");
+    }
+}

@@ -1,0 +1,208 @@
+//! Connected components of simple and bipartite graphs.
+//!
+//! The shattering analyses (Theorems 1.2, 2.8 and 5.3 of the paper) bound the
+//! size of connected components of *residual* graphs; these helpers extract
+//! them so experiments can measure the bound.
+
+use crate::bipartite::BipartiteGraph;
+use crate::graph::Graph;
+
+/// Connected components of a simple graph: `labels[v]` is the component index
+/// of node `v`, components are numbered `0..count` in order of first visit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    labels: Vec<usize>,
+    count: usize,
+}
+
+impl Components {
+    /// Component label of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label(&self, v: usize) -> usize {
+        self.labels[v]
+    }
+
+    /// Number of components (isolated nodes form singleton components).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// All labels, indexed by node.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Sizes of all components, indexed by component label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component (0 for the empty graph).
+    pub fn max_size(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Node lists per component.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut members = vec![Vec::new(); self.count];
+        for (v, &l) in self.labels.iter().enumerate() {
+            members[l].push(v);
+        }
+        members
+    }
+}
+
+/// Computes connected components of `g` by BFS.
+///
+/// # Examples
+///
+/// ```
+/// use splitgraph::{Graph, connected_components};
+///
+/// let g = Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+/// let cc = connected_components(&g);
+/// assert_eq!(cc.count(), 3);
+/// assert_eq!(cc.max_size(), 2);
+/// ```
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.node_count();
+    let mut labels = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        labels[start] = count;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if labels[w] == usize::MAX {
+                    labels[w] = count;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { labels, count }
+}
+
+/// A connected component of a bipartite graph, re-indexed as its own
+/// [`BipartiteGraph`] with mappings back to the original node indices.
+#[derive(Debug, Clone)]
+pub struct BipartiteComponent {
+    /// The component as a standalone bipartite graph.
+    pub graph: BipartiteGraph,
+    /// `original_left[i]` is the original left index of the component's left node `i`.
+    pub original_left: Vec<usize>,
+    /// `original_right[j]` is the original right index of the component's right node `j`.
+    pub original_right: Vec<usize>,
+}
+
+impl BipartiteComponent {
+    /// Total node count of the component (`|U_c| + |V_c|`).
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+}
+
+/// Splits a bipartite graph into its connected components.
+///
+/// Isolated nodes (degree 0 on either side) form singleton components; they
+/// are included so that callers can account for every node.
+pub fn bipartite_components(b: &BipartiteGraph) -> Vec<BipartiteComponent> {
+    let g = b.to_graph();
+    let cc = connected_components(&g);
+    let shift = b.left_count();
+    let mut comps: Vec<BipartiteComponent> = (0..cc.count())
+        .map(|_| BipartiteComponent {
+            graph: BipartiteGraph::default(),
+            original_left: Vec::new(),
+            original_right: Vec::new(),
+        })
+        .collect();
+    // first pass: assign local indices
+    let mut local = vec![usize::MAX; g.node_count()];
+    for v in 0..g.node_count() {
+        let c = cc.label(v);
+        if v < shift {
+            local[v] = comps[c].original_left.len();
+            comps[c].original_left.push(v);
+        } else {
+            local[v] = comps[c].original_right.len();
+            comps[c].original_right.push(v - shift);
+        }
+    }
+    // second pass: build graphs
+    for (c, comp) in comps.iter_mut().enumerate() {
+        let mut graph = BipartiteGraph::new(comp.original_left.len(), comp.original_right.len());
+        for (i, &orig_u) in comp.original_left.iter().enumerate() {
+            for &orig_v in b.left_neighbors(orig_u) {
+                debug_assert_eq!(cc.label(shift + orig_v), c);
+                graph.add_edge(i, local[shift + orig_v]).expect("component edges are simple");
+            }
+        }
+        comp.graph = graph;
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_components_for_isolated_nodes() {
+        let g = Graph::new(3);
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 3);
+        assert_eq!(cc.sizes(), vec![1, 1, 1]);
+        assert_eq!(cc.max_size(), 1);
+    }
+
+    #[test]
+    fn two_components_with_members() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let cc = connected_components(&g);
+        assert_eq!(cc.count(), 3);
+        let members = cc.members();
+        assert_eq!(members[cc.label(0)], vec![0, 1, 2]);
+        assert_eq!(members[cc.label(3)], vec![3, 4]);
+        assert_eq!(members[cc.label(5)], vec![5]);
+        assert_eq!(cc.labels().len(), 6);
+    }
+
+    #[test]
+    fn bipartite_components_reindex_correctly() {
+        // two components: (u0; v0, v1) and (u1, u2; v2)
+        let b = BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 2), (2, 2)]).unwrap();
+        let comps = bipartite_components(&b);
+        assert_eq!(comps.len(), 2);
+        let c0 = comps.iter().find(|c| c.original_left.contains(&0)).unwrap();
+        assert_eq!(c0.graph.left_count(), 1);
+        assert_eq!(c0.graph.right_count(), 2);
+        assert_eq!(c0.graph.edge_count(), 2);
+        assert_eq!(c0.node_count(), 3);
+        let c1 = comps.iter().find(|c| c.original_left.contains(&1)).unwrap();
+        assert_eq!(c1.graph.left_count(), 2);
+        assert_eq!(c1.graph.right_count(), 1);
+        assert_eq!(c1.graph.rank(), 2);
+    }
+
+    #[test]
+    fn bipartite_isolated_nodes_kept() {
+        let b = BipartiteGraph::from_edges(2, 2, &[(0, 0)]).unwrap();
+        let comps = bipartite_components(&b);
+        assert_eq!(comps.len(), 3);
+        let total_nodes: usize = comps.iter().map(|c| c.node_count()).sum();
+        assert_eq!(total_nodes, 4);
+    }
+}

@@ -1,0 +1,223 @@
+//! Generators for bipartite constraint/variable instances.
+
+use crate::bipartite::BipartiteGraph;
+use crate::error::GraphError;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// Random bipartite graph where every **left** (constraint) node has exactly
+/// `left_degree` distinct right neighbors chosen uniformly at random.
+///
+/// Right degrees concentrate around `left_count·left_degree / right_count`;
+/// the realized rank is whatever the sample produced — measure it with
+/// [`BipartiteGraph::rank`].
+///
+/// # Errors
+///
+/// Returns an error if `left_degree > right_count`.
+pub fn random_left_regular<R: Rng + ?Sized>(
+    left_count: usize,
+    right_count: usize,
+    left_degree: usize,
+    rng: &mut R,
+) -> Result<BipartiteGraph, GraphError> {
+    if left_degree > right_count {
+        return Err(GraphError::InfeasibleDegrees {
+            reason: format!("left degree {left_degree} exceeds right side size {right_count}"),
+        });
+    }
+    let mut b = BipartiteGraph::new(left_count, right_count);
+    let mut pool: Vec<usize> = (0..right_count).collect();
+    for u in 0..left_count {
+        // partial Fisher–Yates: draw `left_degree` distinct right nodes
+        for i in 0..left_degree {
+            let j = rng.random_range(i..right_count);
+            pool.swap(i, j);
+            b.add_edge(u, pool[i]).expect("distinct draws give fresh edges");
+        }
+    }
+    Ok(b)
+}
+
+/// Random biregular bipartite graph: every left node has degree
+/// `left_degree` and every right node degree `left_count·left_degree /
+/// right_count`, via the configuration model with swap repair.
+///
+/// # Errors
+///
+/// Returns an error if the degree sums do not match
+/// (`left_count·left_degree` must be divisible by `right_count`), if the
+/// implied right degree exceeds `left_count`, or if repair fails repeatedly.
+pub fn random_biregular<R: Rng + ?Sized>(
+    left_count: usize,
+    right_count: usize,
+    left_degree: usize,
+    rng: &mut R,
+) -> Result<BipartiteGraph, GraphError> {
+    let stubs = left_count * left_degree;
+    if right_count == 0 || stubs % right_count != 0 {
+        return Err(GraphError::InfeasibleDegrees {
+            reason: format!(
+                "left stubs {stubs} not divisible by right side size {right_count}"
+            ),
+        });
+    }
+    let right_degree = stubs / right_count;
+    if right_degree > left_count {
+        return Err(GraphError::InfeasibleDegrees {
+            reason: format!("implied right degree {right_degree} exceeds left side size {left_count}"),
+        });
+    }
+    if left_degree > right_count {
+        return Err(GraphError::InfeasibleDegrees {
+            reason: format!("left degree {left_degree} exceeds right side size {right_count}"),
+        });
+    }
+    const ATTEMPTS: usize = 200;
+    for _ in 0..ATTEMPTS {
+        let left_stubs: Vec<usize> =
+            (0..left_count).flat_map(|u| std::iter::repeat_n(u, left_degree)).collect();
+        let mut right_stubs: Vec<usize> =
+            (0..right_count).flat_map(|v| std::iter::repeat_n(v, right_degree)).collect();
+        right_stubs.shuffle(rng);
+        let mut pairs: Vec<(usize, usize)> =
+            left_stubs.into_iter().zip(right_stubs).collect();
+        if repair_bipartite_pairing(&mut pairs, rng) {
+            return BipartiteGraph::from_edges(left_count, right_count, &pairs);
+        }
+    }
+    Err(GraphError::GenerationFailed {
+        reason: format!(
+            "biregular bipartite graph ({left_count}×{right_count}, left degree {left_degree}): repair attempts exhausted"
+        ),
+    })
+}
+
+fn repair_bipartite_pairing<R: Rng + ?Sized>(pairs: &mut [(usize, usize)], rng: &mut R) -> bool {
+    use std::collections::HashSet;
+    const PASSES: usize = 500;
+    for _ in 0..PASSES {
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        let mut bad: Vec<usize> = Vec::new();
+        for (i, &p) in pairs.iter().enumerate() {
+            if !seen.insert(p) {
+                bad.push(i);
+            }
+        }
+        if bad.is_empty() {
+            return true;
+        }
+        for &i in &bad {
+            let j = rng.random_range(0..pairs.len());
+            let tmp = pairs[i].1;
+            pairs[i].1 = pairs[j].1;
+            pairs[j].1 = tmp;
+        }
+    }
+    false
+}
+
+/// Bipartite Erdős–Rényi graph: each of the `left·right` pairs is an edge
+/// independently with probability `p`.
+pub fn erdos_renyi_bipartite<R: Rng + ?Sized>(
+    left_count: usize,
+    right_count: usize,
+    p: f64,
+    rng: &mut R,
+) -> BipartiteGraph {
+    let mut b = BipartiteGraph::new(left_count, right_count);
+    let p = p.clamp(0.0, 1.0);
+    for u in 0..left_count {
+        for v in 0..right_count {
+            if rng.random_bool(p) {
+                b.add_edge(u, v).expect("fresh pair");
+            }
+        }
+    }
+    b
+}
+
+/// The complete bipartite graph `K_{left,right}`.
+pub fn complete_bipartite(left_count: usize, right_count: usize) -> BipartiteGraph {
+    let mut b = BipartiteGraph::new(left_count, right_count);
+    for u in 0..left_count {
+        for v in 0..right_count {
+            b.add_edge(u, v).expect("fresh pair");
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn left_regular_exact_left_degrees() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let b = random_left_regular(40, 25, 8, &mut rng).unwrap();
+        assert_eq!(b.left_count(), 40);
+        assert_eq!(b.right_count(), 25);
+        for u in 0..40 {
+            assert_eq!(b.left_degree(u), 8);
+        }
+        assert_eq!(b.edge_count(), 320);
+        assert!(b.rank() >= 320 / 25);
+    }
+
+    #[test]
+    fn left_regular_rejects_excess_degree() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(random_left_regular(3, 2, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn biregular_exact_both_sides() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // 30 * 6 = 180 stubs, right side 20 → right degree 9
+        let b = random_biregular(30, 20, 6, &mut rng).unwrap();
+        for u in 0..30 {
+            assert_eq!(b.left_degree(u), 6);
+        }
+        for v in 0..20 {
+            assert_eq!(b.right_degree(v), 9);
+        }
+        assert_eq!(b.rank(), 9);
+        assert_eq!(b.min_left_degree(), 6);
+    }
+
+    #[test]
+    fn biregular_infeasible_params() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(random_biregular(3, 7, 2, &mut rng).is_err()); // 6 stubs / 7 right
+        assert!(random_biregular(2, 4, 1, &mut rng).is_err()); // 2 stubs / 4 right
+        assert!(random_biregular(2, 1, 4, &mut rng).is_err()); // left degree 4 > right side 1
+        assert!(random_biregular(5, 5, 0, &mut rng).is_ok()); // empty graph is fine
+    }
+
+    #[test]
+    fn biregular_square_case() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let b = random_biregular(16, 16, 5, &mut rng).unwrap();
+        for v in 0..16 {
+            assert_eq!(b.right_degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn er_bipartite_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(erdos_renyi_bipartite(5, 5, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi_bipartite(5, 5, 1.0, &mut rng).edge_count(), 25);
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let b = complete_bipartite(3, 4);
+        assert_eq!(b.edge_count(), 12);
+        assert_eq!(b.rank(), 3);
+        assert_eq!(b.min_left_degree(), 4);
+    }
+}

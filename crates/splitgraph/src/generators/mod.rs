@@ -1,0 +1,18 @@
+//! Instance generators: random graph models, deterministic families, and the
+//! paper-specific constructions (doubling, incidence, sinkless-reduction,
+//! high-girth).
+
+mod bipartite;
+mod general;
+mod high_girth;
+mod instances;
+
+pub use bipartite::{
+    complete_bipartite, erdos_renyi_bipartite, random_biregular, random_left_regular,
+};
+pub use general::{complete, cycle, erdos_renyi, hypercube, path, random_regular, torus};
+pub use high_girth::{
+    break_short_cycles, projective_girth12_bipartite, projective_incidence_graph,
+    random_girth10_bipartite, random_girth5,
+};
+pub use instances::{doubling_instance, incidence_instance, sinkless_instance, SinklessInstance};

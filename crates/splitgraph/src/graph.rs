@@ -1,0 +1,266 @@
+//! Simple undirected graphs.
+//!
+//! [`Graph`] is the plain host-network type used throughout the reproduction:
+//! nodes are dense indices `0..n`, edges are unordered pairs without
+//! self-loops or duplicates. Adjacency lists are kept sorted so that
+//! membership tests are logarithmic and iteration order is deterministic.
+
+use crate::error::GraphError;
+
+/// A simple undirected graph over nodes `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use splitgraph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.contains_edge(0, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any endpoint is out of range, an edge is a
+    /// self-loop, or an edge appears twice (in either orientation).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range endpoints, self-loops, or duplicates.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        let n = self.node_count();
+        if u >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, count: n });
+        }
+        if v >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, count: n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        match self.adj[u].binary_search(&v) {
+            Ok(_) => return Err(GraphError::DuplicateEdge { u, v }),
+            Err(pos) => self.adj[u].insert(pos, v),
+        }
+        let pos = self.adj[v].binary_search(&u).unwrap_err();
+        self.adj[v].insert(pos, u);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Removes the undirected edge `{u, v}` if present; returns whether it existed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        if u >= self.node_count() || v >= self.node_count() {
+            return false;
+        }
+        if let Ok(pos) = self.adj[u].binary_search(&v) {
+            self.adj[u].remove(pos);
+            let pos = self.adj[v].binary_search(&u).expect("adjacency symmetric");
+            self.adj[v].remove(pos);
+            self.edge_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Sorted slice of neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Whether the edge `{u, v}` is present. Out-of-range endpoints yield `false`.
+    pub fn contains_edge(&self, u: usize, v: usize) -> bool {
+        u < self.node_count()
+            && v < self.node_count()
+            && self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Maximum degree Δ, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Minimum degree δ, or 0 for the empty graph.
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Iterator over edges as ordered pairs `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// Subgraph induced by `keep` (nodes keep their indices; edges to dropped
+    /// nodes are removed). `keep[v]` tells whether node `v` survives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != self.node_count()`.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> Graph {
+        assert_eq!(keep.len(), self.node_count(), "keep mask length mismatch");
+        let mut g = Graph::new(self.node_count());
+        for (u, v) in self.edges() {
+            if keep[u] && keep[v] {
+                g.add_edge(u, v).expect("edges of a simple graph remain simple");
+            }
+        }
+        g
+    }
+
+    /// Subgraph keeping exactly the edges for which `pred` returns true.
+    pub fn filter_edges<F: FnMut(usize, usize) -> bool>(&self, mut pred: F) -> Graph {
+        let mut g = Graph::new(self.node_count());
+        for (u, v) in self.edges() {
+            if pred(u, v) {
+                g.add_edge(u, v).expect("filtered edges of a simple graph remain simple");
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.min_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(2, 1).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.contains_edge(1, 0));
+        assert!(g.contains_edge(1, 2));
+        assert!(!g.contains_edge(0, 2));
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 1);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = Graph::new(2);
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop { node: 1 }));
+    }
+
+    #[test]
+    fn rejects_duplicate_in_either_orientation() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.add_edge(0, 1), Err(GraphError::DuplicateEdge { u: 0, v: 1 }));
+        assert_eq!(g.add_edge(1, 0), Err(GraphError::DuplicateEdge { u: 1, v: 0 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = Graph::new(2);
+        assert_eq!(g.add_edge(0, 2), Err(GraphError::NodeOutOfRange { node: 2, count: 2 }));
+        assert_eq!(g.add_edge(5, 0), Err(GraphError::NodeOutOfRange { node: 5, count: 2 }));
+    }
+
+    #[test]
+    fn remove_edge_updates_both_sides() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.contains_edge(0, 1));
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 17));
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 5);
+        for &(u, v) in &edges {
+            assert!(u < v);
+        }
+        let mut sorted = edges.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn induced_subgraph_drops_incident_edges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let sub = g.induced_subgraph(&[true, false, true, true]);
+        assert_eq!(sub.edge_count(), 1);
+        assert!(sub.contains_edge(2, 3));
+        assert_eq!(sub.degree(1), 0);
+    }
+
+    #[test]
+    fn filter_edges_applies_predicate() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let sub = g.filter_edges(|u, v| u + v >= 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.contains_edge(1, 2));
+        assert!(sub.contains_edge(2, 3));
+    }
+}

@@ -1,0 +1,126 @@
+//! Small numeric helpers matching the paper's conventions.
+//!
+//! Throughout the paper `log x` is the base-2 logarithm and `ln x` the
+//! natural logarithm; thresholds such as "degree at least `2·log n`" are used
+//! verbatim by the algorithms, so they live here in one place.
+
+/// Base-2 logarithm of `x` as a float.
+///
+/// # Panics
+///
+/// Panics if `x == 0` (the paper never takes `log 0`).
+pub fn log2(x: usize) -> f64 {
+    assert!(x > 0, "log2 of zero");
+    (x as f64).log2()
+}
+
+/// Natural logarithm of `x` as a float.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+pub fn ln(x: usize) -> f64 {
+    assert!(x > 0, "ln of zero");
+    (x as f64).ln()
+}
+
+/// `⌈log₂ x⌉` for integers, with `ceil_log2(1) == 0`.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+pub fn ceil_log2(x: usize) -> u32 {
+    assert!(x > 0, "ceil_log2 of zero");
+    usize::BITS - (x - 1).leading_zeros()
+}
+
+/// `⌊log₂ x⌋` for integers.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+pub fn floor_log2(x: usize) -> u32 {
+    assert!(x > 0, "floor_log2 of zero");
+    usize::BITS - 1 - x.leading_zeros()
+}
+
+/// The iterated logarithm `log* x`: how many times `log₂` must be applied to
+/// reach a value ≤ 1.
+pub fn log_star(x: usize) -> u32 {
+    let mut v = x as f64;
+    let mut count = 0;
+    while v > 1.0 {
+        v = v.log2();
+        count += 1;
+    }
+    count
+}
+
+/// Minimum constraint degree `2·log₂ n` required by the basic deterministic
+/// weak-splitting algorithms (Lemmas 2.1/2.2, Theorem 2.5), rounded up.
+pub fn weak_splitting_degree_threshold(n: usize) -> usize {
+    (2.0 * log2(n.max(2))).ceil() as usize
+}
+
+/// Degree threshold `2·(log n + 1)·ln n` of Definition 1.3 (C-weak multicolor
+/// splitting), rounded up.
+pub fn weak_multicolor_degree_threshold(n: usize) -> usize {
+    let n = n.max(2);
+    (2.0 * (log2(n) + 1.0) * ln(n)).ceil() as usize
+}
+
+/// Number of distinct colors `2·log₂ n` a satisfied constraint must see in
+/// Definition 1.3, rounded up.
+pub fn weak_multicolor_required_colors(n: usize) -> usize {
+    (2.0 * log2(n.max(2))).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_and_floor_log2() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(4), 2);
+        assert_eq!(floor_log2(1024), 10);
+    }
+
+    #[test]
+    fn log_star_values() {
+        assert_eq!(log_star(1), 0);
+        assert_eq!(log_star(2), 1);
+        assert_eq!(log_star(4), 2);
+        assert_eq!(log_star(16), 3);
+        assert_eq!(log_star(65536), 4);
+        assert_eq!(log_star(usize::MAX), 5);
+    }
+
+    #[test]
+    fn thresholds_match_formulas() {
+        assert_eq!(weak_splitting_degree_threshold(1024), 20);
+        // 2 (log 1024 + 1) ln 1024 = 2 * 11 * 6.931.. = 152.49..
+        assert_eq!(weak_multicolor_degree_threshold(1024), 153);
+        assert_eq!(weak_multicolor_required_colors(1024), 20);
+    }
+
+    #[test]
+    fn small_n_clamped() {
+        // n = 1 would make log n = 0; the helpers clamp to n = 2
+        assert_eq!(weak_splitting_degree_threshold(1), 2);
+        assert!(weak_multicolor_degree_threshold(1) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "log2 of zero")]
+    fn log2_zero_panics() {
+        let _ = log2(0);
+    }
+}

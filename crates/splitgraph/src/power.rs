@@ -1,0 +1,159 @@
+//! Graph powers.
+//!
+//! The SLOCAL→LOCAL compilation used throughout the paper schedules nodes by
+//! color classes of a power graph: Lemma 2.1 colors `B²`, Theorem 5.2 colors
+//! `B⁴`, and Theorem 3.2 uses a coloring of `B'²` restricted to the variable
+//! side. These helpers materialize such powers.
+
+use crate::bipartite::BipartiteGraph;
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// The `k`-th power of `g`: nodes at distance `1..=k` become adjacent.
+///
+/// Computed by a depth-bounded BFS per node (`O(n · Δ^k)` work, fine for the
+/// polylogarithmic powers used here).
+///
+/// # Examples
+///
+/// ```
+/// use splitgraph::{Graph, power_graph};
+///
+/// let path = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let p2 = power_graph(&path, 2);
+/// assert!(p2.contains_edge(0, 2));
+/// assert!(!p2.contains_edge(0, 3));
+/// ```
+pub fn power_graph(g: &Graph, k: usize) -> Graph {
+    let n = g.node_count();
+    let mut out = Graph::new(n);
+    if k == 0 {
+        return out;
+    }
+    let mut dist = vec![usize::MAX; n];
+    let mut touched = Vec::new();
+    for v in 0..n {
+        // BFS up to depth k
+        dist[v] = 0;
+        touched.push(v);
+        let mut queue = VecDeque::new();
+        queue.push_back(v);
+        while let Some(x) = queue.pop_front() {
+            if dist[x] == k {
+                continue;
+            }
+            for &y in g.neighbors(x) {
+                if dist[y] == usize::MAX {
+                    dist[y] = dist[x] + 1;
+                    touched.push(y);
+                    queue.push_back(y);
+                }
+            }
+        }
+        for &w in &touched {
+            if w > v {
+                out.add_edge(v, w).expect("power graph edges are simple");
+            }
+        }
+        for &w in &touched {
+            dist[w] = usize::MAX;
+        }
+        touched.clear();
+    }
+    out
+}
+
+/// Adjacency among the **variable side** of `b` at distance exactly 2, i.e.,
+/// two right nodes are adjacent iff they share a constraint neighbor.
+///
+/// This is the graph on which derandomized variable choices must be
+/// sequentialized: variables sharing a constraint may not decide
+/// simultaneously (see Lemma 2.1 and Theorem 3.2 of the paper).
+pub fn right_square(b: &BipartiteGraph) -> Graph {
+    let mut g = Graph::new(b.right_count());
+    for u in 0..b.left_count() {
+        let nbrs = b.left_neighbors(u);
+        for (i, &v) in nbrs.iter().enumerate() {
+            for &w in &nbrs[i + 1..] {
+                if !g.contains_edge(v, w) {
+                    g.add_edge(v, w).expect("square edges are simple");
+                }
+            }
+        }
+    }
+    g
+}
+
+/// The `k`-th power of the flattened bipartite graph `B` (both sides),
+/// with left node `u` at index `u` and right node `v` at `left_count + v`.
+pub fn bipartite_power(b: &BipartiteGraph, k: usize) -> Graph {
+    power_graph(&b.to_graph(), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_zero_is_empty() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(power_graph(&g, 0).edge_count(), 0);
+    }
+
+    #[test]
+    fn power_one_is_identity() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(power_graph(&g, 1), g);
+    }
+
+    #[test]
+    fn power_two_of_path() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let p = power_graph(&g, 2);
+        assert!(p.contains_edge(0, 2));
+        assert!(p.contains_edge(1, 3));
+        assert!(!p.contains_edge(0, 3));
+        assert_eq!(p.edge_count(), 4 + 3);
+    }
+
+    #[test]
+    fn power_saturates_to_component_clique() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let p = power_graph(&g, 10);
+        assert_eq!(p.edge_count(), 6); // K4
+    }
+
+    #[test]
+    fn power_respects_components() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let p = power_graph(&g, 5);
+        assert!(!p.contains_edge(1, 2));
+        assert_eq!(p.edge_count(), 2);
+    }
+
+    #[test]
+    fn right_square_links_covariables() {
+        // u0 ~ {v0, v1}, u1 ~ {v1, v2}: v0-v1 and v1-v2 but not v0-v2
+        let b = BipartiteGraph::from_edges(2, 3, &[(0, 0), (0, 1), (1, 1), (1, 2)]).unwrap();
+        let sq = right_square(&b);
+        assert!(sq.contains_edge(0, 1));
+        assert!(sq.contains_edge(1, 2));
+        assert!(!sq.contains_edge(0, 2));
+    }
+
+    #[test]
+    fn right_square_handles_shared_pairs_once() {
+        // v0 and v1 share two constraints; edge must appear once
+        let b = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        let sq = right_square(&b);
+        assert_eq!(sq.edge_count(), 1);
+    }
+
+    #[test]
+    fn bipartite_power_two_contains_same_side_links() {
+        let b = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 0)]).unwrap();
+        let p = bipartite_power(&b, 2);
+        // u0 and u1 share v0, so they are adjacent in B²
+        assert!(p.contains_edge(0, 1));
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for the graph substrate itself.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splitgraph::{
+    bipartite_components, connected_components, generators, girth, power_graph, right_square,
+    BipartiteGraph, Graph,
+};
+
+fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..n, 0..n), 0..3 * n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_remove_edge_roundtrip(edges in arb_edges(20)) {
+        let mut g = Graph::new(20);
+        let mut inserted = Vec::new();
+        for (u, v) in edges {
+            if u != v && g.add_edge(u, v).is_ok() {
+                inserted.push((u, v));
+            }
+        }
+        prop_assert_eq!(g.edge_count(), inserted.len());
+        // degrees sum to twice the edge count (handshake)
+        let degree_sum: usize = (0..20).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        // removing everything restores the empty graph
+        for &(u, v) in &inserted {
+            prop_assert!(g.remove_edge(u, v));
+        }
+        prop_assert_eq!(g.edge_count(), 0);
+        prop_assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn edges_iterator_matches_contains(edges in arb_edges(16)) {
+        let mut g = Graph::new(16);
+        for (u, v) in edges {
+            if u != v {
+                let _ = g.add_edge(u, v);
+            }
+        }
+        let listed: Vec<(usize, usize)> = g.edges().collect();
+        prop_assert_eq!(listed.len(), g.edge_count());
+        for &(u, v) in &listed {
+            prop_assert!(u < v);
+            prop_assert!(g.contains_edge(u, v));
+            prop_assert!(g.contains_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn components_cover_all_nodes(edges in arb_edges(24)) {
+        let mut g = Graph::new(24);
+        for (u, v) in edges {
+            if u != v {
+                let _ = g.add_edge(u, v);
+            }
+        }
+        let cc = connected_components(&g);
+        let sizes = cc.sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), 24);
+        // adjacent nodes share a component
+        for (u, v) in g.edges() {
+            prop_assert_eq!(cc.label(u), cc.label(v));
+        }
+    }
+
+    #[test]
+    fn power_graph_is_monotone(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(18, 0.2, &mut rng);
+        let p1 = power_graph(&g, 1);
+        let p2 = power_graph(&g, 2);
+        let p3 = power_graph(&g, 3);
+        for (u, v) in p1.edges() {
+            prop_assert!(p2.contains_edge(u, v));
+        }
+        for (u, v) in p2.edges() {
+            prop_assert!(p3.contains_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn right_square_symmetric_with_bipartite_power(
+        (u, v, d, seed) in (4usize..16, 8usize..24, 2usize..6, 0u64..300)
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = d.min(v);
+        let b = generators::random_left_regular(u, v, d, &mut rng).unwrap();
+        let sq = right_square(&b);
+        // two variables adjacent in the square iff they share a constraint
+        for x in 0..v {
+            for y in x + 1..v {
+                let share = (0..u).any(|c| {
+                    b.left_neighbors(c).contains(&x) && b.left_neighbors(c).contains(&y)
+                });
+                prop_assert_eq!(sq.contains_edge(x, y), share, "pair ({}, {})", x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn doubling_preserves_degree_profile(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(20, 0.3, &mut rng);
+        let b = generators::doubling_instance(&g);
+        for w in 0..20 {
+            prop_assert_eq!(b.left_degree(w), g.degree(w));
+            prop_assert_eq!(b.right_degree(w), g.degree(w));
+        }
+    }
+
+    #[test]
+    fn biregular_generator_is_biregular(
+        (u, dl, seed) in (2usize..20, 1usize..8, 0u64..300)
+    ) {
+        // choose a right side that divides the stubs evenly
+        let stubs = u * dl;
+        for v in (1..=stubs).rev() {
+            if stubs % v == 0 && stubs / v <= u && dl <= v {
+                let mut rng = StdRng::seed_from_u64(seed);
+                if let Ok(b) = generators::random_biregular(u, v, dl, &mut rng) {
+                    for x in 0..u {
+                        prop_assert_eq!(b.left_degree(x), dl);
+                    }
+                    for y in 0..v {
+                        prop_assert_eq!(b.right_degree(y), stubs / v);
+                    }
+                }
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_component_edges_match_original(
+        (u, v, seed) in (3usize..15, 3usize..20, 0u64..300)
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = generators::erdos_renyi_bipartite(u, v, 0.15, &mut rng);
+        let comps = bipartite_components(&b);
+        for comp in &comps {
+            for (lu, lv) in comp.graph.edges() {
+                let orig_u = comp.original_left[lu];
+                let orig_v = comp.original_right[lv];
+                prop_assert!(b.contains_edge(orig_u, orig_v));
+            }
+        }
+    }
+
+    #[test]
+    fn girth_never_below_three(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(15, 0.3, &mut rng);
+        if let Some(girth) = girth(&g) {
+            prop_assert!(girth >= 3);
+            prop_assert!(girth <= 15);
+        }
+    }
+
+    #[test]
+    fn incidence_instance_always_rank_two(seed in 0u64..300) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(15, 0.3, &mut rng);
+        let (b, edges) = generators::incidence_instance(&g);
+        prop_assert_eq!(edges.len(), g.edge_count());
+        if g.edge_count() > 0 {
+            prop_assert_eq!(b.rank(), 2);
+        }
+        for u in 0..15 {
+            prop_assert_eq!(b.left_degree(u), g.degree(u));
+        }
+    }
+}
+
+#[test]
+fn bipartite_graph_default_is_empty() {
+    let b = BipartiteGraph::default();
+    assert_eq!(b.node_count(), 0);
+    assert_eq!(b.edge_count(), 0);
+}

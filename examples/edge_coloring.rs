@@ -1,0 +1,37 @@
+//! The introduction's success story (§1.1): edge splitting unlocks
+//! `2Δ(1+o(1))` edge coloring ([GS17], [GHK+17b]).
+//!
+//! ```sh
+//! cargo run --release -p distributed-splitting --example edge_coloring
+//! ```
+
+use distributed_splitting::reductions::{edge_coloring_via_splitting, EdgeSplitEngine};
+use distributed_splitting::splitgraph::{checks, generators};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let n = 256;
+    let delta = 64;
+    let g = generators::random_regular(n, delta, &mut rng).expect("feasible");
+    println!("graph: n = {n}, Δ = {delta}, m = {}", g.edge_count());
+
+    for engine in [EdgeSplitEngine::Eulerian, EdgeSplitEngine::Walk] {
+        let (colors, report, ledger) =
+            edge_coloring_via_splitting(&g, 8, engine).expect("non-empty graph");
+        assert!(checks::is_proper_edge_coloring(&g, &colors));
+        println!("\nengine {engine:?}:");
+        println!("  splitting levels: {}", report.levels);
+        println!("  per-class degree at base: {}", report.base_degree);
+        println!(
+            "  palette: {} colors = {:.3} × 2Δ   [GS17 target: 2Δ(1+o(1))]",
+            report.palette, report.ratio
+        );
+        println!(
+            "  rounds: {:.1} measured + {:.1} charged",
+            ledger.measured_total(),
+            ledger.charged_total()
+        );
+    }
+}

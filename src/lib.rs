@@ -1,0 +1,42 @@
+//! # distributed-splitting
+//!
+//! A comprehensive reproduction of *"On the Complexity of Distributed
+//! Splitting Problems"* (Bamberger, Ghaffari, Kuhn, Maus, Uitto;
+//! PODC 2019) as a Rust workspace. This facade crate re-exports the
+//! member crates:
+//!
+//! * [`splitgraph`] — graphs, bipartite constraint/variable instances,
+//!   generators, validity checkers;
+//! * [`local_runtime`] — LOCAL and SLOCAL model simulators with round
+//!   ledgers;
+//! * [`local_coloring`] — Linial coloring, color reduction, Cole–Vishkin;
+//! * [`degree_split`] — the Theorem 2.3 directed degree-splitting substrate;
+//! * [`derand`] — pessimistic estimators and the conditional-expectation
+//!   fixers;
+//! * [`core`] (`splitting-core`) — every algorithm of the paper;
+//! * [`reductions`] (`splitting-reductions`) — Section 4 pipelines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use distributed_splitting::core::{theorem25, SplitOutcome};
+//! use distributed_splitting::splitgraph::{checks, generators};
+//! use degree_split::Flavor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let b = generators::random_biregular(100, 100, 20, &mut rng).unwrap();
+//! let (out, _report): (SplitOutcome, _) = theorem25(&b, Flavor::Deterministic).unwrap();
+//! assert!(checks::is_weak_splitting(&b, &out.colors, 0));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use degree_split;
+pub use derand;
+pub use local_coloring;
+pub use local_runtime;
+pub use splitgraph;
+pub use splitting_core as core;
+pub use splitting_reductions as reductions;

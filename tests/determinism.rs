@@ -1,0 +1,81 @@
+//! Reproducibility contracts: deterministic pipelines are bit-stable, and
+//! randomized pipelines are bit-stable *given the seed* — the property all
+//! experiment tables rely on.
+
+use degree_split::Flavor;
+use distributed_splitting::core;
+use distributed_splitting::splitgraph::generators;
+use local_runtime::CostKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instance(seed: u64) -> distributed_splitting::splitgraph::BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::random_biregular(100, 100, 20, &mut rng).unwrap()
+}
+
+#[test]
+fn theorem25_is_bit_stable() {
+    let b = instance(1);
+    let (a, _) = core::theorem25(&b, Flavor::Deterministic).unwrap();
+    let (c, _) = core::theorem25(&b, Flavor::Deterministic).unwrap();
+    assert_eq!(a.colors, c.colors);
+    assert_eq!(a.ledger.total(), c.ledger.total());
+}
+
+#[test]
+fn zero_round_depends_only_on_seed() {
+    let b = instance(2);
+    let a = core::zero_round_coloring(&b, 7);
+    let c = core::zero_round_coloring(&b, 7);
+    let d = core::zero_round_coloring(&b, 8);
+    assert_eq!(a.colors, c.colors);
+    assert_ne!(a.colors, d.colors);
+}
+
+#[test]
+fn shattering_depends_only_on_seed() {
+    let b = instance(3);
+    let a = core::shatter(&b, 11);
+    let c = core::shatter(&b, 11);
+    assert_eq!(a.colors, c.colors);
+    assert_eq!(a.satisfied, c.satisfied);
+    assert_eq!(a.messages, c.messages);
+}
+
+#[test]
+fn theorem12_is_seed_stable() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let b = generators::random_biregular(1024, 4096, 24, &mut rng).unwrap();
+    let cfg = core::Theorem12Config { c_constant: 1.5, seed: 99, ..Default::default() };
+    let a = core::theorem12(&b, &cfg).unwrap();
+    let c = core::theorem12(&b, &cfg).unwrap();
+    assert_eq!(a.colors, c.colors);
+}
+
+#[test]
+fn ledgers_separate_cost_kinds_in_every_pipeline() {
+    // deterministic Theorem 2.5 in the DRR regime must contain charged
+    // (oracle) entries AND measured (fixer-phase) entries, each labelled
+    let b = generators::complete_bipartite(64, 512);
+    let (out, _) = core::theorem25(&b, Flavor::Deterministic).unwrap();
+    let kinds: std::collections::HashSet<CostKind> =
+        out.ledger.entries().iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&CostKind::Charged), "oracle degree splitting is charged");
+    assert!(kinds.contains(&CostKind::Measured), "fixer phases are measured");
+    for e in out.ledger.entries() {
+        assert!(!e.label.is_empty(), "every phase is labelled");
+        assert!(e.rounds >= 0.0);
+    }
+    // the display form mentions both subtotals
+    let shown = out.ledger.to_string();
+    assert!(shown.contains("measured"));
+    assert!(shown.contains("charged"));
+}
+
+#[test]
+fn solver_plan_is_pure() {
+    let b = instance(5);
+    let solver = core::WeakSplittingSolver::default();
+    assert_eq!(solver.plan(&b), solver.plan(&b));
+}
