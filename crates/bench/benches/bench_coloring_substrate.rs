@@ -21,7 +21,9 @@ fn bench_substrate(c: &mut Criterion) {
         b.iter(|| kw_reduce(black_box(&g), &lin.colors, lin.palette))
     });
     let chains = Chains::from_next((0..5000).map(|i| Some((i + 1) % 5000)).collect());
-    let chain_ids: Vec<u64> = (0..5000u64).map(|i| i * 2_654_435_761 % 1_000_003).collect();
+    let chain_ids: Vec<u64> = (0..5000u64)
+        .map(|i| i * 2_654_435_761 % 1_000_003)
+        .collect();
     c.bench_function("cole_vishkin/5000_cycle", |b| {
         b.iter(|| cole_vishkin_3color(black_box(&chains), &chain_ids))
     });

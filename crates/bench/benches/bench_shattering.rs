@@ -19,7 +19,10 @@ fn bench_shattering(c: &mut Criterion) {
     c.bench_function("shatter/2048x8192_d24", |b| {
         b.iter(|| core::shatter(black_box(&large), 7))
     });
-    let cfg = core::Theorem12Config { c_constant: 1.5, ..Default::default() };
+    let cfg = core::Theorem12Config {
+        c_constant: 1.5,
+        ..Default::default()
+    };
     c.bench_function("theorem12/2048x8192_d24", |b| {
         b.iter(|| core::theorem12(black_box(&large), &cfg).unwrap())
     });

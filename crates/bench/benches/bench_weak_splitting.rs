@@ -34,7 +34,9 @@ fn bench_pipelines(c: &mut Criterion) {
         b.iter(|| core::theorem25(black_box(&thm25_instance), Flavor::Deterministic).unwrap())
     });
     c.bench_function("theorem27/12x72_d12", |b| {
-        b.iter(|| core::theorem27(black_box(&thm27_instance), core::Variant::Deterministic).unwrap())
+        b.iter(|| {
+            core::theorem27(black_box(&thm27_instance), core::Variant::Deterministic).unwrap()
+        })
     });
 }
 

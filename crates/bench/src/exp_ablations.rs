@@ -2,9 +2,7 @@
 //! (`abl_eps`, `abl_shatter`, `abl_engine`).
 
 use crate::table::{fnum, Table};
-use degree_split::{
-    splitting_rounds_deterministic, DegreeSplitter, Engine, Flavor,
-};
+use degree_split::{splitting_rounds_deterministic, DegreeSplitter, Engine, Flavor};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use splitgraph::{generators, MultiGraph};
@@ -15,7 +13,14 @@ use splitting_core as core;
 pub fn exp_abl_eps(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "abl_eps — DRR-I accuracy ablation (paper: ε = min{1/k, 1/3})",
-        &["ε", "k", "δ_k", "r_k", "charged rounds", "bound δ_k > ((1-ε)/2)^k·δ-2"],
+        &[
+            "ε",
+            "k",
+            "δ_k",
+            "r_k",
+            "charged rounds",
+            "bound δ_k > ((1-ε)/2)^k·δ-2",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(2000);
     let b = generators::random_biregular(
@@ -46,7 +51,12 @@ pub fn exp_abl_eps(quick: bool) -> Vec<Table> {
 pub fn exp_abl_shatter(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "abl_shatter — shattering probability ablation (paper: p = 1/4 per color)",
-        &["p per color", "trials", "unsat rate", "mean uncolored fraction"],
+        &[
+            "p per color",
+            "trials",
+            "unsat rate",
+            "mean uncolored fraction",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(2100);
     let b = generators::random_biregular(128, 256, 24, &mut rng).expect("feasible");
@@ -74,7 +84,15 @@ pub fn exp_abl_shatter(quick: bool) -> Vec<Table> {
 pub fn exp_abl_engine(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "abl_engine — degree-splitting engines (contract: disc ≤ ε·d + 2)",
-        &["engine", "ε", "max disc", "mean disc", "contract viol.", "rounds", "kind"],
+        &[
+            "engine",
+            "ε",
+            "max disc",
+            "mean disc",
+            "contract viol.",
+            "rounds",
+            "kind",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(2200);
     let n = if quick { 60 } else { 200 };
@@ -89,17 +107,21 @@ pub fn exp_abl_engine(quick: bool) -> Vec<Table> {
         g.add_edge(a, b);
     }
     for &eps in &[0.25, 1.0 / 16.0] {
-        for (engine, name) in
-            [(Engine::EulerianOracle, "eulerian oracle"), (Engine::Walk, "walk engine")]
-        {
+        for (engine, name) in [
+            (Engine::EulerianOracle, "eulerian oracle"),
+            (Engine::Walk, "walk engine"),
+        ] {
             let s = DegreeSplitter::new(eps, engine, Flavor::Deterministic);
             let r = s.split(&g, n);
-            let discs: Vec<usize> =
-                (0..n).map(|v| r.orientation.discrepancy(&g, v)).collect();
+            let discs: Vec<usize> = (0..n).map(|v| r.orientation.discrepancy(&g, v)).collect();
             let max = *discs.iter().max().unwrap_or(&0);
             let mean = discs.iter().sum::<usize>() as f64 / n as f64;
             let violations = s.contract_violations(&g, &r.orientation).len();
-            let kind = if r.ledger.charged_total() > 0.0 { "charged" } else { "measured" };
+            let kind = if r.ledger.charged_total() > 0.0 {
+                "charged"
+            } else {
+                "measured"
+            };
             t.row(vec![
                 name.into(),
                 fnum(eps),
@@ -140,10 +162,15 @@ mod tests {
     fn abl_engine_oracle_has_no_violations() {
         let tables = exp_abl_engine(true);
         let rendered = tables[0].render();
-        let oracle_rows: Vec<&str> =
-            rendered.lines().filter(|l| l.contains("eulerian")).collect();
+        let oracle_rows: Vec<&str> = rendered
+            .lines()
+            .filter(|l| l.contains("eulerian"))
+            .collect();
         for row in oracle_rows {
-            assert!(row.contains("| 0 "), "oracle must have zero violations: {row}");
+            assert!(
+                row.contains("| 0 "),
+                "oracle must have zero violations: {row}"
+            );
         }
     }
 }

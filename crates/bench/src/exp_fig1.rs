@@ -12,7 +12,16 @@ use splitting_core as core;
 pub fn exp_fig1(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "fig1 — Figure 1 / Section 2.5: sinkless orientation from weak splitting",
-        &["family", "n", "δ_G", "δ_B", "r_B", "splitting valid", "sinkless", "solver"],
+        &[
+            "family",
+            "n",
+            "δ_G",
+            "δ_B",
+            "r_B",
+            "splitting valid",
+            "sinkless",
+            "solver",
+        ],
     );
 
     // the 8-node, 6-regular example in the spirit of Figure 1
@@ -23,8 +32,11 @@ pub fn exp_fig1(quick: bool) -> Vec<Table> {
     let families: Vec<(String, splitgraph::Graph)> = {
         let mut fams = vec![("figure-1 example (8 nodes)".to_string(), fig)];
         let mut rng = StdRng::seed_from_u64(42);
-        let sizes: &[(usize, usize)] =
-            if quick { &[(60, 6), (120, 24)] } else { &[(60, 6), (120, 24), (500, 24), (1000, 30)] };
+        let sizes: &[(usize, usize)] = if quick {
+            &[(60, 6), (120, 24)]
+        } else {
+            &[(60, 6), (120, 24), (500, 24), (1000, 30)]
+        };
         for &(n, d) in sizes {
             fams.push((
                 format!("random {d}-regular"),
@@ -38,7 +50,12 @@ pub fn exp_fig1(quick: bool) -> Vec<Table> {
         let ids: Vec<u64> = (0..g.node_count() as u64).collect();
         let red = core::sinkless_via_weak_splitting(&g, &ids, 9).expect("pipeline succeeds");
         let b = &red.instance.bipartite;
-        let solver = if red.ledger.entries().iter().any(|e| e.label.contains("centralized")) {
+        let solver = if red
+            .ledger
+            .entries()
+            .iter()
+            .any(|e| e.label.contains("centralized"))
+        {
             "centralized reference (Thm 2.10 regime)"
         } else {
             "Theorem 2.7"
@@ -84,10 +101,21 @@ pub fn exp_fig1(quick: bool) -> Vec<Table> {
 pub fn exp_thm210(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "thm210 — Theorem 2.10 / Corollary 2.11: lower bounds on the rank-2 family",
-        &["n_B", "Δ_B", "rand bound log_Δ log n", "det bound log_Δ n", "our det rounds", "consistent"],
+        &[
+            "n_B",
+            "Δ_B",
+            "rand bound log_Δ log n",
+            "det bound log_Δ n",
+            "our det rounds",
+            "consistent",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(7);
-    let sizes: &[usize] = if quick { &[120, 480] } else { &[120, 480, 1920, 7680] };
+    let sizes: &[usize] = if quick {
+        &[120, 480]
+    } else {
+        &[120, 480, 1920, 7680]
+    };
     for &n in sizes {
         let g = generators::random_regular(n, 24, &mut rng).expect("feasible");
         let ids: Vec<u64> = (0..n as u64).collect();

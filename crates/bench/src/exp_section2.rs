@@ -18,12 +18,27 @@ fn biregular(u: usize, v: usize, d: usize, seed: u64) -> BipartiteGraph {
 pub fn exp_lem21(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "lem21 — Lemma 2.1: deterministic weak splitting in O(Δ·r) rounds (δ ≥ 2·log n)",
-        &["|U|", "|V|", "Δ=δ", "r", "Δ·r", "rounds(total)", "rounds/Δr", "valid"],
+        &[
+            "|U|",
+            "|V|",
+            "Δ=δ",
+            "r",
+            "Δ·r",
+            "rounds(total)",
+            "rounds/Δr",
+            "valid",
+        ],
     );
     let sweep: &[(usize, usize, usize)] = if quick {
         &[(100, 100, 18), (200, 100, 18)]
     } else {
-        &[(100, 100, 18), (200, 100, 18), (200, 100, 36), (400, 100, 36), (384, 96, 48)]
+        &[
+            (100, 100, 18),
+            (200, 100, 18),
+            (200, 100, 36),
+            (400, 100, 36),
+            (384, 96, 48),
+        ]
     };
     for (i, &(u, v, d)) in sweep.iter().enumerate() {
         let b = biregular(u, v, d, 100 + i as u64);
@@ -48,10 +63,22 @@ pub fn exp_lem21(quick: bool) -> Vec<Table> {
 pub fn exp_lem22(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "lem22 — Lemma 2.2: degree truncation, rounds O(r·log n) independent of Δ",
-        &["|U|", "|V|", "δ=Δ", "r", "r·log n", "rounds(trunc)", "rounds(full 2.1)", "valid"],
+        &[
+            "|U|",
+            "|V|",
+            "δ=Δ",
+            "r",
+            "r·log n",
+            "rounds(trunc)",
+            "rounds(full 2.1)",
+            "valid",
+        ],
     );
-    let sweep: &[(usize, usize, usize)] =
-        if quick { &[(96, 192, 32)] } else { &[(96, 192, 32), (96, 192, 64), (96, 192, 128)] };
+    let sweep: &[(usize, usize, usize)] = if quick {
+        &[(96, 192, 32)]
+    } else {
+        &[(96, 192, 32), (96, 192, 64), (96, 192, 128)]
+    };
     for (i, &(u, v, d)) in sweep.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(200 + i as u64);
         let b = generators::random_left_regular(u, v, d, &mut rng).expect("feasible");
@@ -77,9 +104,21 @@ pub fn exp_lem22(quick: bool) -> Vec<Table> {
 pub fn exp_lem24(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "lem24 — Lemma 2.4: Degree-Rank Reduction I trace vs bounds (ε = 0.2)",
-        &["k", "δ_k", "bound: ((1-ε)/2)^k·δ-2", "r_k", "bound: ((1+ε)/2)^k·r+3", "ok"],
+        &[
+            "k",
+            "δ_k",
+            "bound: ((1-ε)/2)^k·δ-2",
+            "r_k",
+            "bound: ((1+ε)/2)^k·r+3",
+            "ok",
+        ],
     );
-    let b = biregular(if quick { 128 } else { 512 }, if quick { 96 } else { 384 }, 48, 300);
+    let b = biregular(
+        if quick { 128 } else { 512 },
+        if quick { 96 } else { 384 },
+        48,
+        300,
+    );
     let splitter = DegreeSplitter::new(0.2, Engine::EulerianOracle, Flavor::Deterministic);
     let k = if quick { 3 } else { 5 };
     let red = core::degree_rank_reduction_i(&b, &splitter, k);
@@ -102,17 +141,28 @@ pub fn exp_lem24(quick: bool) -> Vec<Table> {
 pub fn exp_thm25(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "thm25 — Theorem 2.5: rounds vs r/δ·log²n + log³n·(loglog n)^1.1",
-        &["n", "δ", "r", "DRR iters", "rounds(total)", "paper bound", "rounds/bound", "valid"],
+        &[
+            "n",
+            "δ",
+            "r",
+            "DRR iters",
+            "rounds(total)",
+            "paper bound",
+            "rounds/bound",
+            "valid",
+        ],
     );
     // complete bipartite instances put δ deep above 48·log n so DRR-I runs
-    let sweep: &[(usize, usize)] =
-        if quick { &[(64, 512)] } else { &[(64, 512), (96, 768), (128, 1024)] };
+    let sweep: &[(usize, usize)] = if quick {
+        &[(64, 512)]
+    } else {
+        &[(64, 512), (96, 768), (128, 1024)]
+    };
     for &(u, v) in sweep {
         let b = generators::complete_bipartite(u, v);
         let (out, report) = core::theorem25(&b, Flavor::Deterministic).expect("regime holds");
         let valid = checks::is_weak_splitting(&b, &out.colors, 0);
-        let bound =
-            core::theorem25_round_bound(b.node_count(), b.min_left_degree(), b.rank());
+        let bound = core::theorem25_round_bound(b.node_count(), b.min_left_degree(), b.rank());
         t.row(vec![
             b.node_count().to_string(),
             b.min_left_degree().to_string(),
@@ -150,12 +200,21 @@ pub fn exp_thm25(quick: bool) -> Vec<Table> {
 pub fn exp_lem26(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "lem26 — Lemma 2.6: DRR-II rank per iteration (reaches 1 at ⌈log r⌉)",
-        &["r₀", "⌈log r⌉", "rank trace", "final rank", "min degree trace"],
+        &[
+            "r₀",
+            "⌈log r⌉",
+            "rank trace",
+            "final rank",
+            "min degree trace",
+        ],
     );
     // the last row (δ = 12, r = 2) sits in the Theorem 2.7 regime δ ≥ 6r:
     // the min-degree trace stays ≥ 2 as the proof requires
-    let sweep: &[(usize, usize, usize)] =
-        if quick { &[(60, 40, 18)] } else { &[(60, 40, 18), (80, 16, 10), (128, 64, 32), (12, 72, 12)] };
+    let sweep: &[(usize, usize, usize)] = if quick {
+        &[(60, 40, 18)]
+    } else {
+        &[(60, 40, 18), (80, 16, 10), (128, 64, 32), (12, 72, 12)]
+    };
     for (i, &(u, v, d)) in sweep.iter().enumerate() {
         let b = biregular(u, v, d, 400 + i as u64);
         let eps = 1.0 / (10.0 * b.max_left_degree() as f64);
@@ -163,8 +222,11 @@ pub fn exp_lem26(quick: bool) -> Vec<Table> {
         let k = ceil_log2(b.rank().max(1)) as usize;
         let red = core::degree_rank_reduction_ii(&b, &splitter, k);
         let ranks: Vec<String> = red.trace.iter().map(|s| s.rank.to_string()).collect();
-        let degs: Vec<String> =
-            red.trace.iter().map(|s| s.min_left_degree.to_string()).collect();
+        let degs: Vec<String> = red
+            .trace
+            .iter()
+            .map(|s| s.min_left_degree.to_string())
+            .collect();
         t.row(vec![
             b.rank().to_string(),
             k.to_string(),
@@ -180,10 +242,21 @@ pub fn exp_lem26(quick: bool) -> Vec<Table> {
 pub fn exp_thm27(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "thm27 — Theorem 2.7: δ ≥ 6r regime, deterministic vs randomized",
-        &["n", "δ", "r", "det rounds", "rand rounds", "det valid", "rand valid"],
+        &[
+            "n",
+            "δ",
+            "r",
+            "det rounds",
+            "rand rounds",
+            "det valid",
+            "rand valid",
+        ],
     );
-    let sweep: &[(usize, usize, usize)] =
-        if quick { &[(12, 72, 12)] } else { &[(12, 72, 12), (24, 144, 12), (48, 288, 24)] };
+    let sweep: &[(usize, usize, usize)] = if quick {
+        &[(12, 72, 12)]
+    } else {
+        &[(12, 72, 12), (24, 144, 12), (48, 288, 24)]
+    };
     for (i, &(u, v, d)) in sweep.iter().enumerate() {
         let b = biregular(u, v, d, 500 + i as u64);
         let det = core::theorem27(&b, core::Variant::Deterministic).expect("regime holds");
@@ -206,10 +279,20 @@ pub fn exp_thm27(quick: bool) -> Vec<Table> {
 pub fn exp_lem29(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "lem29 — Lemma 2.9: Pr[u unsatisfied] after shattering vs Δ (exponential decay)",
-        &["Δ=δ", "trials", "unsat rate", "rate/previous", "paper bound e^{-ηΔ} shape"],
+        &[
+            "Δ=δ",
+            "trials",
+            "unsat rate",
+            "rate/previous",
+            "paper bound e^{-ηΔ} shape",
+        ],
     );
     let trials = if quick { 20 } else { 100 };
-    let degrees: &[usize] = if quick { &[8, 16, 32] } else { &[8, 16, 24, 32, 48] };
+    let degrees: &[usize] = if quick {
+        &[8, 16, 32]
+    } else {
+        &[8, 16, 24, 32, 48]
+    };
     let mut prev: Option<f64> = None;
     for (i, &d) in degrees.iter().enumerate() {
         let b = biregular(128, 256, d, 600 + i as u64);
@@ -237,7 +320,16 @@ pub fn exp_lem29(quick: bool) -> Vec<Table> {
 pub fn exp_thm12(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "thm12 — Theorem 1.2: shattering + per-component Thm 2.5",
-        &["n", "δ", "r", "unsat", "max comp", "bound r⁴log⁶n", "rounds", "valid"],
+        &[
+            "n",
+            "δ",
+            "r",
+            "unsat",
+            "max comp",
+            "bound r⁴log⁶n",
+            "rounds",
+            "valid",
+        ],
     );
     let sweep: &[(usize, usize, usize)] = if quick {
         &[(2048, 8192, 24)]

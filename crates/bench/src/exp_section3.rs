@@ -18,10 +18,21 @@ fn def13_instance(u: usize, v: usize, d: usize, seed: u64) -> BipartiteGraph {
 pub fn exp_thm32(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "thm32 — Theorem 3.2: C-weak multicolor splitting membership",
-        &["n", "deg", "C=⌈2log n⌉", "min distinct (rand)", "min distinct (det)", "required", "valid"],
+        &[
+            "n",
+            "deg",
+            "C=⌈2log n⌉",
+            "min distinct (rand)",
+            "min distinct (det)",
+            "required",
+            "valid",
+        ],
     );
-    let sweep: &[(usize, usize, usize)] =
-        if quick { &[(128, 2048, 1024)] } else { &[(128, 2048, 1024), (192, 3072, 1536)] };
+    let sweep: &[(usize, usize, usize)] = if quick {
+        &[(128, 2048, 1024)]
+    } else {
+        &[(128, 2048, 1024), (192, 3072, 1536)]
+    };
     for (i, &(u, v, d)) in sweep.iter().enumerate() {
         let b = def13_instance(u, v, d, 800 + i as u64);
         let n = b.node_count();
@@ -92,8 +103,7 @@ pub fn exp_thm33(quick: bool) -> Vec<Table> {
     for (i, &lambda) in lambdas.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(1000 + i as u64);
         let b = generators::random_biregular(128, 256, 64, &mut rng).expect("feasible");
-        let out =
-            core::multicolor_splitting_deterministic(&b, 16, lambda).expect("regime holds");
+        let out = core::multicolor_splitting_deterministic(&b, 16, lambda).expect("regime holds");
         let valid = checks::is_multicolor_splitting(&b, &out.colors, out.palette, lambda, 0);
         // worst load fraction over constraints and colors
         let mut worst = 0.0f64;
@@ -121,7 +131,11 @@ pub fn exp_thm33(quick: bool) -> Vec<Table> {
         &["iteration", "max class fraction", "λ^i target"],
     );
     let b = def13_instance(128, 3072, 1536, 1100);
-    let cfg = core::Theorem33Config { c: 16, lambda: 0.5, alpha: 16.0 };
+    let cfg = core::Theorem33Config {
+        c: 16,
+        lambda: 0.5,
+        alpha: 16.0,
+    };
     let (colors, report, _ledger) =
         core::weak_multicolor_via_multicolor_splitting(&b, &cfg).expect("regime holds");
     for (i, &f) in report.class_fractions.iter().enumerate() {
@@ -133,7 +147,12 @@ pub fn exp_thm33(quick: bool) -> Vec<Table> {
     }
     let mut t3 = Table::new(
         "thm33 — final refinement summary",
-        &["iterations", "total colors C''", "min distinct colors", "required 2·log n"],
+        &[
+            "iterations",
+            "total colors C''",
+            "min distinct colors",
+            "required 2·log n",
+        ],
     );
     let required = weak_multicolor_required_colors(b.node_count());
     let distinct_min = (0..b.left_count())

@@ -12,7 +12,15 @@ use splitting_reductions as red;
 pub fn exp_lem41(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "lem41 — Lemma 4.1: (1+o(1))·Δ coloring via recursive splitting",
-        &["n", "Δ", "levels", "base Δ*", "palette", "ratio palette/(Δ+1)", "proper"],
+        &[
+            "n",
+            "Δ",
+            "levels",
+            "base Δ*",
+            "palette",
+            "ratio palette/(Δ+1)",
+            "proper",
+        ],
     );
     let sweep: &[(usize, usize)] = if quick {
         &[(512, 64), (2048, 512)]
@@ -43,7 +51,16 @@ pub fn exp_lem41(quick: bool) -> Vec<Table> {
 pub fn exp_lem42(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "lem42 — Lemma 4.2: MIS via heavy-node elimination",
-        &["n", "Δ", "steps", "elim iters", "splittings", "MIS size", "n/(Δ+1) bound", "valid"],
+        &[
+            "n",
+            "Δ",
+            "steps",
+            "elim iters",
+            "splittings",
+            "MIS size",
+            "n/(Δ+1) bound",
+            "valid",
+        ],
     );
     let sweep: &[(usize, usize)] = if quick {
         &[(300, 32), (256, 64)]
@@ -73,7 +90,11 @@ pub fn exp_lem42(quick: bool) -> Vec<Table> {
         &["n", "degree", "certified ε", "valid (derandomized)"],
     );
     let mut rng = StdRng::seed_from_u64(1400);
-    for &d in if quick { &[48usize, 96][..] } else { &[48usize, 96, 192, 384][..] } {
+    for &d in if quick {
+        &[48usize, 96][..]
+    } else {
+        &[48usize, 96, 192, 384][..]
+    } {
         let g = generators::random_regular(512.max(2 * d), d, &mut rng).expect("feasible");
         let eps = red::feasible_eps(g.node_count(), d);
         let ok = red::uniform_splitting_deterministic(&g, eps, d)
@@ -91,10 +112,21 @@ pub fn exp_lem42(quick: bool) -> Vec<Table> {
     // Lemma 4.2 pipeline on the same graphs
     let mut t3 = Table::new(
         "lem42 — baseline: Luby MIS (measured) vs heavy-node elimination",
-        &["n", "Δ", "luby phases", "luby rounds", "luby size", "lemma 4.2 size", "both valid"],
+        &[
+            "n",
+            "Δ",
+            "luby phases",
+            "luby rounds",
+            "luby size",
+            "lemma 4.2 size",
+            "both valid",
+        ],
     );
-    let base_sweep: &[(usize, usize)] =
-        if quick { &[(300, 32)] } else { &[(300, 32), (1024, 64)] };
+    let base_sweep: &[(usize, usize)] = if quick {
+        &[(300, 32)]
+    } else {
+        &[(300, 32), (1024, 64)]
+    };
     for (i, &(n, d)) in base_sweep.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(1500 + i as u64);
         let g = generators::random_regular(n, d, &mut rng).expect("feasible");

@@ -9,7 +9,17 @@ use splitting_core as core;
 pub fn exp_lem51(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "lem51 — Lemma 5.1: δ_H ≥ 6·r_H after shattering (girth ≥ 10 instances)",
-        &["q", "n_B", "δ", "girth", "trials", "holds", "mean unsat", "min δ_H seen", "max r_H seen"],
+        &[
+            "q",
+            "n_B",
+            "δ",
+            "girth",
+            "trials",
+            "holds",
+            "mean unsat",
+            "min δ_H seen",
+            "max r_H seen",
+        ],
     );
     let qs: &[u64] = if quick { &[13, 23] } else { &[13, 23, 31, 43] };
     let trials = if quick { 10 } else { 30 };
@@ -43,7 +53,11 @@ pub fn exp_lem51(quick: bool) -> Vec<Table> {
             trials.to_string(),
             format!("{holds}/{trials}"),
             fnum(unsat_total as f64 / trials as f64),
-            if min_dh == usize::MAX { "—".into() } else { min_dh.to_string() },
+            if min_dh == usize::MAX {
+                "—".into()
+            } else {
+                min_dh.to_string()
+            },
             max_rh.to_string(),
         ]);
     }
@@ -55,7 +69,16 @@ pub fn exp_lem51(quick: bool) -> Vec<Table> {
 pub fn exp_thm52(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "thm52 — Theorems 5.2/5.3: high-girth pipeline rounds vs Δ²r²",
-        &["q", "n_B", "Δ·r", "(Δr)²", "det rounds", "rand rounds", "det valid", "rand valid"],
+        &[
+            "q",
+            "n_B",
+            "Δ·r",
+            "(Δr)²",
+            "det rounds",
+            "rand rounds",
+            "det valid",
+            "rand valid",
+        ],
     );
     // q = 13 (δ = 14) sits below the "sufficiently large constants" of
     // Lemma 5.1 — see the lem51 table — so the pipeline starts at q = 23
@@ -89,7 +112,10 @@ mod tests {
         let tables = exp_lem51(true);
         let s = tables[0].render();
         // at q = 23 the property should hold in almost every trial
-        assert!(s.contains("10/10") || s.contains("9/10") || s.contains("8/10"), "{s}");
+        assert!(
+            s.contains("10/10") || s.contains("9/10") || s.contains("8/10"),
+            "{s}"
+        );
     }
 
     #[test]

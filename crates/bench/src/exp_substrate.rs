@@ -12,10 +12,22 @@ use splitting_reductions as red;
 pub fn exp_edge_split(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "edge_split — §1.1 motivation: 2Δ(1+o(1)) edge coloring via edge splitting",
-        &["n", "Δ", "engine", "levels", "base Δ*", "palette", "ratio /2Δ", "proper"],
+        &[
+            "n",
+            "Δ",
+            "engine",
+            "levels",
+            "base Δ*",
+            "palette",
+            "ratio /2Δ",
+            "proper",
+        ],
     );
-    let sweep: &[(usize, usize)] =
-        if quick { &[(128, 32)] } else { &[(128, 32), (256, 64), (512, 128)] };
+    let sweep: &[(usize, usize)] = if quick {
+        &[(128, 32)]
+    } else {
+        &[(128, 32), (256, 64), (512, 128)]
+    };
     for (i, &(n, d)) in sweep.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(3000 + i as u64);
         let g = generators::random_regular(n, d, &mut rng).expect("feasible");
@@ -81,7 +93,12 @@ pub fn exp_runtime(quick: bool) -> Vec<Table> {
     // the message-passing conditional-expectation fixer, cross-validated
     let mut t2 = Table::new(
         "runtime — distributed conditional-expectation fixer vs central compilation",
-        &["|U|×|V|", "palette classes", "rounds (= 2·C)", "identical to central"],
+        &[
+            "|U|×|V|",
+            "palette classes",
+            "rounds (= 2·C)",
+            "identical to central",
+        ],
     );
     let mut rng = StdRng::seed_from_u64(3200);
     let b = generators::random_left_regular(60, 120, 16, &mut rng).expect("feasible");

@@ -29,10 +29,13 @@ pub use exp_section5::{exp_lem51, exp_thm52};
 pub use exp_substrate::{exp_edge_split, exp_runtime};
 pub use table::{fnum, Table};
 
+/// An experiment runner: takes the `quick` flag, returns result tables.
+pub type ExperimentFn = fn(bool) -> Vec<Table>;
+
 /// All experiments in index order, as `(id, runner)` pairs.
-pub fn all_experiments() -> Vec<(&'static str, fn(bool) -> Vec<Table>)> {
+pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("fig1", exp_fig1 as fn(bool) -> Vec<Table>),
+        ("fig1", exp_fig1 as ExperimentFn),
         ("lem21", exp_lem21),
         ("lem22", exp_lem22),
         ("lem24", exp_lem24),

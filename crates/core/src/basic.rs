@@ -118,10 +118,15 @@ pub fn basic_deterministic_unchecked(
         fix.rounds as f64,
     );
     if fix.initial_phi >= 1.0 {
-        return Err(SplitError::EstimatorTooLarge { phi: fix.initial_phi });
+        return Err(SplitError::EstimatorTooLarge {
+            phi: fix.initial_phi,
+        });
     }
     debug_assert!(fix.final_phi < 1.0, "greedy fixing must not increase Φ");
-    Ok(SplitOutcome { colors: to_two_coloring(&fix.colors), ledger })
+    Ok(SplitOutcome {
+        colors: to_two_coloring(&fix.colors),
+        ledger,
+    })
 }
 
 #[cfg(test)]
@@ -140,7 +145,10 @@ mod tests {
         let out = basic_deterministic(&b, b.node_count()).unwrap();
         assert!(is_weak_splitting(&b, &out.colors, 0));
         assert!(out.ledger.measured_total() > 0.0);
-        assert!(out.ledger.charged_total() > 0.0, "reference scheduling is charged");
+        assert!(
+            out.ledger.charged_total() > 0.0,
+            "reference scheduling is charged"
+        );
     }
 
     #[test]
@@ -153,7 +161,11 @@ mod tests {
             basic_deterministic_with(&b, b.node_count(), SchedulingMode::Distributed).unwrap();
         assert!(is_weak_splitting(&b, &reference.colors, 0));
         assert!(is_weak_splitting(&b, &distributed.colors, 0));
-        assert_eq!(distributed.ledger.charged_total(), 0.0, "fully measured pipeline");
+        assert_eq!(
+            distributed.ledger.charged_total(),
+            0.0,
+            "fully measured pipeline"
+        );
     }
 
     #[test]

@@ -36,9 +36,7 @@ use splitgraph::{checks, BipartiteGraph, MultiColor};
 /// multicolor solution was invalid for the Definition 1.3 regime) and
 /// [`SplitError::EstimatorTooLarge`] if the pruned instance fails the
 /// union bound (impossible when `S(u)` selection succeeded).
-pub fn weak_splitting_via_weak_multicolor(
-    b: &BipartiteGraph,
-) -> Result<SplitOutcome, SplitError> {
+pub fn weak_splitting_via_weak_multicolor(b: &BipartiteGraph) -> Result<SplitOutcome, SplitError> {
     let n = b.node_count();
     let required = weak_multicolor_required_colors(n);
     let mut ledger = RoundLedger::new();
@@ -73,9 +71,14 @@ pub fn weak_splitting_via_weak_multicolor(
     // step 3: the multicolor classes schedule the SLOCAL(2) fixer on B'
     let est = ColoringEstimator::monochromatic(&pruned);
     let fix = phased_fix(&pruned, est, &mc.colors, mc.palette);
-    ledger.add_measured("weak splitting phases on B' (2 per color)", fix.rounds as f64);
+    ledger.add_measured(
+        "weak splitting phases on B' (2 per color)",
+        fix.rounds as f64,
+    );
     if fix.initial_phi >= 1.0 {
-        return Err(SplitError::EstimatorTooLarge { phi: fix.initial_phi });
+        return Err(SplitError::EstimatorTooLarge {
+            phi: fix.initial_phi,
+        });
     }
     let colors = to_two_coloring(&fix.colors);
     debug_assert!(checks::is_weak_splitting(&pruned, &colors, 0));
@@ -127,8 +130,9 @@ pub fn weak_multicolor_via_multicolor_splitting(
         });
     }
     let target_fraction = 1.0 / (2.0 * log2(n.max(2)));
-    let iterations =
-        ((2.0 * log2(n.max(2))).ln() / (1.0 / cfg.lambda).ln()).ceil().max(1.0) as usize;
+    let iterations = ((2.0 * log2(n.max(2))).ln() / (1.0 / cfg.lambda).ln())
+        .ceil()
+        .max(1.0) as usize;
     let floor = (cfg.alpha * cfg.lambda * ln(n.max(2))).ceil().max(2.0) as usize;
 
     let mut colors: Vec<u64> = vec![0; b.right_count()];
@@ -168,8 +172,8 @@ pub fn weak_multicolor_via_multicolor_splitting(
         let inner = multicolor_splitting_deterministic(&h, cfg.c, cfg.lambda)?;
         ledger.merge_prefixed(&format!("iteration {it} (C, λ)-splitting"), inner.ledger);
         let c_prime = inner.palette as u64;
-        for v in 0..b.right_count() {
-            colors[v] = colors[v] * c_prime + inner.colors[v] as u64;
+        for (color, &refined) in colors.iter_mut().zip(&inner.colors) {
+            *color = *color * c_prime + refined as u64;
         }
         palette *= c_prime;
         report.class_fractions.push(max_class_fraction(b, &colors));
@@ -252,9 +256,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         // dense instance: degrees 1536 ≥ β·ln² n (the paper's regime)
         let b = generators::random_left_regular(128, 3072, 1536, &mut rng).unwrap();
-        let cfg = Theorem33Config { c: 16, lambda: 0.5, alpha: 16.0 };
-        let (colors, report, _ledger) =
-            weak_multicolor_via_multicolor_splitting(&b, &cfg).unwrap();
+        let cfg = Theorem33Config {
+            c: 16,
+            lambda: 0.5,
+            alpha: 16.0,
+        };
+        let (colors, report, _ledger) = weak_multicolor_via_multicolor_splitting(&b, &cfg).unwrap();
         assert_eq!(colors.len(), 3072);
         assert!(report.iterations >= 3);
         // fractions must decay roughly like λ^i until hitting the floor
@@ -283,7 +290,11 @@ mod tests {
     #[test]
     fn theorem33_rejects_bad_lambda() {
         let b = generators::complete_bipartite(4, 4);
-        let cfg = Theorem33Config { c: 8, lambda: 1.0, alpha: 1.0 };
+        let cfg = Theorem33Config {
+            c: 8,
+            lambda: 1.0,
+            alpha: 1.0,
+        };
         assert!(weak_multicolor_via_multicolor_splitting(&b, &cfg).is_err());
     }
 

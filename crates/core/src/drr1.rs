@@ -94,7 +94,11 @@ pub fn degree_rank_reduction_i(
             rank_upper_bound: factor_hi * rank0 + 3.0,
         });
     }
-    DrrReduction { graph: current, trace, ledger }
+    DrrReduction {
+        graph: current,
+        trace,
+        ledger,
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +184,10 @@ mod tests {
         let b = generators::random_biregular(40, 40, 12, &mut rng).unwrap();
         let red = degree_rank_reduction_i(&b, &splitter(0.25), 2);
         for (u, v) in red.graph.edges() {
-            assert!(b.contains_edge(u, v), "edge ({u}, {v}) appeared from nowhere");
+            assert!(
+                b.contains_edge(u, v),
+                "edge ({u}, {v}) appeared from nowhere"
+            );
         }
     }
 }

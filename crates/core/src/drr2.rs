@@ -87,7 +87,11 @@ pub fn degree_rank_reduction_ii(
             min_left_degree: current.min_left_degree(),
         });
     }
-    Drr2Reduction { graph: current, trace, ledger }
+    Drr2Reduction {
+        graph: current,
+        trace,
+        ledger,
+    }
 }
 
 #[cfg(test)]
@@ -138,7 +142,10 @@ mod tests {
         let s = splitter_for(&b);
         let red = degree_rank_reduction_ii(&b, &s, 8);
         for v in 0..red.graph.right_count() {
-            assert!(red.graph.right_degree(v) >= 1, "variable {v} lost every edge");
+            assert!(
+                red.graph.right_degree(v) >= 1,
+                "variable {v} lost every edge"
+            );
         }
     }
 
@@ -166,7 +173,7 @@ mod tests {
         // δ ≥ 6r: after rank reaches 1, every constraint keeps ≥ 2 edges
         let mut rng = StdRng::seed_from_u64(5);
         let b = generators::random_biregular(24, 36, 12, &mut rng).unwrap(); // rank 8, δ = 12...
-        // rank = 24·12/36 = 8 > δ/6 = 2: not the regime; build one that is:
+                                                                             // rank = 24·12/36 = 8 > δ/6 = 2: not the regime; build one that is:
         let b2 = generators::random_biregular(12, 72, 12, &mut rng).unwrap(); // rank 2, δ = 12 ≥ 6·2
         assert!(b2.min_left_degree() >= 6 * b2.rank());
         let s = splitter_for(&b2);

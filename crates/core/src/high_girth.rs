@@ -54,7 +54,12 @@ fn stats_from_shatter(b: &BipartiteGraph, sh: &ShatterOutcome) -> Lemma51Stats {
         None => true,
         Some(d) => d >= 6 * rank_h,
     };
-    Lemma51Stats { delta_h, rank_h, unsatisfied, holds }
+    Lemma51Stats {
+        delta_h,
+        rank_h,
+        unsatisfied,
+        holds,
+    }
 }
 
 /// Scheduling engine for the `B⁴` coloring of Theorem 5.2 (same tradeoff
@@ -181,14 +186,16 @@ fn high_girth_pipeline(
     let mut colors: Vec<Option<Color>> = sh.colors.clone();
     let unsat: Vec<usize> = (0..b.left_count()).filter(|&u| !sh.satisfied[u]).collect();
     if !unsat.is_empty() {
-        let uncolored: Vec<usize> =
-            (0..b.right_count()).filter(|&v| sh.colors[v].is_none()).collect();
+        let uncolored: Vec<usize> = (0..b.right_count())
+            .filter(|&v| sh.colors[v].is_none())
+            .collect();
         let right_local: std::collections::HashMap<usize, usize> =
             uncolored.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut h = BipartiteGraph::new(unsat.len(), uncolored.len());
         for (i, &u) in unsat.iter().enumerate() {
             for &v in sh.residual.left_neighbors(u) {
-                h.add_edge(i, right_local[&v]).expect("residual edges stay simple");
+                h.add_edge(i, right_local[&v])
+                    .expect("residual edges stay simple");
             }
         }
         let inner = theorem27(&h, finish)?;
@@ -197,7 +204,10 @@ fn high_girth_pipeline(
             colors[orig] = Some(inner.colors[j]);
         }
     }
-    let colors: Vec<Color> = colors.into_iter().map(|c| c.unwrap_or(Color::Red)).collect();
+    let colors: Vec<Color> = colors
+        .into_iter()
+        .map(|c| c.unwrap_or(Color::Red))
+        .collect();
     debug_assert!(checks::is_weak_splitting(b, &colors, 0));
     Ok(SplitOutcome { colors, ledger })
 }
@@ -205,8 +215,7 @@ fn high_girth_pipeline(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+
     use splitgraph::generators;
 
     /// Explicit girth-12 incidence instance of the projective plane of
@@ -234,7 +243,10 @@ mod tests {
         let b = girth_instance(23);
         let out = theorem52(&b, 7, true, GirthScheduling::Reference).unwrap();
         assert!(checks::is_weak_splitting(&b, &out.colors, 0));
-        assert!(out.ledger.charged_total() > 0.0, "B⁴ coloring must be charged");
+        assert!(
+            out.ledger.charged_total() > 0.0,
+            "B⁴ coloring must be charged"
+        );
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub use basic::{
     basic_deterministic, basic_deterministic_unchecked, basic_deterministic_with, SchedulingMode,
 };
 pub use completeness::{
-    weak_multicolor_via_multicolor_splitting, weak_splitting_via_weak_multicolor,
-    Theorem33Config, Theorem33Report,
+    weak_multicolor_via_multicolor_splitting, weak_splitting_via_weak_multicolor, Theorem33Config,
+    Theorem33Report,
 };
 pub use drr1::{degree_rank_reduction_i, DrrIterationStats, DrrReduction};
 pub use drr2::{degree_rank_reduction_ii, drr2_iteration, Drr2IterationStats, Drr2Reduction};

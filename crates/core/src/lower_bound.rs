@@ -161,7 +161,10 @@ pub fn solve_rank2_reference(b: &BipartiteGraph, seed: u64) -> Result<SplitOutco
                 .find(|&v| {
                     let mut trial = colors[v].flipped();
                     std::mem::swap(&mut colors[v], &mut trial);
-                    let ok = b.right_neighbors(v).iter().all(|&w| constraint_ok(b, &colors, w));
+                    let ok = b
+                        .right_neighbors(v)
+                        .iter()
+                        .all(|&w| constraint_ok(b, &colors, w));
                     std::mem::swap(&mut colors[v], &mut trial);
                     ok
                 })
@@ -170,7 +173,10 @@ pub fn solve_rank2_reference(b: &BipartiteGraph, seed: u64) -> Result<SplitOutco
             steps += 1;
         }
     }
-    Err(SplitError::RandomizedFailure { phase: "rank-2 repair".into(), attempts: SEEDS })
+    Err(SplitError::RandomizedFailure {
+        phase: "rank-2 repair".into(),
+        attempts: SEEDS,
+    })
 }
 
 /// Whether constraint `u` sees both colors under a full coloring.
@@ -222,7 +228,11 @@ mod tests {
         let red = sinkless_via_weak_splitting(&g, &ids, 1).unwrap();
         assert!(red.instance.bipartite.rank() <= 2);
         assert!(red.instance.bipartite.min_left_degree() >= 3);
-        assert!(checks::is_weak_splitting(&red.instance.bipartite, &red.splitting, 0));
+        assert!(checks::is_weak_splitting(
+            &red.instance.bipartite,
+            &red.splitting,
+            0
+        ));
         assert!(checks::is_sinkless(&g, &red.orientation, 1));
     }
 
@@ -269,9 +279,18 @@ mod tests {
     #[test]
     fn bounds_grow_and_shrink_correctly() {
         // deterministic bound grows with n, shrinks with Δ
-        assert!(corollary211_deterministic_bound(1 << 20, 4) > corollary211_deterministic_bound(1 << 10, 4));
-        assert!(corollary211_deterministic_bound(1 << 20, 4) > corollary211_deterministic_bound(1 << 20, 16));
+        assert!(
+            corollary211_deterministic_bound(1 << 20, 4)
+                > corollary211_deterministic_bound(1 << 10, 4)
+        );
+        assert!(
+            corollary211_deterministic_bound(1 << 20, 4)
+                > corollary211_deterministic_bound(1 << 20, 16)
+        );
         // randomized bound is exponentially smaller
-        assert!(theorem210_randomized_bound(1 << 20, 4) < corollary211_deterministic_bound(1 << 20, 4) / 2.0);
+        assert!(
+            theorem210_randomized_bound(1 << 20, 4)
+                < corollary211_deterministic_bound(1 << 20, 4) / 2.0
+        );
     }
 }

@@ -17,9 +17,7 @@ use crate::outcome::SplitError;
 use derand::{chernoff_t, sequential_fix, ColoringEstimator, FixOutcome};
 use local_runtime::{NodeRngs, RoundLedger};
 use rand::RngExt;
-use splitgraph::math::{
-    weak_multicolor_degree_threshold, weak_multicolor_required_colors,
-};
+use splitgraph::math::{weak_multicolor_degree_threshold, weak_multicolor_required_colors};
 use splitgraph::{checks, BipartiteGraph, MultiColor};
 
 /// A multicolor splitting result.
@@ -45,7 +43,11 @@ pub fn weak_multicolor_random(b: &BipartiteGraph, seed: u64) -> MulticolorOutcom
         .collect();
     let mut ledger = RoundLedger::new();
     ledger.add_measured("zero-round multicolor choice", 0.0);
-    MulticolorOutcome { colors, palette, ledger }
+    MulticolorOutcome {
+        colors,
+        palette,
+        ledger,
+    }
 }
 
 /// Deterministic C-weak multicolor splitting via the missing-color
@@ -57,15 +59,15 @@ pub fn weak_multicolor_random(b: &BipartiteGraph, seed: u64) -> MulticolorOutcom
 /// Returns [`SplitError::EstimatorTooLarge`] if the union bound does not
 /// certify success (the instance violates the Definition 1.3 degree
 /// regime badly).
-pub fn weak_multicolor_deterministic(
-    b: &BipartiteGraph,
-) -> Result<MulticolorOutcome, SplitError> {
+pub fn weak_multicolor_deterministic(b: &BipartiteGraph) -> Result<MulticolorOutcome, SplitError> {
     let n = b.node_count();
     let palette = weak_multicolor_required_colors(n) as u32;
     let est = ColoringEstimator::missing_color(b, palette);
     let (fix, rounds_entry) = scheduled_fix(b, est);
     if fix.initial_phi >= 1.0 {
-        return Err(SplitError::EstimatorTooLarge { phi: fix.initial_phi });
+        return Err(SplitError::EstimatorTooLarge {
+            phi: fix.initial_phi,
+        });
     }
     let mut ledger = RoundLedger::new();
     ledger.add_charged("B² scheduling coloring (BEK14a)", rounds_entry.0);
@@ -76,7 +78,11 @@ pub fn weak_multicolor_deterministic(
         weak_multicolor_degree_threshold(n),
         weak_multicolor_required_colors(n),
     ));
-    Ok(MulticolorOutcome { colors: fix.colors, palette, ledger })
+    Ok(MulticolorOutcome {
+        colors: fix.colors,
+        palette,
+        ledger,
+    })
 }
 
 /// Randomized zero-round (C, λ)-multicolor splitting with the Theorem 3.3
@@ -98,7 +104,11 @@ pub fn multicolor_splitting_random(
         .collect();
     let mut ledger = RoundLedger::new();
     ledger.add_measured("zero-round multicolor choice", 0.0);
-    MulticolorOutcome { colors, palette: c_prime, ledger }
+    MulticolorOutcome {
+        colors,
+        palette: c_prime,
+        ledger,
+    }
 }
 
 /// Deterministic (C, λ)-multicolor splitting via the Chernoff/MGF overload
@@ -130,13 +140,25 @@ pub fn multicolor_splitting_deterministic(
     let est = ColoringEstimator::overload(b, c_prime, &caps, t);
     let (fix, rounds_entry) = scheduled_fix(b, est);
     if fix.initial_phi >= 1.0 {
-        return Err(SplitError::EstimatorTooLarge { phi: fix.initial_phi });
+        return Err(SplitError::EstimatorTooLarge {
+            phi: fix.initial_phi,
+        });
     }
     let mut ledger = RoundLedger::new();
     ledger.add_charged("B² scheduling coloring (BEK14a)", rounds_entry.0);
     ledger.add_charged("conditional-expectation phases (compiled)", rounds_entry.1);
-    debug_assert!(checks::is_multicolor_splitting(b, &fix.colors, c_prime, lambda, 0));
-    Ok(MulticolorOutcome { colors: fix.colors, palette: c_prime, ledger })
+    debug_assert!(checks::is_multicolor_splitting(
+        b,
+        &fix.colors,
+        c_prime,
+        lambda,
+        0
+    ));
+    Ok(MulticolorOutcome {
+        colors: fix.colors,
+        palette: c_prime,
+        ledger,
+    })
 }
 
 /// The Theorem 3.3 palette: `3` when `λ ≥ 2/3`, else `⌈3/λ⌉` (both `≤ C`
@@ -151,7 +173,11 @@ pub fn theorem33_palette(c: u32, lambda: f64) -> u32 {
     if c == 2 {
         return 2;
     }
-    let c_prime = if lambda >= 2.0 / 3.0 { 3 } else { (3.0 / lambda).ceil() as u32 };
+    let c_prime = if lambda >= 2.0 / 3.0 {
+        3
+    } else {
+        (3.0 / lambda).ceil() as u32
+    };
     c_prime.min(c)
 }
 
@@ -186,11 +212,17 @@ pub fn weak_multicolor_slocal(b: &BipartiteGraph) -> Result<MulticolorOutcome, S
     let order: Vec<usize> = (0..b.right_count()).collect();
     let fix = sequential_fix(b, est, &order);
     if fix.initial_phi >= 1.0 {
-        return Err(SplitError::EstimatorTooLarge { phi: fix.initial_phi });
+        return Err(SplitError::EstimatorTooLarge {
+            phi: fix.initial_phi,
+        });
     }
     let mut ledger = RoundLedger::new();
     ledger.add_measured("SLOCAL sequential pass", 0.0);
-    Ok(MulticolorOutcome { colors: fix.colors, palette, ledger })
+    Ok(MulticolorOutcome {
+        colors: fix.colors,
+        palette,
+        ledger,
+    })
 }
 
 #[cfg(test)]
@@ -266,7 +298,13 @@ mod tests {
         // λ = 1/2, degrees 64: caps 32, Chernoff certifies easily
         let b = generators::random_biregular(128, 256, 64, &mut rng).unwrap();
         let out = multicolor_splitting_deterministic(&b, 8, 0.5).unwrap();
-        assert!(checks::is_multicolor_splitting(&b, &out.colors, out.palette, 0.5, 0));
+        assert!(checks::is_multicolor_splitting(
+            &b,
+            &out.colors,
+            out.palette,
+            0.5,
+            0
+        ));
     }
 
     #[test]

@@ -43,11 +43,20 @@ pub enum SplitError {
 impl fmt::Display for SplitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SplitError::Precondition { requirement, actual } => {
-                write!(f, "precondition violated: need {requirement}, have {actual}")
+            SplitError::Precondition {
+                requirement,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "precondition violated: need {requirement}, have {actual}"
+                )
             }
             SplitError::RandomizedFailure { phase, attempts } => {
-                write!(f, "randomized phase '{phase}' failed after {attempts} attempts")
+                write!(
+                    f,
+                    "randomized phase '{phase}' failed after {attempts} attempts"
+                )
             }
             SplitError::EstimatorTooLarge { phi } => {
                 write!(f, "initial pessimistic estimate {phi} is not below 1")
@@ -60,7 +69,9 @@ impl Error for SplitError {}
 
 /// Converts the fixers' `0/1` multicolors into [`Color`]s (`0` → red).
 pub fn to_two_coloring(xs: &[splitgraph::MultiColor]) -> Vec<Color> {
-    xs.iter().map(|&x| if x == 0 { Color::Red } else { Color::Blue }).collect()
+    xs.iter()
+        .map(|&x| if x == 0 { Color::Red } else { Color::Blue })
+        .collect()
 }
 
 #[cfg(test)]
@@ -74,7 +85,10 @@ mod tests {
             actual: "δ = 3".into(),
         };
         assert!(e.to_string().contains("δ ≥ 2 log n"));
-        let e = SplitError::RandomizedFailure { phase: "shattering".into(), attempts: 5 };
+        let e = SplitError::RandomizedFailure {
+            phase: "shattering".into(),
+            attempts: 5,
+        };
         assert!(e.to_string().contains("5 attempts"));
         let e = SplitError::EstimatorTooLarge { phi: 1.5 };
         assert!(e.to_string().contains("1.5"));

@@ -80,8 +80,10 @@ impl NodeProgram for Shatter {
         match (self.is_constraint, self.step) {
             (true, 1) => {
                 // uncoloring decision: more than 3/4 colored neighbors?
-                let colored =
-                    inbox.iter().filter(|(_, m)| matches!(m, Msg::Announce(Some(_)))).count();
+                let colored = inbox
+                    .iter()
+                    .filter(|(_, m)| matches!(m, Msg::Announce(Some(_))))
+                    .count();
                 if 4 * colored > 3 * ctx.degree {
                     vec![(BROADCAST, Msg::Uncolor)]
                 } else {
@@ -153,11 +155,7 @@ pub fn shatter(b: &BipartiteGraph, seed: u64) -> ShatterOutcome {
 /// # Panics
 ///
 /// Panics if `probability` is not in `(0, 0.5]`.
-pub fn shatter_with_probability(
-    b: &BipartiteGraph,
-    seed: u64,
-    probability: f64,
-) -> ShatterOutcome {
+pub fn shatter_with_probability(b: &BipartiteGraph, seed: u64, probability: f64) -> ShatterOutcome {
     assert!(
         probability > 0.0 && probability <= 0.5,
         "per-color probability must lie in (0, 0.5]"
@@ -177,12 +175,17 @@ pub fn shatter_with_probability(
     debug_assert!(run.completed);
 
     let satisfied: Vec<bool> = run.outputs[..left].iter().map(|&(_, s)| s).collect();
-    let colors: Vec<Option<Color>> =
-        run.outputs[left..].iter().map(|&(c, _)| c).collect();
+    let colors: Vec<Option<Color>> = run.outputs[left..].iter().map(|&(c, _)| c).collect();
     let keep_left: Vec<bool> = satisfied.iter().map(|&s| !s).collect();
     let keep_right: Vec<bool> = colors.iter().map(Option::is_none).collect();
     let residual = b.induced_subgraph(&keep_left, &keep_right);
-    ShatterOutcome { colors, satisfied, residual, rounds: run.rounds, messages: run.messages }
+    ShatterOutcome {
+        colors,
+        satisfied,
+        residual,
+        rounds: run.rounds,
+        messages: run.messages,
+    }
 }
 
 #[cfg(test)]
@@ -275,7 +278,11 @@ mod tests {
             rates.push(unsat as f64 / (64.0 * trials as f64));
         }
         assert!(rates[0] > rates[2], "rates {rates:?} must decay in Δ");
-        assert!(rates[2] < 0.01, "high-degree unsatisfied rate {} too large", rates[2]);
+        assert!(
+            rates[2] < 0.01,
+            "high-degree unsatisfied rate {} too large",
+            rates[2]
+        );
     }
 
     #[test]

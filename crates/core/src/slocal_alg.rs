@@ -34,8 +34,9 @@ enum State {
 /// certify the instance (`Φ = Σ_u 2·2^{-deg(u)} ≥ 1`); Lemma 3.1's
 /// precondition `deg(u) ≥ 2·log n` always certifies it.
 pub fn slocal_weak_splitting(b: &BipartiteGraph) -> Result<SplitOutcome, SplitError> {
-    let initial_phi: f64 =
-        (0..b.left_count()).map(|u| 2.0 * 0.5f64.powi(b.left_degree(u) as i32)).sum();
+    let initial_phi: f64 = (0..b.left_count())
+        .map(|u| 2.0 * 0.5f64.powi(b.left_degree(u) as i32))
+        .sum();
     if initial_phi >= 1.0 {
         return Err(SplitError::EstimatorTooLarge { phi: initial_phi });
     }
@@ -45,46 +46,51 @@ pub fn slocal_weak_splitting(b: &BipartiteGraph) -> Result<SplitOutcome, SplitEr
     // process variables in index order; constraints are processed trivially
     // first so the permutation covers every node of the host graph
     let order: Vec<usize> = (0..left).chain(left..g.node_count()).collect();
-    let states = run_slocal(&g, &order, 2, vec![State::Undecided; g.node_count()], |v, view| {
-        if v < left {
-            return State::Undecided; // constraints hold no output
-        }
-        // greedy choice: for each candidate color, sum φ'_u over the
-        // adjacent constraints, reading only radius-2 state
-        let mut best = Color::Red;
-        let mut best_score = f64::INFINITY;
-        for cand in Color::both() {
-            let mut score = 0.0;
-            for &u in view.graph().neighbors(v) {
-                // u is a constraint (distance 1); its variables are at
-                // distance 2 from v
-                let mut fixed_red = 0i32;
-                let mut fixed_blue = 0i32;
-                let mut unfixed = 0i32;
-                for &w in view.graph().neighbors(u) {
-                    match view.state(w) {
-                        State::Decided(Color::Red) => fixed_red += 1,
-                        State::Decided(Color::Blue) => fixed_blue += 1,
-                        State::Undecided => unfixed += 1,
+    let states = run_slocal(
+        &g,
+        &order,
+        2,
+        vec![State::Undecided; g.node_count()],
+        |v, view| {
+            if v < left {
+                return State::Undecided; // constraints hold no output
+            }
+            // greedy choice: for each candidate color, sum φ'_u over the
+            // adjacent constraints, reading only radius-2 state
+            let mut best = Color::Red;
+            let mut best_score = f64::INFINITY;
+            for cand in Color::both() {
+                let mut score = 0.0;
+                for &u in view.graph().neighbors(v) {
+                    // u is a constraint (distance 1); its variables are at
+                    // distance 2 from v
+                    let mut fixed_red = 0i32;
+                    let mut fixed_blue = 0i32;
+                    let mut unfixed = 0i32;
+                    for &w in view.graph().neighbors(u) {
+                        match view.state(w) {
+                            State::Decided(Color::Red) => fixed_red += 1,
+                            State::Decided(Color::Blue) => fixed_blue += 1,
+                            State::Undecided => unfixed += 1,
+                        }
                     }
+                    // hypothetically commit the candidate
+                    let (fr, fb) = match cand {
+                        Color::Red => (fixed_red + 1, fixed_blue),
+                        Color::Blue => (fixed_red, fixed_blue + 1),
+                    };
+                    let m = unfixed - 1;
+                    let missing = f64::from(u8::from(fr == 0)) + f64::from(u8::from(fb == 0));
+                    score += 0.5f64.powi(m) * missing;
                 }
-                // hypothetically commit the candidate
-                let (fr, fb) = match cand {
-                    Color::Red => (fixed_red + 1, fixed_blue),
-                    Color::Blue => (fixed_red, fixed_blue + 1),
-                };
-                let m = unfixed - 1;
-                let missing =
-                    f64::from(u8::from(fr == 0)) + f64::from(u8::from(fb == 0));
-                score += 0.5f64.powi(m) * missing;
+                if score < best_score {
+                    best_score = score;
+                    best = cand;
+                }
             }
-            if score < best_score {
-                best_score = score;
-                best = cand;
-            }
-        }
-        State::Decided(best)
-    });
+            State::Decided(best)
+        },
+    );
 
     let colors: Vec<Color> = states[left..]
         .iter()
@@ -94,7 +100,10 @@ pub fn slocal_weak_splitting(b: &BipartiteGraph) -> Result<SplitOutcome, SplitEr
         })
         .collect();
     let mut ledger = RoundLedger::new();
-    ledger.add_measured("SLOCAL(2) pass (sequential; radius enforced by executor)", 0.0);
+    ledger.add_measured(
+        "SLOCAL(2) pass (sequential; radius enforced by executor)",
+        0.0,
+    );
     Ok(SplitOutcome { colors, ledger })
 }
 

@@ -30,7 +30,11 @@ pub struct WeakSplittingSolver {
 
 impl Default for WeakSplittingSolver {
     fn default() -> Self {
-        WeakSplittingSolver { allow_randomized: true, seed: 0xD15C0, thm12_constant: 3.0 }
+        WeakSplittingSolver {
+            allow_randomized: true,
+            seed: 0xD15C0,
+            thm12_constant: 3.0,
+        }
     }
 }
 
@@ -83,8 +87,7 @@ impl WeakSplittingSolver {
     /// every regime the paper covers, or propagates pipeline errors.
     pub fn solve(&self, b: &BipartiteGraph) -> Result<(SplitOutcome, Pipeline), SplitError> {
         let plan = self.plan(b).ok_or_else(|| SplitError::Precondition {
-            requirement: "one of: δ ≥ 6r; δ ≥ 2·log n; randomized and δ ≥ c·log(r·log n)"
-                .into(),
+            requirement: "one of: δ ≥ 6r; δ ≥ 2·log n; randomized and δ ≥ c·log(r·log n)".into(),
             actual: format!(
                 "δ = {}, r = {}, n = {}",
                 b.min_left_degree(),
@@ -128,7 +131,10 @@ mod tests {
     fn dispatches_theorem27_for_skewed_instances() {
         let mut rng = StdRng::seed_from_u64(1);
         let b = generators::random_biregular(12, 72, 12, &mut rng).unwrap();
-        let solver = WeakSplittingSolver { allow_randomized: false, ..Default::default() };
+        let solver = WeakSplittingSolver {
+            allow_randomized: false,
+            ..Default::default()
+        };
         assert_eq!(solver.plan(&b), Some(Pipeline::Theorem27));
         let (out, plan) = solver.solve(&b).unwrap();
         assert_eq!(plan, Pipeline::Theorem27);
@@ -139,7 +145,10 @@ mod tests {
     fn dispatches_theorem25_deterministically() {
         let mut rng = StdRng::seed_from_u64(2);
         let b = generators::random_biregular(100, 100, 20, &mut rng).unwrap();
-        let solver = WeakSplittingSolver { allow_randomized: false, ..Default::default() };
+        let solver = WeakSplittingSolver {
+            allow_randomized: false,
+            ..Default::default()
+        };
         assert_eq!(solver.plan(&b), Some(Pipeline::Theorem25));
         let (out, _) = solver.solve(&b).unwrap();
         assert!(is_weak_splitting(&b, &out.colors, 0));
@@ -160,13 +169,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         // δ = 24 < 2·log n ≈ 27 but ≥ c·log(r·log n): the Theorem 1.2 window
         let b = generators::random_biregular(1024, 4096, 24, &mut rng).unwrap();
-        let solver = WeakSplittingSolver { thm12_constant: 1.5, ..Default::default() };
+        let solver = WeakSplittingSolver {
+            thm12_constant: 1.5,
+            ..Default::default()
+        };
         assert_eq!(solver.plan(&b), Some(Pipeline::Theorem12));
         let (out, plan) = solver.solve(&b).unwrap();
         assert_eq!(plan, Pipeline::Theorem12);
         assert!(is_weak_splitting(&b, &out.colors, 0));
         // deterministic-only mode has no pipeline for this window
-        let det = WeakSplittingSolver { allow_randomized: false, ..Default::default() };
+        let det = WeakSplittingSolver {
+            allow_randomized: false,
+            ..Default::default()
+        };
         assert_eq!(det.plan(&b), None);
     }
 
@@ -177,6 +192,9 @@ mod tests {
         let b = generators::random_biregular(128, 256, 4, &mut rng).unwrap();
         let solver = WeakSplittingSolver::default();
         assert_eq!(solver.plan(&b), None);
-        assert!(matches!(solver.solve(&b), Err(SplitError::Precondition { .. })));
+        assert!(matches!(
+            solver.solve(&b),
+            Err(SplitError::Precondition { .. })
+        ));
     }
 }

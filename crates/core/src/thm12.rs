@@ -36,7 +36,11 @@ pub struct Theorem12Config {
 
 impl Default for Theorem12Config {
     fn default() -> Self {
-        Theorem12Config { seed: 0x5eed, c_constant: 3.0, attempts: 16 }
+        Theorem12Config {
+            seed: 0x5eed,
+            c_constant: 3.0,
+            attempts: 16,
+        }
     }
 }
 
@@ -133,9 +137,7 @@ pub fn theorem12_with_report(
             // derandomization is valid whenever Φ_H < 1
             let solved = theorem25(&comp.graph, Flavor::Deterministic)
                 .map(|(out, _)| out)
-                .or_else(|_| {
-                    basic_deterministic_unchecked(&comp.graph, SchedulingMode::Reference)
-                });
+                .or_else(|_| basic_deterministic_unchecked(&comp.graph, SchedulingMode::Reference));
             match solved {
                 Ok(out) => {
                     report.solved_components += 1;
@@ -148,10 +150,16 @@ pub fn theorem12_with_report(
                 Err(_) => continue 'attempt, // Φ_H ≥ 1: reshatter with a fresh seed
             }
         }
-        ledger.add_measured("residual components (Thm 2.5, parallel, max)", comp_measured);
+        ledger.add_measured(
+            "residual components (Thm 2.5, parallel, max)",
+            comp_measured,
+        );
         ledger.add_charged("residual components (Thm 2.5, parallel, max)", comp_charged);
 
-        let colors: Vec<Color> = colors.into_iter().map(|c| c.unwrap_or(Color::Red)).collect();
+        let colors: Vec<Color> = colors
+            .into_iter()
+            .map(|c| c.unwrap_or(Color::Red))
+            .collect();
         if checks::is_weak_splitting(work, &colors, 0) {
             debug_assert!(checks::is_weak_splitting(b, &colors, 0));
             return Ok((SplitOutcome { colors, ledger }, report));
@@ -177,7 +185,10 @@ mod tests {
         let b = generators::random_biregular(60, 120, 24, &mut rng).unwrap();
         let (out, report) = theorem12_with_report(&b, &Theorem12Config::default()).unwrap();
         assert!(is_weak_splitting(&b, &out.colors, 0));
-        assert_eq!(report.attempts_used, 0, "zero-round path has no shattering attempts");
+        assert_eq!(
+            report.attempts_used, 0,
+            "zero-round path has no shattering attempts"
+        );
     }
 
     #[test]
@@ -186,7 +197,10 @@ mod tests {
         // n = 18432, 2·log n ≈ 28.3 (threshold 29); δ = 28 sits just below
         // the zero-round regime, rank 8, c·log(r·log n) ≈ 10.3 ≤ 28
         let b = generators::random_biregular(4096, 14336, 28, &mut rng).unwrap();
-        let cfg = Theorem12Config { c_constant: 1.5, ..Theorem12Config::default() };
+        let cfg = Theorem12Config {
+            c_constant: 1.5,
+            ..Theorem12Config::default()
+        };
         let (out, report) = theorem12_with_report(&b, &cfg).unwrap();
         assert!(is_weak_splitting(&b, &out.colors, 0));
         assert!(report.attempts_used >= 1);
@@ -212,7 +226,10 @@ mod tests {
     fn ledger_separates_parallel_component_costs() {
         let mut rng = StdRng::seed_from_u64(4);
         let b = generators::random_biregular(4096, 14336, 28, &mut rng).unwrap();
-        let cfg = Theorem12Config { c_constant: 1.5, ..Theorem12Config::default() };
+        let cfg = Theorem12Config {
+            c_constant: 1.5,
+            ..Theorem12Config::default()
+        };
         let (out, _) = theorem12_with_report(&b, &cfg).unwrap();
         // shattering is measured; component work may include charged entries
         assert!(out.ledger.measured_total() >= 3.0);

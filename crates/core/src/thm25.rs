@@ -116,7 +116,13 @@ pub fn theorem25(
         reduced_rank,
         reduced_delta,
     };
-    Ok((SplitOutcome { colors: inner.colors, ledger }, report))
+    Ok((
+        SplitOutcome {
+            colors: inner.colors,
+            ledger,
+        },
+        report,
+    ))
 }
 
 #[cfg(test)]
@@ -144,7 +150,10 @@ mod tests {
         assert!(report.drr_iterations >= 1, "expected DRR iterations");
         assert!(report.reduced_rank < b.rank());
         assert!(is_weak_splitting(&b, &out.colors, 0));
-        assert!(out.ledger.charged_total() > 0.0, "oracle splitting must be charged");
+        assert!(
+            out.ledger.charged_total() > 0.0,
+            "oracle splitting must be charged"
+        );
     }
 
     #[test]

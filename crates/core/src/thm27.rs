@@ -66,16 +66,17 @@ pub fn theorem27(b: &BipartiteGraph, variant: Variant) -> Result<SplitOutcome, S
     // high-degree regime: the generic algorithms already apply
     if delta >= threshold {
         return match variant {
-            Variant::Deterministic =>
-
-                theorem25(b, Flavor::Deterministic).map(|(out, _)| out),
+            Variant::Deterministic => theorem25(b, Flavor::Deterministic).map(|(out, _)| out),
             Variant::Randomized(seed) => zero_round_whp(b, seed, 64),
         };
     }
 
     // randomized middle regime: Theorem 1.2 handles δ = Ω(log(r·log n))
     if let Variant::Randomized(seed) = variant {
-        let cfg = Theorem12Config { seed, ..Theorem12Config::default() };
+        let cfg = Theorem12Config {
+            seed,
+            ..Theorem12Config::default()
+        };
         if let Ok(out) = theorem12(b, &cfg) {
             return Ok(out);
         }
@@ -94,11 +95,18 @@ pub fn theorem27(b: &BipartiteGraph, variant: Variant) -> Result<SplitOutcome, S
     };
     let eps = 1.0 / (10.0 * work.max_left_degree().max(1) as f64);
     let splitter = DegreeSplitter::new(eps, Engine::EulerianOracle, flavor);
-    let k = if work.rank() <= 1 { 0 } else { ceil_log2(work.rank()) as usize };
+    let k = if work.rank() <= 1 {
+        0
+    } else {
+        ceil_log2(work.rank()) as usize
+    };
     let reduction = degree_rank_reduction_ii(work, &splitter, k);
     ledger.merge(reduction.ledger);
     let reduced = &reduction.graph;
-    debug_assert!(reduced.rank() <= 1, "Lemma 2.6: rank must be 1 after ⌈log r⌉ iterations");
+    debug_assert!(
+        reduced.rank() <= 1,
+        "Lemma 2.6: rank must be 1 after ⌈log r⌉ iterations"
+    );
 
     // rank 1: every constraint picks one red and one blue neighbor
     let mut colors = vec![None; b.right_count()];
@@ -115,8 +123,14 @@ pub fn theorem27(b: &BipartiteGraph, variant: Variant) -> Result<SplitOutcome, S
         colors[nbrs[1]] = Some(Color::Blue);
     }
     ledger.add_measured("final red/blue selection (1 round)", 1.0);
-    let colors: Vec<Color> = colors.into_iter().map(|c| c.unwrap_or(Color::Red)).collect();
-    debug_assert!(checks::is_weak_splitting(b, &colors, 0), "Theorem 2.7 output must be valid");
+    let colors: Vec<Color> = colors
+        .into_iter()
+        .map(|c| c.unwrap_or(Color::Red))
+        .collect();
+    debug_assert!(
+        checks::is_weak_splitting(b, &colors, 0),
+        "Theorem 2.7 output must be valid"
+    );
     Ok(SplitOutcome { colors, ledger })
 }
 

@@ -18,7 +18,8 @@ pub fn truncate_left_degrees(b: &BipartiteGraph, keep: usize) -> BipartiteGraph 
     let mut h = BipartiteGraph::new(b.left_count(), b.right_count());
     for u in 0..b.left_count() {
         for &v in b.left_neighbors(u).iter().take(keep) {
-            h.add_edge(u, v).expect("subset of simple edges stays simple");
+            h.add_edge(u, v)
+                .expect("subset of simple edges stays simple");
         }
     }
     h
@@ -52,7 +53,10 @@ pub fn truncated_deterministic(
         checks::is_weak_splitting(b, &inner.colors, threshold),
         "weak splitting must be preserved under adding edges back"
     );
-    Ok(SplitOutcome { colors: inner.colors, ledger })
+    Ok(SplitOutcome {
+        colors: inner.colors,
+        ledger,
+    })
 }
 
 #[cfg(test)]

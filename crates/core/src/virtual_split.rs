@@ -94,7 +94,10 @@ mod tests {
         let b = generators::erdos_renyi_bipartite(50, 120, 0.4, &mut rng);
         let target = 8;
         let vs = uniformize_left_degrees(&b, target);
-        let max = (0..vs.graph.left_count()).map(|u| vs.graph.left_degree(u)).max().unwrap();
+        let max = (0..vs.graph.left_count())
+            .map(|u| vs.graph.left_degree(u))
+            .max()
+            .unwrap();
         // constraints of original degree ≥ 2·target now sit below 2·target
         for i in 0..vs.graph.left_count() {
             let orig_deg = b.left_degree(vs.origin[i]);
@@ -112,8 +115,9 @@ mod tests {
         let vs = uniformize_left_degrees(&b, 3);
         // alternate colors on the variable side: valid for the virtual
         // instance (every virtual node has ≥ 3 consecutive variables)
-        let colors: Vec<Color> =
-            (0..12).map(|v| if v % 2 == 0 { Color::Red } else { Color::Blue }).collect();
+        let colors: Vec<Color> = (0..12)
+            .map(|v| if v % 2 == 0 { Color::Red } else { Color::Blue })
+            .collect();
         assert!(is_weak_splitting(&vs.graph, &colors, 0));
         assert!(is_weak_splitting(&b, &colors, 0));
     }

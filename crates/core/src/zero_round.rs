@@ -5,7 +5,7 @@
 //! constraint sees both colors with probability at least `1 − 2/n` — the
 //! starting point of every derandomization in the paper.
 
-use crate::outcome::{SplitOutcome, SplitError};
+use crate::outcome::{SplitError, SplitOutcome};
 use local_runtime::{NodeRngs, RoundLedger};
 use rand::RngExt;
 use splitgraph::math::weak_splitting_degree_threshold;
@@ -52,7 +52,10 @@ pub fn zero_round_whp(
             return Ok(out);
         }
     }
-    Err(SplitError::RandomizedFailure { phase: "zero-round coloring".into(), attempts })
+    Err(SplitError::RandomizedFailure {
+        phase: "zero-round coloring".into(),
+        attempts,
+    })
 }
 
 #[cfg(test)]

@@ -37,7 +37,11 @@ mod tests {
     fn deterministic_grows_with_log_n() {
         let a = splitting_rounds_deterministic(0.25, 1 << 10);
         let b = splitting_rounds_deterministic(0.25, 1 << 20);
-        assert!((b / a - 2.0).abs() < 0.01, "log n doubling expected, got {}", b / a);
+        assert!(
+            (b / a - 2.0).abs() < 0.01,
+            "log n doubling expected, got {}",
+            b / a
+        );
     }
 
     #[test]

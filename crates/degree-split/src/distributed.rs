@@ -44,7 +44,11 @@ pub fn walk_splitting(g: &MultiGraph, eps: f64) -> WalkSplitting {
     let mut ledger = RoundLedger::new();
     if g.edge_count() == 0 {
         ledger.add_measured("walk engine (empty graph)", 0.0);
-        return WalkSplitting { orientation: Orientation::new(vec![]), ledger, segments: 0 };
+        return WalkSplitting {
+            orientation: Orientation::new(vec![]),
+            ledger,
+            segments: 0,
+        };
     }
 
     // 0 rounds: pairing and implied walk structure are local choices
@@ -54,7 +58,10 @@ pub fn walk_splitting(g: &MultiGraph, eps: f64) -> WalkSplitting {
     // are unique identifiers)
     let ids: Vec<u64> = (0..g.edge_count() as u64).collect();
     let coloring = cole_vishkin_3color(&walks.chains, &ids);
-    ledger.add_measured("cole-vishkin 3-coloring (host rounds)", 2.0 * coloring.rounds as f64);
+    ledger.add_measured(
+        "cole-vishkin 3-coloring (host rounds)",
+        2.0 * coloring.rounds as f64,
+    );
 
     // O(L) walk rounds: spaced cut points
     let cuts = spaced_ruling_set(&walks.chains, &coloring.colors, spacing);
@@ -94,13 +101,20 @@ pub fn walk_splitting(g: &MultiGraph, eps: f64) -> WalkSplitting {
         segments += 1;
         max_segment = max_segment.max(seg.len());
     }
-    debug_assert!(assigned.iter().all(|&x| x), "every edge must belong to a segment");
+    debug_assert!(
+        assigned.iter().all(|&x| x),
+        "every edge must belong to a segment"
+    );
     ledger.add_measured(
         "segment orientation (host rounds)",
         2.0 * max_segment.max(1) as f64,
     );
 
-    WalkSplitting { orientation: Orientation::new(towards_second), ledger, segments }
+    WalkSplitting {
+        orientation: Orientation::new(towards_second),
+        ledger,
+        segments,
+    }
 }
 
 #[cfg(test)]

@@ -86,7 +86,10 @@ pub fn eulerian_orientation(g: &MultiGraph) -> Orientation {
             }
         }
     }
-    debug_assert!(used.iter().all(|&u| u), "every augmented edge must be traversed");
+    debug_assert!(
+        used.iter().all(|&u| u),
+        "every augmented edge must be traversed"
+    );
 
     towards_second.truncate(m);
     Orientation::new(towards_second)

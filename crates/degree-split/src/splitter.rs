@@ -81,7 +81,11 @@ impl DegreeSplitter {
     /// Panics if `eps` is not in `(0, 1]`.
     pub fn new(eps: f64, engine: Engine, flavor: Flavor) -> Self {
         assert!(eps > 0.0 && eps <= 1.0, "accuracy must lie in (0, 1]");
-        DegreeSplitter { eps, engine, flavor }
+        DegreeSplitter {
+            eps,
+            engine,
+            flavor,
+        }
     }
 
     /// The configured accuracy.
@@ -98,17 +102,21 @@ impl DegreeSplitter {
                 let orientation = eulerian_orientation(g);
                 let mut ledger = RoundLedger::new();
                 let rounds = match self.flavor {
-                    Flavor::Deterministic => {
-                        splitting_rounds_deterministic(self.eps, n_for_charge)
-                    }
+                    Flavor::Deterministic => splitting_rounds_deterministic(self.eps, n_for_charge),
                     Flavor::Randomized => splitting_rounds_randomized(self.eps, n_for_charge),
                 };
                 ledger.add_charged("directed degree splitting (Thm 2.3)", rounds);
-                SplitResult { orientation, ledger }
+                SplitResult {
+                    orientation,
+                    ledger,
+                }
             }
             Engine::Walk => {
                 let out = walk_splitting(g, self.eps);
-                SplitResult { orientation: out.orientation, ledger: out.ledger }
+                SplitResult {
+                    orientation: out.orientation,
+                    ledger: out.ledger,
+                }
             }
         }
     }
@@ -117,9 +125,7 @@ impl DegreeSplitter {
     /// for a computed orientation; returns the violating nodes.
     pub fn contract_violations(&self, g: &MultiGraph, orientation: &Orientation) -> Vec<usize> {
         (0..g.node_count())
-            .filter(|&v| {
-                orientation.discrepancy(g, v) as f64 > self.eps * g.degree(v) as f64 + 2.0
-            })
+            .filter(|&v| orientation.discrepancy(g, v) as f64 > self.eps * g.degree(v) as f64 + 2.0)
             .collect()
     }
 }
@@ -171,8 +177,8 @@ mod tests {
         let g = random_multigraph(30, 60, 1);
         let det = DegreeSplitter::new(0.1, Engine::EulerianOracle, Flavor::Deterministic)
             .split(&g, 1 << 16);
-        let rand = DegreeSplitter::new(0.1, Engine::EulerianOracle, Flavor::Randomized)
-            .split(&g, 1 << 16);
+        let rand =
+            DegreeSplitter::new(0.1, Engine::EulerianOracle, Flavor::Randomized).split(&g, 1 << 16);
         assert!(rand.ledger.charged_total() < det.ledger.charged_total());
     }
 

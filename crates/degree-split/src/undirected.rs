@@ -34,7 +34,10 @@ pub struct EdgeSplitting {
 impl EdgeSplitting {
     /// Number of red (resp. blue) edges at `v`.
     pub fn color_degree(&self, g: &MultiGraph, v: usize, color: Color) -> usize {
-        g.incident_edges(v).iter().filter(|&&e| self.colors[e] == color).count()
+        g.incident_edges(v)
+            .iter()
+            .filter(|&&e| self.colors[e] == color)
+            .count()
     }
 
     /// `|red(v) − blue(v)|`.
@@ -46,7 +49,10 @@ impl EdgeSplitting {
 
     /// Maximum discrepancy over all nodes.
     pub fn max_discrepancy(&self, g: &MultiGraph) -> usize {
-        (0..g.node_count()).map(|v| self.discrepancy(g, v)).max().unwrap_or(0)
+        (0..g.node_count())
+            .map(|v| self.discrepancy(g, v))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -61,8 +67,7 @@ pub fn edge_splitting_eulerian(g: &MultiGraph, eps: f64, n_for_charge: usize) ->
     let n = g.node_count();
     let m = g.edge_count();
     let mut endpoints: Vec<(usize, usize)> = (0..m).map(|e| g.endpoints(e)).collect();
-    for e in 0..m {
-        let (a, b) = endpoints[e];
+    for &(a, b) in &endpoints {
         assert_ne!(a, b, "self-loops are not supported");
     }
     let odd: Vec<usize> = (0..n).filter(|&v| g.degree(v) % 2 == 1).collect();
@@ -129,12 +134,18 @@ pub fn edge_splitting_walk(g: &MultiGraph, eps: f64) -> EdgeSplitting {
     let mut ledger = RoundLedger::new();
     if g.edge_count() == 0 {
         ledger.add_measured("walk edge splitting (empty graph)", 0.0);
-        return EdgeSplitting { colors: vec![], ledger };
+        return EdgeSplitting {
+            colors: vec![],
+            ledger,
+        };
     }
     let walks = WalkDecomposition::from_pairing(g);
     let ids: Vec<u64> = (0..g.edge_count() as u64).collect();
     let coloring = cole_vishkin_3color(&walks.chains, &ids);
-    ledger.add_measured("cole-vishkin 3-coloring (host rounds)", 2.0 * coloring.rounds as f64);
+    ledger.add_measured(
+        "cole-vishkin 3-coloring (host rounds)",
+        2.0 * coloring.rounds as f64,
+    );
     let cuts = spaced_ruling_set(&walks.chains, &coloring.colors, spacing);
     ledger.add_measured("spaced ruling set (host rounds)", 2.0 * cuts.rounds as f64);
 
@@ -162,7 +173,10 @@ pub fn edge_splitting_walk(g: &MultiGraph, eps: f64) -> EdgeSplitting {
         max_segment = max_segment.max(len);
     }
     debug_assert!(assigned.iter().all(|&x| x), "every edge must be colored");
-    ledger.add_measured("segment alternation (host rounds)", 2.0 * max_segment.max(1) as f64);
+    ledger.add_measured(
+        "segment alternation (host rounds)",
+        2.0 * max_segment.max(1) as f64,
+    );
     EdgeSplitting { colors, ledger }
 }
 
@@ -216,7 +230,10 @@ mod tests {
         // average discrepancy should be far below average degree
         let avg_disc: f64 = (0..25).map(|v| s.discrepancy(&g, v)).sum::<usize>() as f64 / 25.0;
         let avg_deg = 2.0 * 150.0 / 25.0;
-        assert!(avg_disc < avg_deg / 3.0, "avg discrepancy {avg_disc} vs degree {avg_deg}");
+        assert!(
+            avg_disc < avg_deg / 3.0,
+            "avg discrepancy {avg_disc} vs degree {avg_deg}"
+        );
     }
 
     #[test]

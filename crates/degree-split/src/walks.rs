@@ -63,10 +63,10 @@ impl WalkDecomposition {
         let mut visited = vec![false; m];
 
         let traverse = |start: EdgeId,
-                            start_tail_side: usize,
-                            next: &mut Vec<Option<EdgeId>>,
-                            direction: &mut Vec<(usize, usize)>,
-                            visited: &mut Vec<bool>| {
+                        start_tail_side: usize,
+                        next: &mut Vec<Option<EdgeId>>,
+                        direction: &mut Vec<(usize, usize)>,
+                        visited: &mut Vec<bool>| {
             let mut cur = start;
             let mut tail_side = start_tail_side;
             loop {
@@ -91,8 +91,9 @@ impl WalkDecomposition {
 
         // phase 1: open walks begin at a (edge, side) with no partner
         for e in 0..m {
-            for side in 0..2 {
-                if partner[e][side].is_none() && !visited[e] {
+            let pair = partner[e];
+            for (side, paired) in pair.iter().enumerate() {
+                if paired.is_none() && !visited[e] {
                     traverse(e, side, &mut next, &mut direction, &mut visited);
                 }
             }
@@ -103,7 +104,10 @@ impl WalkDecomposition {
                 traverse(e, 0, &mut next, &mut direction, &mut visited);
             }
         }
-        WalkDecomposition { chains: Chains::from_next(next), direction }
+        WalkDecomposition {
+            chains: Chains::from_next(next),
+            direction,
+        }
     }
 
     /// Number of edge positions (edges of the underlying multigraph).
@@ -182,13 +186,25 @@ mod tests {
         g.add_edge(0, 1);
         let w = WalkDecomposition::from_pairing(&g);
         assert_consistent(&g, &w);
-        assert!((0..2).all(|e| w.chains.next(e).is_some()), "2-cycle of parallel edges");
+        assert!(
+            (0..2).all(|e| w.chains.next(e).is_some()),
+            "2-cycle of parallel edges"
+        );
     }
 
     #[test]
     fn every_edge_appears_in_exactly_one_walk() {
         let mut g = MultiGraph::new(6);
-        let edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (1, 4)];
+        let edges = [
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (1, 4),
+        ];
         for &(a, b) in &edges {
             g.add_edge(a, b);
         }

@@ -85,7 +85,10 @@ impl ColoringEstimator {
             palette,
             factor: 1.0 + (et - 1.0) / palette as f64,
             step: et,
-            base_zero: caps.iter().map(|&cap| (-t * (cap as f64 + 1.0)).exp()).collect(),
+            base_zero: caps
+                .iter()
+                .map(|&cap| (-t * (cap as f64 + 1.0)).exp())
+                .collect(),
         }
     }
 
@@ -160,9 +163,15 @@ impl FixerState {
         let c = est.palette as usize;
         let counts = vec![vec![0u32; c]; b.left_count()];
         let unfixed: Vec<usize> = (0..b.left_count()).map(|u| b.left_degree(u)).collect();
-        let sums: Vec<f64> =
-            (0..b.left_count()).map(|u| c as f64 * est.base(u, 0)).collect();
-        FixerState { est, counts, unfixed, sums }
+        let sums: Vec<f64> = (0..b.left_count())
+            .map(|u| c as f64 * est.base(u, 0))
+            .collect();
+        FixerState {
+            est,
+            counts,
+            unfixed,
+            sums,
+        }
     }
 
     /// The estimator.
@@ -193,7 +202,10 @@ impl FixerState {
     ///
     /// Panics if `u` has no unfixed neighbors left.
     pub fn commit(&mut self, u: usize, x: u32) {
-        assert!(self.unfixed[u] > 0, "constraint {u} has no unfixed neighbors");
+        assert!(
+            self.unfixed[u] > 0,
+            "constraint {u} has no unfixed neighbors"
+        );
         let old = self.est.base(u, self.counts[u][x as usize]);
         self.counts[u][x as usize] += 1;
         let new = self.est.base(u, self.counts[u][x as usize]);
@@ -207,8 +219,11 @@ impl FixerState {
         let mut best = 0u32;
         let mut best_score = f64::INFINITY;
         for x in 0..self.est.palette {
-            let score: f64 =
-                b.right_neighbors(v).iter().map(|&u| self.phi_after(u, x)).sum();
+            let score: f64 = b
+                .right_neighbors(v)
+                .iter()
+                .map(|&u| self.phi_after(u, x))
+                .sum();
             if score < best_score {
                 best_score = score;
                 best = x;
@@ -251,7 +266,10 @@ mod tests {
         for v in 0..3 {
             st.fix(&b, v, 0); // all red
         }
-        assert!((st.phi(0) - 1.0).abs() < 1e-12, "violated constraint must contribute 1");
+        assert!(
+            (st.phi(0) - 1.0).abs() < 1e-12,
+            "violated constraint must contribute 1"
+        );
     }
 
     #[test]
@@ -277,9 +295,11 @@ mod tests {
             let mut st = FixerState::new(&b, est);
             st.fix(&b, 0, 0); // make the state non-trivial
             let phi = st.phi(0);
-            let mean: f64 =
-                (0..c).map(|x| st.phi_after(0, x)).sum::<f64>() / c as f64;
-            assert!((mean - phi).abs() < 1e-9 * phi.max(1.0), "mean {mean} vs φ {phi}");
+            let mean: f64 = (0..c).map(|x| st.phi_after(0, x)).sum::<f64>() / c as f64;
+            assert!(
+                (mean - phi).abs() < 1e-9 * phi.max(1.0),
+                "mean {mean} vs φ {phi}"
+            );
         }
     }
 
@@ -307,7 +327,11 @@ mod tests {
             st.fix(&b, v, 0);
         }
         st.fix(&b, 3, 1);
-        assert!(st.phi(0) >= 1.0, "violation must contribute at least 1, got {}", st.phi(0));
+        assert!(
+            st.phi(0) >= 1.0,
+            "violation must contribute at least 1, got {}",
+            st.phi(0)
+        );
     }
 
     #[test]

@@ -36,17 +36,16 @@ pub struct FixOutcome {
 /// # Panics
 ///
 /// Panics if `order` is not a permutation of the variables.
-pub fn sequential_fix(
-    b: &BipartiteGraph,
-    est: ColoringEstimator,
-    order: &[usize],
-) -> FixOutcome {
+pub fn sequential_fix(b: &BipartiteGraph, est: ColoringEstimator, order: &[usize]) -> FixOutcome {
     let nv = b.right_count();
     assert_eq!(order.len(), nv, "order must cover every variable");
     {
         let mut seen = vec![false; nv];
         for &v in order {
-            assert!(v < nv && !seen[v], "order must be a permutation of the variables");
+            assert!(
+                v < nv && !seen[v],
+                "order must be a permutation of the variables"
+            );
             seen[v] = true;
         }
     }
@@ -58,7 +57,12 @@ pub fn sequential_fix(
         state.fix(b, v, x);
         colors[v] = x;
     }
-    FixOutcome { colors, initial_phi, final_phi: state.total(), rounds: 0 }
+    FixOutcome {
+        colors,
+        initial_phi,
+        final_phi: state.total(),
+        rounds: 0,
+    }
 }
 
 /// Runs the LOCAL-compiled fixer: variables decide in phases given by
@@ -102,8 +106,7 @@ pub fn phased_fix(
         // one phase: every variable of this class decides from the current
         // counts; commits are order-independent because the class is
         // constraint-disjoint
-        let deciders: Vec<usize> =
-            (0..nv).filter(|&v| square_coloring[v] == class).collect();
+        let deciders: Vec<usize> = (0..nv).filter(|&v| square_coloring[v] == class).collect();
         if deciders.is_empty() {
             // empty classes still cost their phase in the compiled schedule
             rounds += 2;
@@ -116,7 +119,12 @@ pub fn phased_fix(
         }
         rounds += 2;
     }
-    FixOutcome { colors, initial_phi, final_phi: state.total(), rounds }
+    FixOutcome {
+        colors,
+        initial_phi,
+        final_phi: state.total(),
+        rounds,
+    }
 }
 
 #[cfg(test)]
@@ -129,7 +137,9 @@ mod tests {
     use splitgraph::{generators, right_square, Color};
 
     fn to_colors(xs: &[MultiColor]) -> Vec<Color> {
-        xs.iter().map(|&x| if x == 0 { Color::Red } else { Color::Blue }).collect()
+        xs.iter()
+            .map(|&x| if x == 0 { Color::Red } else { Color::Blue })
+            .collect()
     }
 
     #[test]
@@ -185,8 +195,7 @@ mod tests {
         let order: Vec<usize> = (0..sq.node_count()).collect();
         let colors = greedy_sequential(&sq, &order);
         let palette = colors.iter().max().unwrap() + 1;
-        let out =
-            phased_fix(&b, ColoringEstimator::monochromatic(&b), &colors, palette);
+        let out = phased_fix(&b, ColoringEstimator::monochromatic(&b), &colors, palette);
         assert!(is_weak_splitting(&b, &to_colors(&out.colors), 0));
     }
 
@@ -233,7 +242,10 @@ mod tests {
             for &v in b.left_neighbors(u) {
                 counts[out.colors[v] as usize] += 1;
             }
-            assert!(counts.iter().all(|&c| c <= 24), "constraint {u}: {counts:?}");
+            assert!(
+                counts.iter().all(|&c| c <= 24),
+                "constraint {u}: {counts:?}"
+            );
         }
     }
 }

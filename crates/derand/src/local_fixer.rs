@@ -63,7 +63,13 @@ impl NodeProgram for Fixer {
     fn init(&mut self, ctx: &NodeContext) -> Vec<(usize, Msg)> {
         if self.is_constraint {
             self.unfixed = ctx.degree;
-            vec![(BROADCAST, Msg::State { bases: self.constraint_bases(), unfixed: self.unfixed })]
+            vec![(
+                BROADCAST,
+                Msg::State {
+                    bases: self.constraint_bases(),
+                    unfixed: self.unfixed,
+                },
+            )]
         } else {
             vec![]
         }
@@ -88,7 +94,13 @@ impl NodeProgram for Fixer {
             if self.phase >= self.palette_classes {
                 return vec![];
             }
-            vec![(BROADCAST, Msg::State { bases: self.constraint_bases(), unfixed: self.unfixed })]
+            vec![(
+                BROADCAST,
+                Msg::State {
+                    bases: self.constraint_bases(),
+                    unfixed: self.unfixed,
+                },
+            )]
         } else {
             if !odd {
                 return vec![];
@@ -156,7 +168,11 @@ pub fn distributed_phased_fix(
     square_coloring: &[u32],
     palette: u32,
 ) -> FixOutcome {
-    assert_eq!(square_coloring.len(), b.right_count(), "square coloring length mismatch");
+    assert_eq!(
+        square_coloring.len(),
+        b.right_count(),
+        "square coloring length mismatch"
+    );
     // same scheduling precondition as the central fixer
     for u in 0..b.left_count() {
         let nbrs = b.left_neighbors(u);
@@ -176,16 +192,18 @@ pub fn distributed_phased_fix(
 
     // initial Φ for the certificate (same quantity the central fixer uses)
     let initial_phi: f64 = (0..b.left_count())
-        .map(|u| {
-            est.factor().powi(b.left_degree(u) as i32) * est.palette() as f64 * est.base(u, 0)
-        })
+        .map(|u| est.factor().powi(b.left_degree(u) as i32) * est.palette() as f64 * est.base(u, 0))
         .sum();
 
     let est2 = est.clone();
     let run = run_local(&g, &ids, 2 * palette as usize + 2, move |ctx| Fixer {
         est: est2.clone(),
         is_constraint: ctx.node < left,
-        class: if ctx.node < left { 0 } else { square_coloring[ctx.node - left] },
+        class: if ctx.node < left {
+            0
+        } else {
+            square_coloring[ctx.node - left]
+        },
         palette_classes: palette,
         phase: 0,
         step: 0,
@@ -199,7 +217,9 @@ pub fn distributed_phased_fix(
     assert!(run.completed, "fixer must finish within 2·palette rounds");
     let colors: Vec<MultiColor> = run.outputs[left..].iter().map(|&(c, _)| c).collect();
     debug_assert!(
-        run.outputs[left..].iter().all(|&(_, d)| d || b.right_count() == 0),
+        run.outputs[left..]
+            .iter()
+            .all(|&(_, d)| d || b.right_count() == 0),
         "every variable must decide"
     );
 
@@ -208,7 +228,12 @@ pub fn distributed_phased_fix(
     for (v, &x) in colors.iter().enumerate() {
         state.fix(b, v, x);
     }
-    FixOutcome { colors, initial_phi, final_phi: state.total(), rounds: run.rounds }
+    FixOutcome {
+        colors,
+        initial_phi,
+        final_phi: state.total(),
+        rounds: run.rounds,
+    }
 }
 
 #[cfg(test)]
@@ -237,7 +262,10 @@ mod tests {
         let central = phased_fix(&b, ColoringEstimator::monochromatic(&b), &sched, palette);
         let distributed =
             distributed_phased_fix(&b, ColoringEstimator::monochromatic(&b), &sched, palette);
-        assert_eq!(central.colors, distributed.colors, "identical greedy choices");
+        assert_eq!(
+            central.colors, distributed.colors,
+            "identical greedy choices"
+        );
         assert_eq!(distributed.rounds, 2 * palette as usize);
         assert!((central.initial_phi - distributed.initial_phi).abs() < 1e-9);
     }
@@ -247,8 +275,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let b = generators::random_left_regular(60, 120, 16, &mut rng).unwrap();
         let (sched, palette) = schedule(&b);
-        let out =
-            distributed_phased_fix(&b, ColoringEstimator::monochromatic(&b), &sched, palette);
+        let out = distributed_phased_fix(&b, ColoringEstimator::monochromatic(&b), &sched, palette);
         assert!(out.initial_phi < 1.0);
         assert!(out.final_phi < 1.0);
         let colors: Vec<Color> = out

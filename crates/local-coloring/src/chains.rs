@@ -136,7 +136,10 @@ pub fn cole_vishkin_3color(chains: &Chains, ids: &[u64]) -> ChainColoring {
         rounds += 1;
     }
 
-    ChainColoring { colors: colors.into_iter().map(|c| c as u8).collect(), rounds }
+    ChainColoring {
+        colors: colors.into_iter().map(|c| c as u8).collect(),
+        rounds,
+    }
 }
 
 /// Result of the spaced ruling-set computation.
@@ -203,7 +206,10 @@ pub fn spaced_ruling_set(chains: &Chains, coloring: &[u8], spacing: usize) -> Ru
             }
         }
     }
-    RulingSet { cut, rounds: 3 * spacing }
+    RulingSet {
+        cut,
+        rounds: 3 * spacing,
+    }
 }
 
 #[cfg(test)]
@@ -211,7 +217,11 @@ mod tests {
     use super::*;
 
     fn path_chain(n: usize) -> Chains {
-        Chains::from_next((0..n).map(|i| if i + 1 < n { Some(i + 1) } else { None }).collect())
+        Chains::from_next(
+            (0..n)
+                .map(|i| if i + 1 < n { Some(i + 1) } else { None })
+                .collect(),
+        )
     }
 
     fn cycle_chain(n: usize) -> Chains {
@@ -300,7 +310,8 @@ mod tests {
             }
             // domination: every position within 2·spacing of a cut
             for i in 0..n {
-                let ok = (0..=2 * spacing).any(|d| rs.cut[(i + d) % n] || rs.cut[(i + n - d % n) % n]);
+                let ok =
+                    (0..=2 * spacing).any(|d| rs.cut[(i + d) % n] || rs.cut[(i + n - d % n) % n]);
                 assert!(ok, "position {i} uncovered at spacing {spacing}");
             }
             assert_eq!(rs.rounds, 3 * spacing);

@@ -12,12 +12,12 @@ pub fn is_prime(x: u64) -> bool {
     if x < 2 {
         return false;
     }
-    if x % 2 == 0 {
+    if x.is_multiple_of(2) {
         return x == 2;
     }
     let mut d = 3u64;
     while d.saturating_mul(d) <= x {
-        if x % d == 0 {
+        if x.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -35,7 +35,7 @@ pub fn next_prime(mut x: u64) -> u64 {
     if x <= 2 {
         return 2;
     }
-    if x % 2 == 0 {
+    if x.is_multiple_of(2) {
         x += 1;
     }
     loop {
@@ -102,7 +102,11 @@ impl PrimeField {
             out.push(value % self.q);
             value /= self.q;
         }
-        assert_eq!(value, 0, "value does not fit in {digits} base-{} digits", self.q);
+        assert_eq!(
+            value, 0,
+            "value does not fit in {digits} base-{} digits",
+            self.q
+        );
         out
     }
 }
@@ -176,8 +180,12 @@ mod tests {
         let f = PrimeField::new(13);
         let a = f.digits(17, 3);
         let b = f.digits(29, 3);
-        let agreements =
-            (0..13).filter(|&x| f.eval_poly(&a, x) == f.eval_poly(&b, x)).count();
-        assert!(agreements <= 2, "degree-2 polynomials agree on {agreements} > 2 points");
+        let agreements = (0..13)
+            .filter(|&x| f.eval_poly(&a, x) == f.eval_poly(&b, x))
+            .count();
+        assert!(
+            agreements <= 2,
+            "degree-2 polynomials agree on {agreements} > 2 points"
+        );
     }
 }

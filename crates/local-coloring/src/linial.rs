@@ -60,7 +60,12 @@ pub fn linial_schedule(id_space: u64, max_degree: usize) -> Vec<LinialStep> {
         if out >= m {
             return steps;
         }
-        steps.push(LinialStep { q, degree: d, colors_in: m, colors_out: out });
+        steps.push(LinialStep {
+            q,
+            degree: d,
+            colors_in: m,
+            colors_out: out,
+        });
         m = out;
     }
 }
@@ -187,7 +192,10 @@ pub struct ColoringOutcome {
 /// assert!(out.palette <= 2 * (4 * 4 + 1) * (4 * 4 + 1)); // O(Δ²)
 /// ```
 pub fn linial_color(g: &Graph, ids: &[u64], id_space: u64) -> ColoringOutcome {
-    assert!(ids.iter().all(|&x| x < id_space), "id exceeds declared id space");
+    assert!(
+        ids.iter().all(|&x| x < id_space),
+        "id exceeds declared id space"
+    );
     let delta = g.max_degree();
     if delta == 0 {
         return ColoringOutcome {
@@ -198,16 +206,22 @@ pub fn linial_color(g: &Graph, ids: &[u64], id_space: u64) -> ColoringOutcome {
         };
     }
     let schedule: std::rc::Rc<[LinialStep]> = linial_schedule(id_space, delta).into();
-    let palette =
-        schedule.last().map(|s| s.colors_out).unwrap_or(id_space);
+    let palette = schedule.last().map(|s| s.colors_out).unwrap_or(id_space);
     let run = run_local(g, ids, schedule.len() + 1, |_| LinialProgram {
         schedule: schedule.clone(),
         color: 0,
         step: 0,
     });
-    assert!(run.completed, "linial program must terminate within its schedule");
+    assert!(
+        run.completed,
+        "linial program must terminate within its schedule"
+    );
     ColoringOutcome {
-        colors: run.outputs.iter().map(|&c| u32::try_from(c).expect("palette fits u32")).collect(),
+        colors: run
+            .outputs
+            .iter()
+            .map(|&c| u32::try_from(c).expect("palette fits u32"))
+            .collect(),
         palette: u32::try_from(palette).expect("palette fits u32"),
         rounds: run.rounds,
         messages: run.messages,
@@ -236,14 +250,22 @@ mod tests {
         }
         // fixed point is O(Δ²)
         let last = sched.last().unwrap();
-        assert!(last.colors_out <= 4 * 8 * 8 * 16, "palette {}", last.colors_out);
+        assert!(
+            last.colors_out <= 4 * 8 * 8 * 16,
+            "palette {}",
+            last.colors_out
+        );
     }
 
     #[test]
     fn schedule_length_is_log_star_ish() {
         // even from an astronomically large ID space, few steps suffice
         let sched = linial_schedule(u64::MAX, 4);
-        assert!(sched.len() <= 6, "schedule unexpectedly long: {}", sched.len());
+        assert!(
+            sched.len() <= 6,
+            "schedule unexpectedly long: {}",
+            sched.len()
+        );
     }
 
     #[test]
@@ -275,7 +297,11 @@ mod tests {
             let out = linial_color(&g, &ids, 200);
             assert!(is_proper_coloring(&g, &out.colors), "Δ = {d}");
             let qstar = next_prime(d as u64 + 2);
-            assert!(out.palette as u64 <= qstar * qstar * 4, "palette {} for Δ {d}", out.palette);
+            assert!(
+                out.palette as u64 <= qstar * qstar * 4,
+                "palette {} for Δ {d}",
+                out.palette
+            );
         }
     }
 

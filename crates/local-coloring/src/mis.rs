@@ -173,7 +173,10 @@ pub fn luby_mis(g: &Graph, seed: u64) -> LubyOutcome {
         step: 0,
         best_rival: None,
     });
-    assert!(run.completed, "Luby must terminate within O(log n) phases w.h.p.");
+    assert!(
+        run.completed,
+        "Luby must terminate within O(log n) phases w.h.p."
+    );
     LubyOutcome {
         in_mis: run.outputs,
         rounds: run.rounds,

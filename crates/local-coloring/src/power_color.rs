@@ -58,9 +58,16 @@ pub fn greedy_sequential(g: &Graph, order: &[usize]) -> Vec<u32> {
     assert_eq!(order.len(), n, "order must cover every node");
     let mut colors = vec![u32::MAX; n];
     for &v in order {
-        assert!(v < n && colors[v] == u32::MAX, "order must be a permutation");
-        let mut used: Vec<u32> =
-            g.neighbors(v).iter().map(|&w| colors[w]).filter(|&c| c != u32::MAX).collect();
+        assert!(
+            v < n && colors[v] == u32::MAX,
+            "order must be a permutation"
+        );
+        let mut used: Vec<u32> = g
+            .neighbors(v)
+            .iter()
+            .map(|&w| colors[w])
+            .filter(|&c| c != u32::MAX)
+            .collect();
         used.sort_unstable();
         used.dedup();
         let mut c = 0u32;
@@ -102,7 +109,10 @@ mod tests {
         let g2 = power_graph(&g, 2);
         assert!(is_proper_coloring(&g2, &out.colors));
         assert_eq!(out.palette, g2.max_degree() as u32 + 1);
-        assert!(out.rounds % 2 == 0, "rounds include the simulation factor");
+        assert!(
+            out.rounds.is_multiple_of(2),
+            "rounds include the simulation factor"
+        );
     }
 
     #[test]

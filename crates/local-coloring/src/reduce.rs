@@ -27,11 +27,22 @@ use splitgraph::Graph;
 /// `target < Δ+1` (greedy needs a free color).
 pub fn greedy_reduce(g: &Graph, colors: &[u32], m: u32, target: u32) -> ColoringOutcome {
     let delta = g.max_degree() as u32;
-    assert!(target > delta, "target palette {target} must exceed Δ = {delta}");
+    assert!(
+        target > delta,
+        "target palette {target} must exceed Δ = {delta}"
+    );
     assert_eq!(colors.len(), g.node_count(), "color vector length mismatch");
-    assert!(colors.iter().all(|&c| c < m), "color outside declared palette");
+    assert!(
+        colors.iter().all(|&c| c < m),
+        "color outside declared palette"
+    );
     if m <= target {
-        return ColoringOutcome { colors: colors.to_vec(), palette: m, rounds: 0, messages: 0 };
+        return ColoringOutcome {
+            colors: colors.to_vec(),
+            palette: m,
+            rounds: 0,
+            messages: 0,
+        };
     }
 
     struct Greedy {
@@ -85,8 +96,16 @@ pub fn greedy_reduce(g: &Graph, colors: &[u32], m: u32, target: u32) -> Coloring
         target,
         phase: 0,
     });
-    assert!(run.completed, "greedy reduction must finish in m - target rounds");
-    ColoringOutcome { colors: run.outputs, palette: target, rounds: run.rounds, messages: run.messages }
+    assert!(
+        run.completed,
+        "greedy reduction must finish in m - target rounds"
+    );
+    ColoringOutcome {
+        colors: run.outputs,
+        palette: target,
+        rounds: run.rounds,
+        messages: run.messages,
+    }
 }
 
 /// Kuhn–Wattenhofer reduction from palette `m` to `Δ+1` in
@@ -99,7 +118,10 @@ pub fn kw_reduce(g: &Graph, colors: &[u32], m: u32) -> ColoringOutcome {
     let delta = g.max_degree() as u32;
     let target = delta + 1;
     assert_eq!(colors.len(), g.node_count(), "color vector length mismatch");
-    assert!(colors.iter().all(|&c| c < m), "color outside declared palette");
+    assert!(
+        colors.iter().all(|&c| c < m),
+        "color outside declared palette"
+    );
 
     // per-pass bucket size: 2·(Δ+1) classes collapse to Δ+1
     let bucket = 2 * target;
@@ -120,7 +142,12 @@ pub fn kw_reduce(g: &Graph, colors: &[u32], m: u32) -> ColoringOutcome {
 
     let sizes = pass_sizes(m, target, bucket);
     if sizes.len() == 1 {
-        return ColoringOutcome { colors: colors.to_vec(), palette: m, rounds: 0, messages: 0 };
+        return ColoringOutcome {
+            colors: colors.to_vec(),
+            palette: m,
+            rounds: 0,
+            messages: 0,
+        };
     }
 
     struct Kw {
@@ -200,7 +227,12 @@ pub fn kw_reduce(g: &Graph, colors: &[u32], m: u32) -> ColoringOutcome {
         slot: 0,
     });
     assert!(run.completed, "kw reduction must finish on schedule");
-    ColoringOutcome { colors: run.outputs, palette: target, rounds: run.rounds, messages: run.messages }
+    ColoringOutcome {
+        colors: run.outputs,
+        palette: target,
+        rounds: run.rounds,
+        messages: run.messages,
+    }
 }
 
 #[cfg(test)]

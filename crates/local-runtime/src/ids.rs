@@ -44,9 +44,7 @@ impl IdAssignment {
                 ids.shuffle(&mut rng);
                 ids
             }
-            IdAssignment::PolynomialSpread => {
-                (0..n as u64).map(|v| v * v + v + 1).collect()
-            }
+            IdAssignment::PolynomialSpread => (0..n as u64).map(|v| v * v + v + 1).collect(),
         }
     }
 

@@ -51,7 +51,8 @@ pub trait NodeProgram {
 
     /// One synchronous round: receives `(port, message)` pairs sent by
     /// neighbors in the previous round, returns messages for the next round.
-    fn round(&mut self, ctx: &NodeContext, inbox: &[(usize, Self::Msg)]) -> Vec<(usize, Self::Msg)>;
+    fn round(&mut self, ctx: &NodeContext, inbox: &[(usize, Self::Msg)])
+        -> Vec<(usize, Self::Msg)>;
 
     /// Whether this node has terminated (done nodes no longer act; messages
     /// addressed to them are dropped).
@@ -128,29 +129,36 @@ pub fn run_local<P: NodeProgram>(
     g: &Graph,
     ids: &[u64],
     max_rounds: usize,
-    mut make: impl FnMut(&NodeContext) -> P,
+    make: impl FnMut(&NodeContext) -> P,
 ) -> LocalRun<P::Output> {
     let n = g.node_count();
     assert_eq!(ids.len(), n, "id vector length mismatch");
 
     // port of v towards u, aligned with g.neighbors(v)
     let port_towards = |v: usize, u: usize| -> usize {
-        g.neighbors(v).binary_search(&u).expect("port lookup of non-neighbor")
+        g.neighbors(v)
+            .binary_search(&u)
+            .expect("port lookup of non-neighbor")
     };
 
     let contexts: Vec<NodeContext> = (0..n)
-        .map(|v| NodeContext { node: v, id: ids[v], degree: g.degree(v), n })
+        .map(|v| NodeContext {
+            node: v,
+            id: ids[v],
+            degree: g.degree(v),
+            n,
+        })
         .collect();
-    let mut programs: Vec<P> = contexts.iter().map(|ctx| make(ctx)).collect();
+    let mut programs: Vec<P> = contexts.iter().map(make).collect();
 
     let mut messages = 0usize;
     // inboxes[v] = (port of v, msg)
     let mut inboxes: Vec<Vec<(usize, P::Msg)>> = vec![Vec::new(); n];
 
     let deliver = |v: usize,
-                       out: Vec<(usize, P::Msg)>,
-                       inboxes: &mut Vec<Vec<(usize, P::Msg)>>,
-                       messages: &mut usize| {
+                   out: Vec<(usize, P::Msg)>,
+                   inboxes: &mut Vec<Vec<(usize, P::Msg)>>,
+                   messages: &mut usize| {
         for (port, msg) in out {
             if port == BROADCAST {
                 for &u in g.neighbors(v) {
@@ -174,8 +182,7 @@ pub fn run_local<P: NodeProgram>(
     let mut rounds = 0usize;
     let mut completed = programs.iter().all(NodeProgram::is_done);
     while !completed && rounds < max_rounds {
-        let taken: Vec<Vec<(usize, P::Msg)>> =
-            std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
+        let taken: Vec<Vec<(usize, P::Msg)>> = std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
         for (v, inbox) in taken.into_iter().enumerate() {
             if programs[v].is_done() {
                 continue; // dropped: terminated nodes no longer act
@@ -228,7 +235,10 @@ mod tests {
     #[test]
     fn one_round_neighbor_exchange() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
-        let run = run_local(&g, &[10, 20, 30], 5, |_| CollectNeighbors { seen: vec![], done: false });
+        let run = run_local(&g, &[10, 20, 30], 5, |_| CollectNeighbors {
+            seen: vec![],
+            done: false,
+        });
         assert!(run.completed);
         assert_eq!(run.rounds, 1);
         assert_eq!(run.outputs[0], vec![20]);
@@ -326,7 +336,10 @@ mod tests {
     fn port_addressing_and_tagging() {
         // triangle; node 0 sends to its port 1 = neighbor 2
         let g = Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
-        let run = run_local(&g, &[0, 1, 2], 5, |_| PortEcho { got: None, done: false });
+        let run = run_local(&g, &[0, 1, 2], 5, |_| PortEcho {
+            got: None,
+            done: false,
+        });
         assert_eq!(run.outputs[1], None);
         // node 2's neighbors are [0, 1]; port towards 0 is 0
         assert_eq!(run.outputs[2], Some((0, 99)));

@@ -65,12 +65,20 @@ impl RoundLedger {
 
     /// Records a phase whose rounds were executed by the simulator.
     pub fn add_measured(&mut self, label: impl Into<String>, rounds: f64) {
-        self.entries.push(LedgerEntry { label: label.into(), rounds, kind: CostKind::Measured });
+        self.entries.push(LedgerEntry {
+            label: label.into(),
+            rounds,
+            kind: CostKind::Measured,
+        });
     }
 
     /// Records a phase whose rounds are charged from a cited formula.
     pub fn add_charged(&mut self, label: impl Into<String>, rounds: f64) {
-        self.entries.push(LedgerEntry { label: label.into(), rounds, kind: CostKind::Charged });
+        self.entries.push(LedgerEntry {
+            label: label.into(),
+            rounds,
+            kind: CostKind::Charged,
+        });
     }
 
     /// Appends all entries of `other`.
@@ -107,7 +115,11 @@ impl RoundLedger {
     }
 
     fn sum(&self, kind: CostKind) -> f64 {
-        self.entries.iter().filter(|e| e.kind == kind).map(|e| e.rounds).sum()
+        self.entries
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.rounds)
+            .sum()
     }
 }
 

@@ -61,7 +61,9 @@ impl NodeRngs {
 
     /// A derived factory for a sub-experiment, decorrelated from this one.
     pub fn derive(&self, stream: u64) -> NodeRngs {
-        NodeRngs { master: splitmix64(self.master ^ splitmix64(stream)) }
+        NodeRngs {
+            master: splitmix64(self.master ^ splitmix64(stream)),
+        }
     }
 }
 

@@ -135,7 +135,12 @@ where
         }
         in_range.sort_unstable();
         let new_state = {
-            let view = SLocalView { center: v, graph: g, states: &states, in_range: &in_range };
+            let view = SLocalView {
+                center: v,
+                graph: g,
+                states: &states,
+                in_range: &in_range,
+            };
             process(v, &view)
         };
         states[v] = new_state;

@@ -30,9 +30,9 @@ impl NodeProgram for BfsLayers {
                 self.dist = Some(d + 1);
             }
         }
-        if self.dist.is_some() && !self.announced {
+        if let (Some(d), false) = (self.dist, self.announced) {
             self.announced = true;
-            return vec![(BROADCAST, self.dist.expect("just set"))];
+            return vec![(BROADCAST, d)];
         }
         vec![]
     }
@@ -66,7 +66,10 @@ fn bfs_distances(g: &splitgraph::Graph, source: usize) -> Vec<Option<usize>> {
 fn bfs_layers_match_reference_on_torus() {
     let g = generators::torus(6, 7).unwrap();
     let ids = IdAssignment::Sequential.assign(g.node_count());
-    let run = run_local(&g, &ids, g.node_count(), |_| BfsLayers { dist: None, announced: false });
+    let run = run_local(&g, &ids, g.node_count(), |_| BfsLayers {
+        dist: None,
+        announced: false,
+    });
     let reference = bfs_distances(&g, 0);
     assert_eq!(run.outputs, reference);
     // the run hits the round limit (programs never self-terminate), and
@@ -78,7 +81,10 @@ fn bfs_layers_match_reference_on_torus() {
 fn bfs_layers_match_reference_on_hypercube() {
     let g = generators::hypercube(6);
     let ids = IdAssignment::Sequential.assign(g.node_count());
-    let run = run_local(&g, &ids, 10, |_| BfsLayers { dist: None, announced: false });
+    let run = run_local(&g, &ids, 10, |_| BfsLayers {
+        dist: None,
+        announced: false,
+    });
     let reference = bfs_distances(&g, 0);
     assert_eq!(run.outputs, reference);
     // hypercube dimension 6 has diameter 6 < 10 rounds
@@ -89,7 +95,10 @@ fn bfs_layers_match_reference_on_hypercube() {
 fn bfs_respects_disconnected_components() {
     let g = splitgraph::Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
     let ids = IdAssignment::Sequential.assign(5);
-    let run = run_local(&g, &ids, 10, |_| BfsLayers { dist: None, announced: false });
+    let run = run_local(&g, &ids, 10, |_| BfsLayers {
+        dist: None,
+        announced: false,
+    });
     assert_eq!(run.outputs[0], Some(0));
     assert_eq!(run.outputs[1], Some(1));
     assert_eq!(run.outputs[2], None, "other component is unreachable");
@@ -101,7 +110,10 @@ fn message_counts_scale_with_edges() {
     // every node announces once: total messages = Σ deg(announcers)
     let g = generators::cycle(50).unwrap();
     let ids = IdAssignment::Sequential.assign(50);
-    let run = run_local(&g, &ids, 60, |_| BfsLayers { dist: None, announced: false });
+    let run = run_local(&g, &ids, 60, |_| BfsLayers {
+        dist: None,
+        announced: false,
+    });
     // each of the 50 nodes broadcasts exactly once over degree 2
     assert_eq!(run.messages, 100);
 }
@@ -111,7 +123,10 @@ fn shuffled_ids_relabel_the_source() {
     let g = generators::cycle(9).unwrap();
     let ids = IdAssignment::Shuffled(3).assign(9);
     let source = ids.iter().position(|&x| x == 0).expect("id 0 exists");
-    let run = run_local(&g, &ids, 20, |_| BfsLayers { dist: None, announced: false });
+    let run = run_local(&g, &ids, 20, |_| BfsLayers {
+        dist: None,
+        announced: false,
+    });
     assert_eq!(run.outputs[source], Some(0));
     let reference = bfs_distances(&g, source);
     assert_eq!(run.outputs, reference);

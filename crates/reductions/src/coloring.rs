@@ -76,8 +76,8 @@ pub fn delta_coloring_via_splitting(
         }
         let mut parts: std::collections::HashMap<u64, Vec<usize>> =
             std::collections::HashMap::new();
-        for v in 0..n {
-            parts.entry(part[v]).or_default().push(v);
+        for (v, &label) in part.iter().enumerate() {
+            parts.entry(label).or_default().push(v);
         }
         let mut level_measured = 0.0f64;
         let mut level_charged = 0.0f64;
@@ -100,12 +100,17 @@ pub fn delta_coloring_via_splitting(
                 part[v] = (label << 1) | bit;
             }
         }
-        ledger.add_measured(format!("level {level} splitting (parallel parts)"), level_measured);
-        ledger.add_charged(format!("level {level} scheduling (parallel parts)"), level_charged);
+        ledger.add_measured(
+            format!("level {level} splitting (parallel parts)"),
+            level_measured,
+        );
+        ledger.add_charged(
+            format!("level {level} scheduling (parallel parts)"),
+            level_charged,
+        );
         eps_per_level.push(eps);
         level += 1;
-        current_max_degree =
-            (((1.0 + eps) / 2.0) * current_max_degree as f64).ceil() as usize;
+        current_max_degree = (((1.0 + eps) / 2.0) * current_max_degree as f64).ceil() as usize;
         if level > 64 {
             break; // safety: cannot recurse past the label width
         }
@@ -114,8 +119,8 @@ pub fn delta_coloring_via_splitting(
     // base case: disjoint palettes per part, greedy (d+1) coloring standing
     // in for [FHK16] (charged O(√d + log* n))
     let mut parts: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
-    for v in 0..n {
-        parts.entry(part[v]).or_default().push(v);
+    for (v, &label) in part.iter().enumerate() {
+        parts.entry(label).or_default().push(v);
     }
     let mut colors: Vec<MultiColor> = vec![0; n];
     let mut next_palette_start: u32 = 0;
@@ -134,10 +139,10 @@ pub fn delta_coloring_via_splitting(
             // greedy over the full index space, but only members get colors
             let mut full: Vec<usize> = members.clone();
             let mut seen = keep.clone();
-            for v in 0..n {
-                if !seen[v] {
+            for (v, was_seen) in seen.iter_mut().enumerate() {
+                if !*was_seen {
                     full.push(v);
-                    seen[v] = true;
+                    *was_seen = true;
                 }
             }
             full
@@ -149,7 +154,10 @@ pub fn delta_coloring_via_splitting(
         next_palette_start += d as u32 + 1;
         base_charge = base_charge.max((d as f64).sqrt() + log_star(n.max(2)) as f64);
     }
-    ledger.add_charged("base (d+1)-coloring (FHK16: √d + log* n, parallel parts)", base_charge);
+    ledger.add_charged(
+        "base (d+1)-coloring (FHK16: √d + log* n, parallel parts)",
+        base_charge,
+    );
 
     debug_assert!(checks::is_proper_coloring(g, &colors));
     let report = ColoringReport {
@@ -173,11 +181,14 @@ mod tests {
     fn colors_random_regular_graph_properly() {
         let mut rng = StdRng::seed_from_u64(1);
         let g = generators::random_regular(512, 64, &mut rng).unwrap();
-        let (colors, report, _ledger) =
-            delta_coloring_via_splitting(&g, 16, None).unwrap();
+        let (colors, report, _ledger) = delta_coloring_via_splitting(&g, 16, None).unwrap();
         assert!(checks::is_proper_coloring(&g, &colors));
         assert!(report.palette >= 65, "needs at least Δ+1 colors");
-        assert!(report.ratio < 3.0, "ratio {} far above (1+o(1))", report.ratio);
+        assert!(
+            report.ratio < 3.0,
+            "ratio {} far above (1+o(1))",
+            report.ratio
+        );
     }
 
     #[test]
@@ -185,8 +196,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         // degree 512 at n = 2048: certified ε ≈ 0.33 permits splitting
         let g = generators::random_regular(2048, 512, &mut rng).unwrap();
-        let (colors, report, _) =
-            delta_coloring_via_splitting(&g, 64, Some(0.35)).unwrap();
+        let (colors, report, _) = delta_coloring_via_splitting(&g, 64, Some(0.35)).unwrap();
         assert!(checks::is_proper_coloring(&g, &colors));
         assert!(report.levels >= 1, "expected at least one split");
         assert!(

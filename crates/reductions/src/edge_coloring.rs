@@ -105,14 +105,19 @@ pub fn edge_coloring_via_splitting(
                 class[i] = (label << 1) | bit;
             }
         }
-        ledger.add_measured(format!("level {levels} edge splitting (parallel)"), level_measured);
-        ledger.add_charged(format!("level {levels} edge splitting (parallel)"), level_charged);
+        ledger.add_measured(
+            format!("level {levels} edge splitting (parallel)"),
+            level_measured,
+        );
+        ledger.add_charged(
+            format!("level {levels} edge splitting (parallel)"),
+            level_charged,
+        );
         levels += 1;
     }
 
     // base case: greedy edge coloring per class with disjoint palettes
-    let mut classes: std::collections::HashMap<u64, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut classes: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
     for (i, &c) in class.iter().enumerate() {
         classes.entry(c).or_default().push(i);
     }
@@ -135,8 +140,14 @@ pub fn edge_coloring_via_splitting(
             std::collections::HashMap::new();
         for &i in &members {
             let (a, b) = edges[i];
-            let ua = used.entry(a).or_insert_with(|| vec![false; palette as usize]).clone();
-            let ub = used.entry(b).or_insert_with(|| vec![false; palette as usize]).clone();
+            let ua = used
+                .entry(a)
+                .or_insert_with(|| vec![false; palette as usize])
+                .clone();
+            let ub = used
+                .entry(b)
+                .or_insert_with(|| vec![false; palette as usize])
+                .clone();
             let c = (0..palette as usize)
                 .find(|&x| !ua[x] && !ub[x])
                 .expect("2d-1 palette always has a free slot");
@@ -176,7 +187,11 @@ mod tests {
             edge_coloring_via_splitting(&g, 8, EdgeSplitEngine::Eulerian).unwrap();
         assert!(checks::is_proper_edge_coloring(&g, &colors));
         assert!(report.levels >= 1);
-        assert!(report.ratio < 1.6, "ratio {} too far above (1+o(1))", report.ratio);
+        assert!(
+            report.ratio < 1.6,
+            "ratio {} too far above (1+o(1))",
+            report.ratio
+        );
     }
 
     #[test]
@@ -210,8 +225,7 @@ mod tests {
     fn ratio_close_to_one_for_balanced_splits() {
         let mut rng = StdRng::seed_from_u64(3);
         let g = generators::random_regular(256, 64, &mut rng).unwrap();
-        let (_, report, _) =
-            edge_coloring_via_splitting(&g, 8, EdgeSplitEngine::Eulerian).unwrap();
+        let (_, report, _) = edge_coloring_via_splitting(&g, 8, EdgeSplitEngine::Eulerian).unwrap();
         // 2^k classes of degree ≈ Δ/2^k: palette ≈ 2Δ + 2^k
         assert!(report.ratio < 1.5, "ratio {}", report.ratio);
         assert!(report.ratio >= 0.9);

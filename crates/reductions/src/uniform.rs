@@ -36,7 +36,9 @@ pub fn feasible_eps(n: usize, d: usize) -> f64 {
 /// verify with [`checks::is_uniform_splitting`].
 pub fn uniform_splitting_random(g: &Graph, seed: u64) -> Vec<Color> {
     let rngs = NodeRngs::new(seed);
-    (0..g.node_count()).map(|v| Color::from_bool(rngs.rng(v, 0).random_bool(0.5))).collect()
+    (0..g.node_count())
+        .map(|v| Color::from_bool(rngs.rng(v, 0).random_bool(0.5)))
+        .collect()
 }
 
 /// Derandomized uniform splitting with accuracy `eps`, constraining only
@@ -93,10 +95,15 @@ pub fn uniform_splitting_deterministic(
     let order: Vec<usize> = (0..b.right_count()).collect();
     let fix = sequential_fix(&b, est, &order);
     if fix.initial_phi >= 1.0 {
-        return Err(SplitError::EstimatorTooLarge { phi: fix.initial_phi });
+        return Err(SplitError::EstimatorTooLarge {
+            phi: fix.initial_phi,
+        });
     }
-    let colors: Vec<Color> =
-        fix.colors.iter().map(|&x| if x == 0 { Color::Red } else { Color::Blue }).collect();
+    let colors: Vec<Color> = fix
+        .colors
+        .iter()
+        .map(|&x| if x == 0 { Color::Red } else { Color::Blue })
+        .collect();
     debug_assert!(checks::is_uniform_splitting(g, &colors, eps, min_degree));
     Ok(SplitOutcome { colors, ledger })
 }
@@ -129,13 +136,17 @@ pub fn pad_low_degrees(g: &Graph, delta: usize) -> (Graph, usize) {
     }
     for i in 0..clique {
         for j in i + 1..clique {
-            padded.add_edge(n + i, n + j).expect("clique edges are fresh");
+            padded
+                .add_edge(n + i, n + j)
+                .expect("clique edges are fresh");
         }
     }
     for &v in &deficient {
         let need = delta - g.degree(v);
         for k in 0..need {
-            padded.add_edge(v, n + (v + k) % clique).expect("gadget edges are fresh");
+            padded
+                .add_edge(v, n + (v + k) % clique)
+                .expect("gadget edges are fresh");
         }
     }
     (padded, n)
@@ -160,7 +171,10 @@ mod tests {
                 ok += 1;
             }
         }
-        assert!(ok >= 8, "only {ok}/10 random splittings valid at ε = {eps:.3}");
+        assert!(
+            ok >= 8,
+            "only {ok}/10 random splittings valid at ε = {eps:.3}"
+        );
     }
 
     #[test]
@@ -208,7 +222,11 @@ mod tests {
         let (padded, orig) = pad_low_degrees(&g, 3);
         assert_eq!(orig, 6);
         for v in 0..6 {
-            assert!(padded.degree(v) >= 3, "node {v} degree {}", padded.degree(v));
+            assert!(
+                padded.degree(v) >= 3,
+                "node {v} degree {}",
+                padded.degree(v)
+            );
         }
         // original edges intact
         for (u, v) in g.edges() {

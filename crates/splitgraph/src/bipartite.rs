@@ -65,10 +65,16 @@ impl BipartiteGraph {
     /// Returns an error on out-of-range endpoints or duplicate edges.
     pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
         if u >= self.left_count() {
-            return Err(GraphError::NodeOutOfRange { node: u, count: self.left_count() });
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                count: self.left_count(),
+            });
         }
         if v >= self.right_count() {
-            return Err(GraphError::NodeOutOfRange { node: v, count: self.right_count() });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                count: self.right_count(),
+            });
         }
         match self.adj_left[u].binary_search(&v) {
             Ok(_) => return Err(GraphError::DuplicateEdge { u, v }),
@@ -87,7 +93,9 @@ impl BipartiteGraph {
         }
         if let Ok(pos) = self.adj_left[u].binary_search(&v) {
             self.adj_left[u].remove(pos);
-            let pos = self.adj_right[v].binary_search(&u).expect("adjacency symmetric");
+            let pos = self.adj_right[v]
+                .binary_search(&u)
+                .expect("adjacency symmetric");
             self.adj_right[v].remove(pos);
             self.edge_count -= 1;
             true
@@ -192,7 +200,8 @@ impl BipartiteGraph {
         let mut b = BipartiteGraph::new(self.left_count(), self.right_count());
         for (u, v) in self.edges() {
             if pred(u, v) {
-                b.add_edge(u, v).expect("filtered edges of a simple bipartite graph remain simple");
+                b.add_edge(u, v)
+                    .expect("filtered edges of a simple bipartite graph remain simple");
             }
         }
         b
@@ -205,8 +214,16 @@ impl BipartiteGraph {
     ///
     /// Panics if the mask lengths do not match the side sizes.
     pub fn induced_subgraph(&self, keep_left: &[bool], keep_right: &[bool]) -> BipartiteGraph {
-        assert_eq!(keep_left.len(), self.left_count(), "left mask length mismatch");
-        assert_eq!(keep_right.len(), self.right_count(), "right mask length mismatch");
+        assert_eq!(
+            keep_left.len(),
+            self.left_count(),
+            "left mask length mismatch"
+        );
+        assert_eq!(
+            keep_right.len(),
+            self.right_count(),
+            "right mask length mismatch"
+        );
         self.filter_edges(|u, v| keep_left[u] && keep_right[v])
     }
 
@@ -219,7 +236,8 @@ impl BipartiteGraph {
         let mut g = Graph::new(self.node_count());
         let shift = self.left_count();
         for (u, v) in self.edges() {
-            g.add_edge(u, shift + v).expect("bipartite edges are simple");
+            g.add_edge(u, shift + v)
+                .expect("bipartite edges are simple");
         }
         g
     }
@@ -257,9 +275,18 @@ mod tests {
     #[test]
     fn rejects_duplicates_and_out_of_range() {
         let mut b = sample();
-        assert_eq!(b.add_edge(0, 0), Err(GraphError::DuplicateEdge { u: 0, v: 0 }));
-        assert_eq!(b.add_edge(2, 0), Err(GraphError::NodeOutOfRange { node: 2, count: 2 }));
-        assert_eq!(b.add_edge(0, 3), Err(GraphError::NodeOutOfRange { node: 3, count: 3 }));
+        assert_eq!(
+            b.add_edge(0, 0),
+            Err(GraphError::DuplicateEdge { u: 0, v: 0 })
+        );
+        assert_eq!(
+            b.add_edge(2, 0),
+            Err(GraphError::NodeOutOfRange { node: 2, count: 2 })
+        );
+        assert_eq!(
+            b.add_edge(0, 3),
+            Err(GraphError::NodeOutOfRange { node: 3, count: 3 })
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@ use std::collections::HashSet;
 ///
 /// Panics if `colors.len() != b.right_count()` or `u` is out of range.
 pub fn sees_both_colors(b: &BipartiteGraph, u: usize, colors: &[Option<Color>]) -> bool {
-    assert_eq!(colors.len(), b.right_count(), "color vector length mismatch");
+    assert_eq!(
+        colors.len(),
+        b.right_count(),
+        "color vector length mismatch"
+    );
     let mut red = false;
     let mut blue = false;
     for &v in b.left_neighbors(u) {
@@ -46,7 +50,11 @@ pub fn weak_splitting_violations(
     colors: &[Color],
     min_degree: usize,
 ) -> Vec<usize> {
-    assert_eq!(colors.len(), b.right_count(), "color vector length mismatch");
+    assert_eq!(
+        colors.len(),
+        b.right_count(),
+        "color vector length mismatch"
+    );
     let partial: Vec<Option<Color>> = colors.iter().map(|&c| Some(c)).collect();
     (0..b.left_count())
         .filter(|&u| b.left_degree(u) >= min_degree && !sees_both_colors(b, u, &partial))
@@ -74,7 +82,11 @@ pub fn multicolor_splitting_violations(
     lambda: f64,
     min_degree: usize,
 ) -> Vec<(usize, MultiColor, usize)> {
-    assert_eq!(colors.len(), b.right_count(), "color vector length mismatch");
+    assert_eq!(
+        colors.len(),
+        b.right_count(),
+        "color vector length mismatch"
+    );
     assert!(lambda > 0.0 && lambda <= 1.0, "lambda must lie in (0, 1]");
     assert!(colors.iter().all(|&x| x < c), "color out of palette range");
     let mut violations = Vec::new();
@@ -125,7 +137,11 @@ pub fn weak_multicolor_violations(
     degree_threshold: usize,
     required_colors: usize,
 ) -> Vec<(usize, usize)> {
-    assert_eq!(colors.len(), b.right_count(), "color vector length mismatch");
+    assert_eq!(
+        colors.len(),
+        b.right_count(),
+        "color vector length mismatch"
+    );
     let mut violations = Vec::new();
     let mut seen = HashSet::new();
     for u in 0..b.left_count() {
@@ -178,7 +194,11 @@ pub fn is_proper_coloring(g: &Graph, colors: &[MultiColor]) -> bool {
 ///
 /// Panics if `colors.len() != g.edge_count()`.
 pub fn edge_coloring_violations(g: &Graph, colors: &[MultiColor]) -> Vec<(usize, usize)> {
-    assert_eq!(colors.len(), g.edge_count(), "edge color vector length mismatch");
+    assert_eq!(
+        colors.len(),
+        g.edge_count(),
+        "edge color vector length mismatch"
+    );
     // per node, detect repeated colors among incident edges
     let mut incident: Vec<Vec<(MultiColor, usize)>> = vec![Vec::new(); g.node_count()];
     for (i, (u, v)) in g.edges().enumerate() {
@@ -243,7 +263,11 @@ impl GraphOrientation {
     ///
     /// Panics if the flag vector length does not match `g.edge_count()`.
     pub fn out_degree(&self, g: &Graph, v: usize) -> usize {
-        assert_eq!(self.forward.len(), g.edge_count(), "orientation length mismatch");
+        assert_eq!(
+            self.forward.len(),
+            g.edge_count(),
+            "orientation length mismatch"
+        );
         g.edges()
             .zip(&self.forward)
             .filter(|&((a, b), &f)| if f { a == v } else { b == v })
@@ -254,7 +278,11 @@ impl GraphOrientation {
 /// Nodes of degree at least `min_degree` with **no outgoing edge** (sinks).
 /// A sinkless orientation (Section 2.5 of the paper) has none.
 pub fn sink_violations(g: &Graph, orientation: &GraphOrientation, min_degree: usize) -> Vec<usize> {
-    assert_eq!(orientation.forward.len(), g.edge_count(), "orientation length mismatch");
+    assert_eq!(
+        orientation.forward.len(),
+        g.edge_count(),
+        "orientation length mismatch"
+    );
     let mut has_out = vec![false; g.node_count()];
     for ((a, b), &f) in g.edges().zip(&orientation.forward) {
         let tail = if f { a } else { b };
@@ -291,7 +319,11 @@ pub fn uniform_splitting_violations(
         if d < min_degree {
             continue;
         }
-        let red = g.neighbors(v).iter().filter(|&&w| sides[w] == Color::Red).count();
+        let red = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&w| sides[w] == Color::Red)
+            .count();
         let blue = d - red;
         let lo = (0.5 - eps) * d as f64;
         let hi = (0.5 + eps) * d as f64;
@@ -403,11 +435,15 @@ mod tests {
     fn sinkless_orientation_on_cycle() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
         // edges() order: (0,1), (0,2), (1,2); orient 0→1, 2→0, 1→2 : a cycle
-        let o = GraphOrientation { forward: vec![true, false, true] };
+        let o = GraphOrientation {
+            forward: vec![true, false, true],
+        };
         assert!(is_sinkless(&g, &o, 0));
         assert_eq!(o.out_degree(&g, 0), 1);
         // orient everything into node 2's direction making node... make 0 a sink:
-        let o = GraphOrientation { forward: vec![false, false, true] };
+        let o = GraphOrientation {
+            forward: vec![false, false, true],
+        };
         assert_eq!(sink_violations(&g, &o, 0), vec![0]);
         // min_degree above deg silences it
         assert!(is_sinkless(&g, &o, 3));

@@ -131,13 +131,13 @@ pub fn bipartite_components(b: &BipartiteGraph) -> Vec<BipartiteComponent> {
         .collect();
     // first pass: assign local indices
     let mut local = vec![usize::MAX; g.node_count()];
-    for v in 0..g.node_count() {
+    for (v, slot) in local.iter_mut().enumerate() {
         let c = cc.label(v);
         if v < shift {
-            local[v] = comps[c].original_left.len();
+            *slot = comps[c].original_left.len();
             comps[c].original_left.push(v);
         } else {
-            local[v] = comps[c].original_right.len();
+            *slot = comps[c].original_right.len();
             comps[c].original_right.push(v - shift);
         }
     }
@@ -147,7 +147,9 @@ pub fn bipartite_components(b: &BipartiteGraph) -> Vec<BipartiteComponent> {
         for (i, &orig_u) in comp.original_left.iter().enumerate() {
             for &orig_v in b.left_neighbors(orig_u) {
                 debug_assert_eq!(cc.label(shift + orig_v), c);
-                graph.add_edge(i, local[shift + orig_v]).expect("component edges are simple");
+                graph
+                    .add_edge(i, local[shift + orig_v])
+                    .expect("component edges are simple");
             }
         }
         comp.graph = graph;

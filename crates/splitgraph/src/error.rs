@@ -41,13 +41,19 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, count } => {
-                write!(f, "node index {node} out of range for graph with {count} nodes")
+                write!(
+                    f,
+                    "node index {node} out of range for graph with {count} nodes"
+                )
             }
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop at node {node} not allowed in a simple graph")
             }
             GraphError::DuplicateEdge { u, v } => {
-                write!(f, "duplicate edge {{{u}, {v}}} not allowed in a simple graph")
+                write!(
+                    f,
+                    "duplicate edge {{{u}, {v}}} not allowed in a simple graph"
+                )
             }
             GraphError::InfeasibleDegrees { reason } => {
                 write!(f, "infeasible degree parameters: {reason}")
@@ -68,14 +74,21 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let e = GraphError::NodeOutOfRange { node: 7, count: 3 };
-        assert_eq!(e.to_string(), "node index 7 out of range for graph with 3 nodes");
+        assert_eq!(
+            e.to_string(),
+            "node index 7 out of range for graph with 3 nodes"
+        );
         let e = GraphError::SelfLoop { node: 2 };
         assert!(e.to_string().contains("self-loop"));
         let e = GraphError::DuplicateEdge { u: 1, v: 2 };
         assert!(e.to_string().contains("duplicate edge"));
-        let e = GraphError::InfeasibleDegrees { reason: "odd sum".into() };
+        let e = GraphError::InfeasibleDegrees {
+            reason: "odd sum".into(),
+        };
         assert!(e.to_string().contains("odd sum"));
-        let e = GraphError::GenerationFailed { reason: "retries".into() };
+        let e = GraphError::GenerationFailed {
+            reason: "retries".into(),
+        };
         assert!(e.to_string().contains("retries"));
     }
 

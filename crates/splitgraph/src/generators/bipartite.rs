@@ -3,7 +3,7 @@
 use crate::bipartite::BipartiteGraph;
 use crate::error::GraphError;
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Random bipartite graph where every **left** (constraint) node has exactly
 /// `left_degree` distinct right neighbors chosen uniformly at random.
@@ -33,7 +33,8 @@ pub fn random_left_regular<R: Rng + ?Sized>(
         for i in 0..left_degree {
             let j = rng.random_range(i..right_count);
             pool.swap(i, j);
-            b.add_edge(u, pool[i]).expect("distinct draws give fresh edges");
+            b.add_edge(u, pool[i])
+                .expect("distinct draws give fresh edges");
         }
     }
     Ok(b)
@@ -55,17 +56,17 @@ pub fn random_biregular<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<BipartiteGraph, GraphError> {
     let stubs = left_count * left_degree;
-    if right_count == 0 || stubs % right_count != 0 {
+    if right_count == 0 || !stubs.is_multiple_of(right_count) {
         return Err(GraphError::InfeasibleDegrees {
-            reason: format!(
-                "left stubs {stubs} not divisible by right side size {right_count}"
-            ),
+            reason: format!("left stubs {stubs} not divisible by right side size {right_count}"),
         });
     }
     let right_degree = stubs / right_count;
     if right_degree > left_count {
         return Err(GraphError::InfeasibleDegrees {
-            reason: format!("implied right degree {right_degree} exceeds left side size {left_count}"),
+            reason: format!(
+                "implied right degree {right_degree} exceeds left side size {left_count}"
+            ),
         });
     }
     if left_degree > right_count {
@@ -75,13 +76,14 @@ pub fn random_biregular<R: Rng + ?Sized>(
     }
     const ATTEMPTS: usize = 200;
     for _ in 0..ATTEMPTS {
-        let left_stubs: Vec<usize> =
-            (0..left_count).flat_map(|u| std::iter::repeat_n(u, left_degree)).collect();
-        let mut right_stubs: Vec<usize> =
-            (0..right_count).flat_map(|v| std::iter::repeat_n(v, right_degree)).collect();
+        let left_stubs: Vec<usize> = (0..left_count)
+            .flat_map(|u| std::iter::repeat_n(u, left_degree))
+            .collect();
+        let mut right_stubs: Vec<usize> = (0..right_count)
+            .flat_map(|v| std::iter::repeat_n(v, right_degree))
+            .collect();
         right_stubs.shuffle(rng);
-        let mut pairs: Vec<(usize, usize)> =
-            left_stubs.into_iter().zip(right_stubs).collect();
+        let mut pairs: Vec<(usize, usize)> = left_stubs.into_iter().zip(right_stubs).collect();
         if repair_bipartite_pairing(&mut pairs, rng) {
             return BipartiteGraph::from_edges(left_count, right_count, &pairs);
         }

@@ -3,7 +3,7 @@
 use crate::error::GraphError;
 use crate::graph::Graph;
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// The cycle `C_n`.
 ///
@@ -12,7 +12,9 @@ use rand::{Rng, RngExt};
 /// Returns an error if `n < 3`.
 pub fn cycle(n: usize) -> Result<Graph, GraphError> {
     if n < 3 {
-        return Err(GraphError::InfeasibleDegrees { reason: format!("cycle needs n >= 3, got {n}") });
+        return Err(GraphError::InfeasibleDegrees {
+            reason: format!("cycle needs n >= 3, got {n}"),
+        });
     }
     let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
     Graph::from_edges(n, &edges)
@@ -67,8 +69,10 @@ pub fn torus(rows: usize, cols: usize) -> Result<Graph, GraphError> {
     let id = |r: usize, c: usize| r * cols + c;
     for r in 0..rows {
         for c in 0..cols {
-            g.add_edge(id(r, c), id((r + 1) % rows, c)).expect("torus edges are simple");
-            g.add_edge(id(r, c), id(r, (c + 1) % cols)).expect("torus edges are simple");
+            g.add_edge(id(r, c), id((r + 1) % rows, c))
+                .expect("torus edges are simple");
+            g.add_edge(id(r, c), id(r, (c + 1) % cols))
+                .expect("torus edges are simple");
         }
     }
     Ok(g)
@@ -94,13 +98,17 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 ///
 /// Returns an error if `n·d` is odd, `d ≥ n`, or repair fails repeatedly
 /// (only plausible for extreme parameters such as `d = n − 1`).
-pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn random_regular<R: Rng + ?Sized>(
+    n: usize,
+    d: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     if d >= n {
         return Err(GraphError::InfeasibleDegrees {
             reason: format!("degree {d} must be smaller than node count {n}"),
         });
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::InfeasibleDegrees {
             reason: format!("n*d = {} must be even", n * d),
         });
@@ -109,8 +117,7 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Resul
     for _ in 0..ATTEMPTS {
         let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(rng);
-        let mut pairs: Vec<(usize, usize)> =
-            stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let mut pairs: Vec<(usize, usize)> = stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
         if repair_pairing(&mut pairs, rng) {
             let g = Graph::from_edges(n, &pairs).expect("repaired pairing is simple");
             return Ok(g);

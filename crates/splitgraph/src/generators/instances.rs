@@ -31,8 +31,10 @@ pub fn doubling_instance(g: &Graph) -> BipartiteGraph {
     let n = g.node_count();
     let mut b = BipartiteGraph::new(n, n);
     for (u, v) in g.edges() {
-        b.add_edge(u, v).expect("simple graph gives simple doubling");
-        b.add_edge(v, u).expect("simple graph gives simple doubling");
+        b.add_edge(u, v)
+            .expect("simple graph gives simple doubling");
+        b.add_edge(v, u)
+            .expect("simple graph gives simple doubling");
     }
     b
 }
@@ -97,13 +99,21 @@ pub fn sinkless_instance(g: &Graph, ids: &[u64]) -> SinklessInstance {
         // connect endpoint u to this edge iff the other endpoint is on u's
         // majority side
         for (u, v) in [(x, y), (y, x)] {
-            let keep = if toward_larger[u] { ids[v] > ids[u] } else { ids[v] < ids[u] };
+            let keep = if toward_larger[u] {
+                ids[v] > ids[u]
+            } else {
+                ids[v] < ids[u]
+            };
             if keep {
                 b.add_edge(u, i).expect("incidence edges are simple");
             }
         }
     }
-    SinklessInstance { bipartite: b, edges, toward_larger }
+    SinklessInstance {
+        bipartite: b,
+        edges,
+        toward_larger,
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +160,7 @@ mod tests {
         let inst = sinkless_instance(&g, &ids);
         assert!(inst.toward_larger[0]);
         assert_eq!(inst.bipartite.left_degree(0), 2); // edges to nodes 3, 4
-        // leaf 1 (id 1): single neighbor has larger id → toward_larger, keeps its edge
+                                                      // leaf 1 (id 1): single neighbor has larger id → toward_larger, keeps its edge
         assert!(inst.toward_larger[1]);
         assert_eq!(inst.bipartite.left_degree(1), 1);
         // leaf 4 (id 40): single neighbor has smaller id → toward smaller
@@ -165,10 +175,20 @@ mod tests {
         let g = Graph::from_edges(
             6,
             &[
-                (0, 1), (0, 2), (0, 3), (0, 4), (0, 5),
-                (1, 2), (1, 3), (1, 4), (1, 5),
-                (2, 3), (2, 4), (2, 5),
-                (3, 4), (3, 5),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (2, 3),
+                (2, 4),
+                (2, 5),
+                (3, 4),
+                (3, 5),
                 (4, 5),
             ],
         )

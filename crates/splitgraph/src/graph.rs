@@ -29,7 +29,10 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n], edge_count: 0 }
+        Graph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Builds a graph from an edge list.
@@ -118,9 +121,7 @@ impl Graph {
 
     /// Whether the edge `{u, v}` is present. Out-of-range endpoints yield `false`.
     pub fn contains_edge(&self, u: usize, v: usize) -> bool {
-        u < self.node_count()
-            && v < self.node_count()
-            && self.adj[u].binary_search(&v).is_ok()
+        u < self.node_count() && v < self.node_count() && self.adj[u].binary_search(&v).is_ok()
     }
 
     /// Maximum degree Δ, or 0 for the empty graph.
@@ -152,7 +153,8 @@ impl Graph {
         let mut g = Graph::new(self.node_count());
         for (u, v) in self.edges() {
             if keep[u] && keep[v] {
-                g.add_edge(u, v).expect("edges of a simple graph remain simple");
+                g.add_edge(u, v)
+                    .expect("edges of a simple graph remain simple");
             }
         }
         g
@@ -163,7 +165,8 @@ impl Graph {
         let mut g = Graph::new(self.node_count());
         for (u, v) in self.edges() {
             if pred(u, v) {
-                g.add_edge(u, v).expect("filtered edges of a simple graph remain simple");
+                g.add_edge(u, v)
+                    .expect("filtered edges of a simple graph remain simple");
             }
         }
         g
@@ -209,15 +212,27 @@ mod tests {
     fn rejects_duplicate_in_either_orientation() {
         let mut g = Graph::new(2);
         g.add_edge(0, 1).unwrap();
-        assert_eq!(g.add_edge(0, 1), Err(GraphError::DuplicateEdge { u: 0, v: 1 }));
-        assert_eq!(g.add_edge(1, 0), Err(GraphError::DuplicateEdge { u: 1, v: 0 }));
+        assert_eq!(
+            g.add_edge(0, 1),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        );
+        assert_eq!(
+            g.add_edge(1, 0),
+            Err(GraphError::DuplicateEdge { u: 1, v: 0 })
+        );
     }
 
     #[test]
     fn rejects_out_of_range() {
         let mut g = Graph::new(2);
-        assert_eq!(g.add_edge(0, 2), Err(GraphError::NodeOutOfRange { node: 2, count: 2 }));
-        assert_eq!(g.add_edge(5, 0), Err(GraphError::NodeOutOfRange { node: 5, count: 2 }));
+        assert_eq!(
+            g.add_edge(0, 2),
+            Err(GraphError::NodeOutOfRange { node: 2, count: 2 })
+        );
+        assert_eq!(
+            g.add_edge(5, 0),
+            Err(GraphError::NodeOutOfRange { node: 5, count: 2 })
+        );
     }
 
     #[test]

@@ -37,8 +37,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod checks;
 mod bipartite;
+pub mod checks;
 mod color;
 mod components;
 mod error;
@@ -51,9 +51,7 @@ mod power;
 
 pub use bipartite::BipartiteGraph;
 pub use color::{Color, MultiColor};
-pub use components::{
-    bipartite_components, connected_components, BipartiteComponent, Components,
-};
+pub use components::{bipartite_components, connected_components, BipartiteComponent, Components};
 pub use error::GraphError;
 pub use girth::{bipartite_girth, girth};
 pub use graph::Graph;

@@ -38,7 +38,11 @@ pub struct MultiGraph {
 impl MultiGraph {
     /// Creates an empty multigraph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        MultiGraph { node_count: n, endpoints: Vec::new(), incident: vec![Vec::new(); n] }
+        MultiGraph {
+            node_count: n,
+            endpoints: Vec::new(),
+            incident: vec![Vec::new(); n],
+        }
     }
 
     /// Adds an edge between `u` and `v` and returns its id.
@@ -206,7 +210,10 @@ impl Orientation {
 
     /// Maximum discrepancy over all nodes, or 0 for an empty graph.
     pub fn max_discrepancy(&self, g: &MultiGraph) -> usize {
-        (0..g.node_count()).map(|v| self.discrepancy(g, v)).max().unwrap_or(0)
+        (0..g.node_count())
+            .map(|v| self.discrepancy(g, v))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -249,7 +256,7 @@ mod tests {
         g.add_edge(0, 1); // e0
         g.add_edge(1, 2); // e1
         g.add_edge(2, 0); // e2
-        // orient the triangle as a directed cycle 0→1→2→0
+                          // orient the triangle as a directed cycle 0→1→2→0
         let o = Orientation::new(vec![true, true, true]);
         for v in 0..3 {
             assert_eq!(o.out_degree(&g, v), 1);

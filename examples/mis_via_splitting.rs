@@ -21,9 +21,15 @@ fn main() {
 
     assert!(checks::is_mis(&g, &mis));
     let size = mis.iter().filter(|&&x| x).count();
-    println!("MIS: valid, {size} nodes (Lemma 4.3 floor: n/(Δ+1) = {})", n / (delta + 1));
+    println!(
+        "MIS: valid, {size} nodes (Lemma 4.3 floor: n/(Δ+1) = {})",
+        n / (delta + 1)
+    );
     println!("degree-halving steps: {}", report.steps);
-    println!("heavy-elimination iterations: {}", report.elimination_iterations);
+    println!(
+        "heavy-elimination iterations: {}",
+        report.elimination_iterations
+    );
     println!("splitting oracle calls: {}", report.splittings);
     println!("\nround ledger:\n{ledger}");
 }

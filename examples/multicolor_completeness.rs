@@ -8,8 +8,7 @@
 //! ```
 
 use distributed_splitting::core::{
-    weak_multicolor_via_multicolor_splitting, weak_splitting_via_weak_multicolor,
-    Theorem33Config,
+    weak_multicolor_via_multicolor_splitting, weak_splitting_via_weak_multicolor, Theorem33Config,
 };
 use distributed_splitting::splitgraph::{checks, generators, math};
 use rand::rngs::StdRng;
@@ -37,7 +36,11 @@ fn main() {
     // Theorem 3.3 forward: iterated (C, λ)-splitting → weak multicolor
     let mut rng = StdRng::seed_from_u64(14);
     let dense = generators::random_left_regular(128, 3072, 1536, &mut rng).expect("feasible");
-    let cfg = Theorem33Config { c: 16, lambda: 0.5, alpha: 16.0 };
+    let cfg = Theorem33Config {
+        c: 16,
+        lambda: 0.5,
+        alpha: 16.0,
+    };
     let (colors, report, _ledger) =
         weak_multicolor_via_multicolor_splitting(&dense, &cfg).expect("regime holds");
     println!("\nTheorem 3.3 reduction on a degree-1536 instance:");

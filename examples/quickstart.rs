@@ -5,7 +5,7 @@
 //! cargo run -p distributed-splitting --example quickstart
 //! ```
 
-use distributed_splitting::core::{WeakSplittingSolver, Pipeline};
+use distributed_splitting::core::{Pipeline, WeakSplittingSolver};
 use distributed_splitting::splitgraph::{checks, generators};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,8 +14,8 @@ fn main() {
     // A bipartite constraint/variable instance B = (U ∪ V, E):
     // 200 constraints of degree 20 over 400 variables.
     let mut rng = StdRng::seed_from_u64(42);
-    let b = generators::random_biregular(200, 400, 20, &mut rng)
-        .expect("feasible degree parameters");
+    let b =
+        generators::random_biregular(200, 400, 20, &mut rng).expect("feasible degree parameters");
     println!(
         "instance: |U| = {}, |V| = {}, δ = {}, Δ = {}, r = {}",
         b.left_count(),
@@ -26,7 +26,10 @@ fn main() {
     );
 
     // deterministic track (Theorem 2.5 territory)
-    let solver = WeakSplittingSolver { allow_randomized: false, ..Default::default() };
+    let solver = WeakSplittingSolver {
+        allow_randomized: false,
+        ..Default::default()
+    };
     let (out, pipeline) = solver.solve(&b).expect("instance is in a covered regime");
     assert!(matches!(pipeline, Pipeline::Theorem25));
     assert!(checks::is_weak_splitting(&b, &out.colors, 0));
@@ -40,6 +43,13 @@ fn main() {
     println!("\nrandomized pipeline: {pipeline:?}");
     println!("{}", out.ledger);
 
-    let reds = out.colors.iter().filter(|c| **c == distributed_splitting::splitgraph::Color::Red).count();
-    println!("\ncolor balance: {reds} red / {} blue", out.colors.len() - reds);
+    let reds = out
+        .colors
+        .iter()
+        .filter(|c| **c == distributed_splitting::splitgraph::Color::Red)
+        .count();
+    println!(
+        "\ncolor balance: {reds} red / {} blue",
+        out.colors.len() - reds
+    );
 }

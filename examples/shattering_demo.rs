@@ -30,7 +30,10 @@ fn main() {
     let uncolored = sh.colors.iter().filter(|c| c.is_none()).count();
     println!("\nafter {} LOCAL rounds of shattering:", sh.rounds);
     println!("  unsatisfied constraints: {unsat} / {}", b.left_count());
-    println!("  uncolored variables:     {uncolored} / {}", b.right_count());
+    println!(
+        "  uncolored variables:     {uncolored} / {}",
+        b.right_count()
+    );
     let comps = bipartite_components(&sh.residual);
     let sizes: Vec<usize> = comps
         .iter()
@@ -44,11 +47,18 @@ fn main() {
     );
 
     // the full Theorem 1.2 pipeline
-    let cfg = Theorem12Config { c_constant: 1.5, seed: 2024, ..Default::default() };
+    let cfg = Theorem12Config {
+        c_constant: 1.5,
+        seed: 2024,
+        ..Default::default()
+    };
     let (out, report) = theorem12_with_report(&b, &cfg).expect("pipeline succeeds");
     assert!(checks::is_weak_splitting(&b, &out.colors, 0));
     println!("\nTheorem 1.2 pipeline: valid weak splitting");
-    println!("  components solved deterministically: {}", report.solved_components);
+    println!(
+        "  components solved deterministically: {}",
+        report.solved_components
+    );
     println!("  shattering attempts used: {}", report.attempts_used);
     println!("\nround ledger:\n{}", out.ledger);
 }

@@ -36,8 +36,11 @@ fn main() {
     println!("\nfirst 8 edges:");
     for (i, &(a, c)) in reduction.instance.edges.iter().take(8).enumerate() {
         let color = reduction.splitting[i];
-        let (tail, head) =
-            if reduction.orientation.forward[i] { (a, c) } else { (c, a) };
+        let (tail, head) = if reduction.orientation.forward[i] {
+            (a, c)
+        } else {
+            (c, a)
+        };
         println!("  {{{a:3}, {c:3}}}  {color:5}  {tail:3} → {head:3}");
     }
 

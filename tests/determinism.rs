@@ -47,7 +47,11 @@ fn shattering_depends_only_on_seed() {
 fn theorem12_is_seed_stable() {
     let mut rng = StdRng::seed_from_u64(4);
     let b = generators::random_biregular(1024, 4096, 24, &mut rng).unwrap();
-    let cfg = core::Theorem12Config { c_constant: 1.5, seed: 99, ..Default::default() };
+    let cfg = core::Theorem12Config {
+        c_constant: 1.5,
+        seed: 99,
+        ..Default::default()
+    };
     let a = core::theorem12(&b, &cfg).unwrap();
     let c = core::theorem12(&b, &cfg).unwrap();
     assert_eq!(a.colors, c.colors);
@@ -61,8 +65,14 @@ fn ledgers_separate_cost_kinds_in_every_pipeline() {
     let (out, _) = core::theorem25(&b, Flavor::Deterministic).unwrap();
     let kinds: std::collections::HashSet<CostKind> =
         out.ledger.entries().iter().map(|e| e.kind).collect();
-    assert!(kinds.contains(&CostKind::Charged), "oracle degree splitting is charged");
-    assert!(kinds.contains(&CostKind::Measured), "fixer phases are measured");
+    assert!(
+        kinds.contains(&CostKind::Charged),
+        "oracle degree splitting is charged"
+    );
+    assert!(
+        kinds.contains(&CostKind::Measured),
+        "fixer phases are measured"
+    );
     for e in out.ledger.entries() {
         assert!(!e.label.is_empty(), "every phase is labelled");
         assert!(e.rounds >= 0.0);

@@ -24,11 +24,17 @@ fn deterministic_track_theorem25_end_to_end() {
 fn randomized_track_theorem12_end_to_end() {
     let mut rng = StdRng::seed_from_u64(2);
     let b = generators::random_biregular(2048, 8192, 24, &mut rng).unwrap();
-    let cfg = core::Theorem12Config { c_constant: 1.5, ..Default::default() };
+    let cfg = core::Theorem12Config {
+        c_constant: 1.5,
+        ..Default::default()
+    };
     let (out, report) = core::theorem12_with_report(&b, &cfg).unwrap();
     assert!(checks::is_weak_splitting(&b, &out.colors, 0));
     assert!(report.attempts_used >= 1);
-    assert!(out.ledger.measured_total() >= 3.0, "shattering costs 3 rounds");
+    assert!(
+        out.ledger.measured_total() >= 3.0,
+        "shattering costs 3 rounds"
+    );
 }
 
 #[test]
@@ -73,8 +79,7 @@ fn high_girth_track_theorems_52_53() {
 fn section4_track_coloring_and_mis() {
     let mut rng = StdRng::seed_from_u64(5);
     let g = generators::random_regular(512, 64, &mut rng).unwrap();
-    let (colors, report, _) =
-        reductions::delta_coloring_via_splitting(&g, 40, None).unwrap();
+    let (colors, report, _) = reductions::delta_coloring_via_splitting(&g, 40, None).unwrap();
     assert!(checks::is_proper_coloring(&g, &colors));
     assert!(report.ratio >= 1.0);
 
@@ -89,8 +94,12 @@ fn solver_facade_covers_all_paper_regimes() {
     let skewed = generators::random_biregular(12, 72, 12, &mut rng).unwrap();
     // zero-round / Theorem 2.5 regime
     let balanced = generators::random_biregular(100, 100, 20, &mut rng).unwrap();
-    for (b, randomized) in [(&skewed, false), (&skewed, true), (&balanced, false), (&balanced, true)]
-    {
+    for (b, randomized) in [
+        (&skewed, false),
+        (&skewed, true),
+        (&balanced, false),
+        (&balanced, true),
+    ] {
         let solver = core::WeakSplittingSolver {
             allow_randomized: randomized,
             ..Default::default()

@@ -1,0 +1,70 @@
+//! Workspace smoke test for the `examples/` directory.
+//!
+//! Guards two things CI would otherwise miss:
+//!
+//! 1. every example listed below still exists (so a rename can't silently
+//!    drop an example from the compile gate — `cargo test` builds all
+//!    examples as part of the default target set);
+//! 2. `quickstart` actually runs to completion, exercising the facade
+//!    crate's public API end to end.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: [&str; 7] = [
+    "delta_coloring",
+    "edge_coloring",
+    "mis_via_splitting",
+    "multicolor_completeness",
+    "quickstart",
+    "shattering_demo",
+    "sinkless_orientation",
+];
+
+#[test]
+fn all_expected_examples_exist() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    for name in EXAMPLES {
+        let path = dir.join(format!("{name}.rs"));
+        assert!(path.is_file(), "missing example: {}", path.display());
+    }
+    // No unexpected strays: keeps the EXAMPLES list (and thus this gate)
+    // in sync with the directory.
+    let count = std::fs::read_dir(&dir)
+        .expect("examples dir must be readable")
+        .filter(|e| {
+            e.as_ref()
+                .map(|e| e.path().extension().is_some_and(|x| x == "rs"))
+                .unwrap_or(false)
+        })
+        .count();
+    assert_eq!(
+        count,
+        EXAMPLES.len(),
+        "examples/ and EXAMPLES list out of sync"
+    );
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    let cargo = env!("CARGO");
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    let output = Command::new(cargo)
+        .args([
+            "run",
+            "--quiet",
+            "--example",
+            "quickstart",
+            "--manifest-path",
+        ])
+        .arg(&manifest)
+        .output()
+        .expect("failed to spawn cargo run --example quickstart");
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}

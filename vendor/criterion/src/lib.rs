@@ -1,0 +1,192 @@
+//! Offline vendored subset of the `criterion` benchmarking crate.
+//!
+//! Implements the surface the workspace's benches use — [`Criterion`]
+//! with `sample_size` / `measurement_time` / `warm_up_time` /
+//! `bench_function`, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a simple mean/min/max wall-clock
+//! measurement instead of criterion's statistical machinery.
+//!
+//! Bench binaries built from this crate understand `--test` (run each
+//! benchmark body once, used by `cargo test --benches`) and otherwise
+//! run a timed sampling loop and print one line per benchmark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver; collects samples and prints a summary line.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget for the measurement phase.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the time budget for the warm-up phase.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark. `f` receives a [`Bencher`] and is expected
+    /// to call [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: self.measurement_time,
+            warm_up: self.warm_up_time,
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test bench {id} ... ok");
+            return self;
+        }
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return self;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{id:<50} time: [{:>10.3?} {:>10.3?} {:>10.3?}]  ({} samples)",
+            min,
+            mean,
+            max,
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly: one warm-up pass, then up to
+    /// `sample_size` timed samples or until the measurement budget is
+    /// exhausted, whichever comes first.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if run_start.elapsed() > self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group: either
+/// `criterion_group!(name, target_a, target_b)` or the long form with
+/// `name = …; config = …; targets = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        c.test_mode = false;
+        let mut runs = 0u64;
+        c.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs >= 5, "warm-up plus five samples, got {runs}");
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        let mut c = Criterion::default().sample_size(50);
+        c.test_mode = true;
+        let mut runs = 0u64;
+        c.bench_function("single", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

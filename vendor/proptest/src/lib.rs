@@ -1,0 +1,112 @@
+//! Offline vendored subset of the `proptest` property-testing crate.
+//!
+//! Implements the API surface this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer
+//!   ranges, tuples of strategies (arity 2–4), and
+//!   [`collection::vec`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
+//!   [`prop_assume!`].
+//!
+//! Unlike real proptest there is no shrinking: generation is fully
+//! deterministic (a fixed master seed drives every case), so a failing
+//! case is reproducible by rerunning the test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a property holds, with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts two expressions are equal, with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Asserts two expressions are unequal, with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*);
+    };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy) { body }`
+/// item expands to a `#[test]` that runs `body` against
+/// `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($items:tt)*) => {
+        $crate::__proptest_items! { ($config); $($items)* }
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($items)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr);) => {};
+    (($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($pat:pat in $strategy:expr) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            runner.run(&$strategy, |$pat| $body);
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}

@@ -1,0 +1,32 @@
+//! Concrete generator types.
+
+use crate::chacha::ChaCha12Rng;
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: ChaCha with 12
+/// rounds, mirroring upstream `rand`'s `StdRng`. Always seeded
+/// explicitly — there is no entropy source in this offline build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    inner: ChaCha12Rng,
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng {
+            inner: ChaCha12Rng::from_seed(seed),
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
