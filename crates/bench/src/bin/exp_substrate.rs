@@ -1,0 +1,15 @@
+//! Experiment `substrate` — before/after microbench of the flat-memory
+//! graph core and the arena executor. `--quick` shrinks the instances;
+//! `--json <path>` additionally emits the machine-readable
+//! `BENCH_substrate.json` report.
+fn main() {
+    let quick = splitting_bench::quick_flag();
+    let (tables, report) = splitting_bench::run_substrate_perf(quick);
+    for t in &tables {
+        t.print();
+    }
+    if let Some(path) = splitting_bench::json_path_flag() {
+        std::fs::write(&path, report.to_json()).expect("write --json output");
+        eprintln!("wrote {path}");
+    }
+}

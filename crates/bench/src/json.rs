@@ -1,0 +1,95 @@
+//! Minimal hand-rolled JSON emission for experiment results (the container
+//! has no serde; the shapes here are small and flat enough that manual
+//! formatting is clearer than a vendored dependency).
+
+use crate::table::Table;
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes experiment tables as
+/// `{"bench": ..., "mode": ..., "tables": [{"title", "headers", "rows"}]}`.
+pub fn tables_to_json(bench: &str, mode: &str, tables: &[Table]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"bench\": \"{}\",\n  \"mode\": \"{}\",\n  \"tables\": [",
+        esc(bench),
+        esc(mode)
+    ));
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\n      \"title\": \"{}\",\n      \"headers\": [{}],\n      \"rows\": [",
+            esc(t.title()),
+            t.headers()
+                .iter()
+                .map(|h| format!("\"{}\"", esc(h)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        for (j, row) in t.rows().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n        [{}]",
+                row.iter()
+                    .map(|c| format!("\"{}\"", esc(c)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        out.push_str("\n      ]\n    }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Returns the path following a `--json` command-line flag, if present.
+pub fn json_path_flag() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn tables_serialize_to_valid_shape() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "x\"y".into()]);
+        let s = tables_to_json("runtime", "quick", &[t]);
+        assert!(s.contains("\"bench\": \"runtime\""));
+        assert!(s.contains("\"title\": \"demo\""));
+        assert!(s.contains("[\"1\", \"x\\\"y\"]"));
+        // crude balance check
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+}

@@ -16,6 +16,8 @@ mod exp_section3;
 mod exp_section4;
 mod exp_section5;
 mod exp_substrate;
+mod json;
+mod substrate_perf;
 mod table;
 
 pub use exp_ablations::{exp_abl_engine, exp_abl_eps, exp_abl_shatter};
@@ -27,6 +29,8 @@ pub use exp_section3::{exp_thm32, exp_thm33};
 pub use exp_section4::{exp_lem41, exp_lem42};
 pub use exp_section5::{exp_lem51, exp_thm52};
 pub use exp_substrate::{exp_edge_split, exp_runtime};
+pub use json::{json_path_flag, tables_to_json};
+pub use substrate_perf::{run_substrate_perf, PerfRecord, SubstrateReport};
 pub use table::{fnum, Table};
 
 /// An experiment runner: takes the `quick` flag, returns result tables.

@@ -35,6 +35,16 @@ impl Table {
         &self.title
     }
 
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn row_count(&self) -> usize {
         self.rows.len()

@@ -46,13 +46,13 @@ pub fn weak_splitting_via_weak_multicolor(b: &BipartiteGraph) -> Result<SplitOut
     ledger.merge_prefixed("weak multicolor splitting", mc.ledger);
 
     // step 2: select S(u) — ⌈2·log n⌉ distinctly-colored neighbors per u
-    let mut pruned = BipartiteGraph::new(b.left_count(), b.right_count());
+    let mut selected_edges: Vec<(usize, usize)> = Vec::new();
     for u in 0..b.left_count() {
         let mut seen = std::collections::HashSet::new();
         let mut selected = 0usize;
         for &v in b.left_neighbors(u) {
             if seen.insert(mc.colors[v]) {
-                pruned.add_edge(u, v).expect("subset of simple edges");
+                selected_edges.push((u, v));
                 selected += 1;
                 if selected == required {
                     break;
@@ -66,6 +66,8 @@ pub fn weak_splitting_via_weak_multicolor(b: &BipartiteGraph) -> Result<SplitOut
             });
         }
     }
+    let pruned = BipartiteGraph::from_edges_bulk(b.left_count(), b.right_count(), &selected_edges)
+        .expect("subset of simple edges");
     ledger.add_measured("S(u) selection (local)", 0.0);
 
     // step 3: the multicolor classes schedule the SLOCAL(2) fixer on B'

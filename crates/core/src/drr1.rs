@@ -46,13 +46,10 @@ pub struct DrrReduction {
 /// index `u`, right node `v` at `left_count + v`), returning the multigraph
 /// and, aligned with its edge ids, the original bipartite edges.
 fn as_multigraph(b: &BipartiteGraph) -> (MultiGraph, Vec<(usize, usize)>) {
-    let mut g = MultiGraph::new(b.node_count());
-    let mut edges = Vec::with_capacity(b.edge_count());
-    for (u, v) in b.edges() {
-        g.add_edge(u, b.right_index(v));
-        edges.push((u, v));
-    }
-    (g, edges)
+    let edges: Vec<(usize, usize)> = b.edges().collect();
+    let endpoints: Vec<(usize, usize)> =
+        edges.iter().map(|&(u, v)| (u, b.right_index(v))).collect();
+    (MultiGraph::from_endpoints(b.node_count(), endpoints), edges)
 }
 
 /// Runs `k` iterations of Degree–Rank Reduction I with accuracy `eps`.
@@ -77,13 +74,15 @@ pub fn degree_rank_reduction_i(
         let result = splitter.split(&g, n);
         ledger.merge_prefixed(&format!("DRR-I iteration {it}"), result.ledger);
         // keep exactly the edges oriented toward the variable side
-        let mut next = BipartiteGraph::new(current.left_count(), current.right_count());
-        for (e, &(u, v)) in edges.iter().enumerate() {
-            if result.orientation.head(&g, e) == current.right_index(v) {
-                next.add_edge(u, v).expect("kept edges stay simple");
-            }
-        }
-        current = next;
+        let kept: Vec<(usize, usize)> = edges
+            .iter()
+            .enumerate()
+            .filter(|&(e, &(_, v))| result.orientation.head(&g, e) == current.right_index(v))
+            .map(|(_, &edge)| edge)
+            .collect();
+        current =
+            BipartiteGraph::from_edges_bulk(current.left_count(), current.right_count(), &kept)
+                .expect("kept edges stay simple");
         let factor_lo = ((1.0 - eps) / 2.0).powi(it as i32);
         let factor_hi = ((1.0 + eps) / 2.0).powi(it as i32);
         trace.push(DrrIterationStats {

@@ -15,14 +15,11 @@ use splitgraph::{checks, BipartiteGraph};
 /// Truncates every constraint of `b` to its first `keep` incident edges (a
 /// 0-round local rule) — exposed for the experiments that sweep `keep`.
 pub fn truncate_left_degrees(b: &BipartiteGraph, keep: usize) -> BipartiteGraph {
-    let mut h = BipartiteGraph::new(b.left_count(), b.right_count());
-    for u in 0..b.left_count() {
-        for &v in b.left_neighbors(u).iter().take(keep) {
-            h.add_edge(u, v)
-                .expect("subset of simple edges stays simple");
-        }
-    }
-    h
+    let edges: Vec<(usize, usize)> = (0..b.left_count())
+        .flat_map(|u| b.left_neighbors(u).iter().take(keep).map(move |&v| (u, v)))
+        .collect();
+    BipartiteGraph::from_edges_bulk(b.left_count(), b.right_count(), &edges)
+        .expect("subset of simple edges stays simple")
 }
 
 /// Runs the Lemma 2.2 pipeline with threshold derived from

@@ -9,6 +9,7 @@
 //! the `ε·d(v) + 2` contract of Theorem 2.3, which is why this engine serves
 //! as the reference implementation of the cited black box.
 
+use splitgraph::csr::Csr;
 use splitgraph::{MultiGraph, Orientation};
 
 /// Computes an orientation of `g` with discrepancy 0 at even-degree nodes
@@ -41,16 +42,8 @@ pub fn eulerian_orientation(g: &MultiGraph) -> Orientation {
     }
     let total = endpoints.len();
 
-    // incidence lists over the augmented graph
-    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (e, &(a, b)) in endpoints.iter().enumerate() {
-        incident[a].push(e);
-        if a != b {
-            incident[b].push(e);
-        } else {
-            incident[a].push(e);
-        }
-    }
+    // flat incidence over the augmented graph (one contiguous buffer)
+    let incident = Csr::from_incidence(n, &endpoints);
 
     // iterative edge-marking traversal: each excursion is a closed circuit
     // (all augmented degrees are even), oriented in traversal direction
@@ -62,9 +55,10 @@ pub fn eulerian_orientation(g: &MultiGraph) -> Orientation {
         stack.push(start);
         while let Some(&v) = stack.last() {
             // advance past used edges
+            let row = incident.row(v);
             let mut advanced = None;
-            while ptr[v] < incident[v].len() {
-                let e = incident[v][ptr[v]];
+            while ptr[v] < row.len() {
+                let e = row[ptr[v]];
                 ptr[v] += 1;
                 if !used[e] {
                     advanced = Some(e);

@@ -20,6 +20,7 @@ use crate::charge::splitting_rounds_deterministic;
 use crate::walks::WalkDecomposition;
 use local_coloring::{cole_vishkin_3color, spaced_ruling_set};
 use local_runtime::RoundLedger;
+use splitgraph::csr::Csr;
 use splitgraph::{Color, MultiGraph};
 
 /// Result of an undirected degree splitting.
@@ -75,11 +76,9 @@ pub fn edge_splitting_eulerian(g: &MultiGraph, eps: f64, n_for_charge: usize) ->
         endpoints.push((pair[0], pair[1]));
     }
     let total = endpoints.len();
-    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (e, &(a, b)) in endpoints.iter().enumerate() {
-        incident[a].push(e);
-        incident[b].push(e);
-    }
+    // flat incidence over the augmented graph (no self-loops here, so this
+    // matches the old push-per-endpoint lists exactly)
+    let incident = Csr::from_incidence(n, &endpoints);
     let mut used = vec![false; total];
     let mut ptr = vec![0usize; n];
     let mut colors = vec![Color::Red; total];
@@ -89,9 +88,10 @@ pub fn edge_splitting_eulerian(g: &MultiGraph, eps: f64, n_for_charge: usize) ->
         stack.push(start);
         let mut flip = Color::Red;
         while let Some(&v) = stack.last() {
+            let row = incident.row(v);
             let mut advanced = None;
-            while ptr[v] < incident[v].len() {
-                let e = incident[v][ptr[v]];
+            while ptr[v] < row.len() {
+                let e = row[ptr[v]];
                 ptr[v] += 1;
                 if !used[e] {
                     advanced = Some(e);

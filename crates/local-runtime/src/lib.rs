@@ -5,7 +5,8 @@
 //!
 //! * [`run_local`] executes one [`NodeProgram`] per node of a
 //!   [`splitgraph::Graph`] under the synchronous LOCAL model, measuring
-//!   rounds and messages;
+//!   rounds and messages; [`run_local_parallel`] is its opt-in,
+//!   bit-identical multi-threaded round step;
 //! * [`run_slocal`] executes sequential-local (SLOCAL) algorithms with
 //!   *enforced* read radius — the model in which the paper's
 //!   derandomization arguments live;
@@ -24,7 +25,7 @@ mod rngs;
 mod slocal;
 
 pub use ids::IdAssignment;
-pub use local::{run_local, LocalRun, NodeContext, NodeProgram, BROADCAST};
+pub use local::{run_local, run_local_parallel, LocalRun, NodeContext, NodeProgram, BROADCAST};
 pub use metrics::{CostKind, LedgerEntry, RoundLedger};
 pub use rngs::{splitmix64, NodeRngs};
 pub use slocal::{run_slocal, SLocalView};

@@ -12,6 +12,28 @@
 //! *receiver's* port towards the sender, so programs can reason purely in
 //! terms of their local port numbering (no global indices needed), exactly
 //! as in the formal model.
+//!
+//! # Memory layout
+//!
+//! The executor snapshots the topology once into flat CSR buffers
+//! (`offsets`/`targets` plus a precomputed reverse-port table, so no
+//! per-message port lookups), and shuttles messages through two flat,
+//! double-buffered arenas: an *outbox* of `(dst, seq, port, msg)` records
+//! filled during the round, and an *inbox* arena regrouped from it by a
+//! deterministic in-place sort on `(dst, seq)`. Both arenas and the
+//! active-node frontier are reused every round, so steady-state execution
+//! performs no per-node per-round allocation (programs still own the `Vec`s
+//! they return). Terminated nodes leave the frontier and cost zero.
+//!
+//! # Parallelism contract
+//!
+//! [`run_local_parallel`] is the opt-in parallel round step: the active
+//! frontier is split into contiguous chunks, each processed by a scoped
+//! thread (`std::thread::scope`), and the per-chunk outboxes are merged in
+//! chunk order — which equals the sequential emission order — before the
+//! same deterministic regrouping sort. Nodes are independent within a round,
+//! so for any thread count the run is **bit-identical** to [`run_local`]:
+//! same outputs, same round count, same message count, same inbox orderings.
 
 use splitgraph::Graph;
 
@@ -75,6 +97,121 @@ pub struct LocalRun<O> {
     pub completed: bool,
 }
 
+/// Flat topology snapshot: CSR adjacency plus, for every directed edge slot
+/// `v → u`, the port of `u` back towards `v` (precomputed once so delivery
+/// needs no per-message binary search).
+struct Topology {
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
+    rev_port: Vec<usize>,
+}
+
+impl Topology {
+    fn new(g: &Graph) -> Topology {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut targets = Vec::with_capacity(2 * g.edge_count());
+        for v in 0..n {
+            targets.extend_from_slice(g.neighbors(v));
+            offsets.push(targets.len());
+        }
+        let mut rev_port = vec![0usize; targets.len()];
+        for v in 0..n {
+            for i in offsets[v]..offsets[v + 1] {
+                let u = targets[i];
+                rev_port[i] = targets[offsets[u]..offsets[u + 1]]
+                    .binary_search(&v)
+                    .expect("adjacency is symmetric");
+            }
+        }
+        Topology {
+            offsets,
+            targets,
+            rev_port,
+        }
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+}
+
+/// One outbound message record in the flat arena. `seq` is the global
+/// emission index, assigned before regrouping; sorting by `(dst, seq)` is a
+/// total order, so the regrouped inbox arena is deterministic.
+struct OutMsg<M> {
+    dst: usize,
+    seq: usize,
+    port: usize,
+    msg: M,
+}
+
+/// Appends node `v`'s outgoing messages to the outbox arena, resolving
+/// broadcast and reverse ports from the flat topology.
+fn emit<M: Clone>(
+    topo: &Topology,
+    v: usize,
+    out: Vec<(usize, M)>,
+    buf: &mut Vec<OutMsg<M>>,
+    messages: &mut usize,
+) {
+    for (port, msg) in out {
+        if port == BROADCAST {
+            let (lo, hi) = (topo.offsets[v], topo.offsets[v + 1]);
+            for i in lo..hi {
+                buf.push(OutMsg {
+                    dst: topo.targets[i],
+                    seq: 0,
+                    port: topo.rev_port[i],
+                    msg: msg.clone(),
+                });
+            }
+            *messages += hi - lo;
+        } else {
+            assert!(
+                port < topo.degree(v),
+                "node {v} sent to invalid port {port}"
+            );
+            let i = topo.offsets[v] + port;
+            buf.push(OutMsg {
+                dst: topo.targets[i],
+                seq: 0,
+                port: topo.rev_port[i],
+                msg,
+            });
+            *messages += 1;
+        }
+    }
+}
+
+/// Regroups the outbox arena into the inbox arena: assign emission sequence
+/// numbers, sort in place by `(dst, seq)` (total order → deterministic), and
+/// move the records over. After this, node `v`'s inbox is
+/// `inbox_data[starts[v]..starts[v + 1]]`, in exactly the order the seed
+/// executor's per-node push loop produced.
+fn regroup<M>(
+    n: usize,
+    outbox: &mut Vec<OutMsg<M>>,
+    inbox_data: &mut Vec<(usize, M)>,
+    starts: &mut Vec<usize>,
+) {
+    for (i, m) in outbox.iter_mut().enumerate() {
+        m.seq = i;
+    }
+    outbox.sort_unstable_by_key(|m| (m.dst, m.seq));
+    starts.clear();
+    starts.resize(n + 1, 0);
+    for m in outbox.iter() {
+        starts[m.dst + 1] += 1;
+    }
+    for i in 0..n {
+        starts[i + 1] += starts[i];
+    }
+    inbox_data.clear();
+    inbox_data.extend(outbox.drain(..).map(|m| (m.port, m.msg)));
+}
+
 /// Runs one [`NodeProgram`] per node of `g` for at most `max_rounds` rounds.
 ///
 /// `make` constructs the program for each node from its [`NodeContext`].
@@ -133,73 +270,148 @@ pub fn run_local<P: NodeProgram>(
 ) -> LocalRun<P::Output> {
     let n = g.node_count();
     assert_eq!(ids.len(), n, "id vector length mismatch");
-
-    // port of v towards u, aligned with g.neighbors(v)
-    let port_towards = |v: usize, u: usize| -> usize {
-        g.neighbors(v)
-            .binary_search(&u)
-            .expect("port lookup of non-neighbor")
-    };
-
-    let contexts: Vec<NodeContext> = (0..n)
-        .map(|v| NodeContext {
-            node: v,
-            id: ids[v],
-            degree: g.degree(v),
-            n,
-        })
-        .collect();
+    let topo = Topology::new(g);
+    let contexts = make_contexts(g, ids);
     let mut programs: Vec<P> = contexts.iter().map(make).collect();
 
     let mut messages = 0usize;
-    // inboxes[v] = (port of v, msg)
-    let mut inboxes: Vec<Vec<(usize, P::Msg)>> = vec![Vec::new(); n];
-
-    let deliver = |v: usize,
-                   out: Vec<(usize, P::Msg)>,
-                   inboxes: &mut Vec<Vec<(usize, P::Msg)>>,
-                   messages: &mut usize| {
-        for (port, msg) in out {
-            if port == BROADCAST {
-                for &u in g.neighbors(v) {
-                    inboxes[u].push((port_towards(u, v), msg.clone()));
-                    *messages += 1;
-                }
-            } else {
-                assert!(port < g.degree(v), "node {v} sent to invalid port {port}");
-                let u = g.neighbors(v)[port];
-                inboxes[u].push((port_towards(u, v), msg.clone()));
-                *messages += 1;
-            }
-        }
-    };
+    let mut outbox: Vec<OutMsg<P::Msg>> = Vec::new();
+    let mut inbox_data: Vec<(usize, P::Msg)> = Vec::new();
+    let mut starts: Vec<usize> = Vec::new();
 
     for v in 0..n {
         let out = programs[v].init(&contexts[v]);
-        deliver(v, out, &mut inboxes, &mut messages);
+        emit(&topo, v, out, &mut outbox, &mut messages);
     }
+    regroup(n, &mut outbox, &mut inbox_data, &mut starts);
 
+    let mut active: Vec<usize> = (0..n).filter(|&v| !programs[v].is_done()).collect();
     let mut rounds = 0usize;
-    let mut completed = programs.iter().all(NodeProgram::is_done);
-    while !completed && rounds < max_rounds {
-        let taken: Vec<Vec<(usize, P::Msg)>> = std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
-        for (v, inbox) in taken.into_iter().enumerate() {
-            if programs[v].is_done() {
-                continue; // dropped: terminated nodes no longer act
-            }
-            let out = programs[v].round(&contexts[v], &inbox);
-            deliver(v, out, &mut inboxes, &mut messages);
+    while !active.is_empty() && rounds < max_rounds {
+        for &v in &active {
+            let inbox = &inbox_data[starts[v]..starts[v + 1]];
+            let out = programs[v].round(&contexts[v], inbox);
+            emit(&topo, v, out, &mut outbox, &mut messages);
         }
+        regroup(n, &mut outbox, &mut inbox_data, &mut starts);
+        active.retain(|&v| !programs[v].is_done());
         rounds += 1;
-        completed = programs.iter().all(NodeProgram::is_done);
     }
 
     LocalRun {
         outputs: programs.iter().map(NodeProgram::output).collect(),
         rounds,
         messages,
-        completed,
+        completed: active.is_empty(),
     }
+}
+
+/// Parallel variant of [`run_local`]: the round step is executed by up to
+/// `threads` scoped worker threads over contiguous chunks of the active
+/// frontier, with per-chunk outboxes merged deterministically in chunk
+/// order. For every thread count the result is **bit-identical** to the
+/// sequential executor (see the module docs for the contract); `threads`
+/// is clamped to at least 1, and `threads == 1` takes the sequential path.
+///
+/// # Panics
+///
+/// Panics if `ids.len() != g.node_count()` or a program sends to an invalid
+/// port.
+pub fn run_local_parallel<P>(
+    g: &Graph,
+    ids: &[u64],
+    max_rounds: usize,
+    threads: usize,
+    make: impl FnMut(&NodeContext) -> P,
+) -> LocalRun<P::Output>
+where
+    P: NodeProgram + Send,
+    P::Msg: Send + Sync,
+{
+    if threads <= 1 {
+        return run_local(g, ids, max_rounds, make);
+    }
+    let n = g.node_count();
+    assert_eq!(ids.len(), n, "id vector length mismatch");
+    let topo = Topology::new(g);
+    let contexts = make_contexts(g, ids);
+    let mut programs: Vec<P> = contexts.iter().map(make).collect();
+
+    let mut messages = 0usize;
+    let mut outbox: Vec<OutMsg<P::Msg>> = Vec::new();
+    let mut inbox_data: Vec<(usize, P::Msg)> = Vec::new();
+    let mut starts: Vec<usize> = Vec::new();
+    // per-worker outbox buffers, reused across rounds
+    let mut chunk_bufs: Vec<Vec<OutMsg<P::Msg>>> = Vec::new();
+
+    // round-0 init is cheap and sequential by definition (no inbox)
+    for v in 0..n {
+        let out = programs[v].init(&contexts[v]);
+        emit(&topo, v, out, &mut outbox, &mut messages);
+    }
+    regroup(n, &mut outbox, &mut inbox_data, &mut starts);
+
+    let mut active: Vec<usize> = (0..n).filter(|&v| !programs[v].is_done()).collect();
+    let mut rounds = 0usize;
+    while !active.is_empty() && rounds < max_rounds {
+        let t = threads.min(active.len());
+        chunk_bufs.resize_with(t, Vec::new);
+        let (topo_ref, contexts_ref) = (&topo, &contexts);
+        let (inbox_ref, starts_ref, active_ref) = (&inbox_data, &starts, &active);
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(t);
+            let mut rest: &mut [P] = &mut programs;
+            let mut base = 0usize;
+            for (chunk, mut buf) in chunk_bufs.drain(..).enumerate() {
+                // contiguous chunk of the active frontier, balanced by count
+                let sub =
+                    &active_ref[chunk * active_ref.len() / t..(chunk + 1) * active_ref.len() / t];
+                let end_node = sub.last().expect("chunks are non-empty") + 1;
+                let (head, tail) = rest.split_at_mut(end_node - base);
+                rest = tail;
+                let chunk_base = base;
+                base = end_node;
+                handles.push(s.spawn(move || {
+                    let mut msgs = 0usize;
+                    for &v in sub {
+                        let inbox = &inbox_ref[starts_ref[v]..starts_ref[v + 1]];
+                        let out = head[v - chunk_base].round(&contexts_ref[v], inbox);
+                        emit(topo_ref, v, out, &mut buf, &mut msgs);
+                    }
+                    (buf, msgs)
+                }));
+            }
+            // merge in chunk order = ascending node order = sequential order
+            for handle in handles {
+                let (mut buf, msgs) = handle.join().expect("worker thread panicked");
+                messages += msgs;
+                outbox.append(&mut buf);
+                chunk_bufs.push(buf);
+            }
+        });
+        regroup(n, &mut outbox, &mut inbox_data, &mut starts);
+        active.retain(|&v| !programs[v].is_done());
+        rounds += 1;
+    }
+
+    LocalRun {
+        outputs: programs.iter().map(NodeProgram::output).collect(),
+        rounds,
+        messages,
+        completed: active.is_empty(),
+    }
+}
+
+fn make_contexts(g: &Graph, ids: &[u64]) -> Vec<NodeContext> {
+    let n = g.node_count();
+    (0..n)
+        .map(|v| NodeContext {
+            node: v,
+            id: ids[v],
+            degree: g.degree(v),
+            n,
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -58,6 +58,53 @@ impl BipartiteGraph {
         Ok(b)
     }
 
+    /// Builds a bipartite graph from `(left, right)` edge pairs in bulk:
+    /// rows are filled by appends, sorted once, and scanned for duplicates —
+    /// `O(|U| + |V| + m log Δ)` with no per-edge sorted insertion. Validates
+    /// exactly what [`BipartiteGraph::from_edges`] validates, though with
+    /// several violations present the reported error may differ (ranges are
+    /// checked in list order before duplicates).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range endpoints or duplicate edges.
+    pub fn from_edges_bulk(
+        left_count: usize,
+        right_count: usize,
+        edges: &[(usize, usize)],
+    ) -> Result<Self, GraphError> {
+        for &(u, v) in edges {
+            if u >= left_count {
+                return Err(GraphError::NodeOutOfRange {
+                    node: u,
+                    count: left_count,
+                });
+            }
+            if v >= right_count {
+                return Err(GraphError::NodeOutOfRange {
+                    node: v,
+                    count: right_count,
+                });
+            }
+        }
+        let mut b = BipartiteGraph::new(left_count, right_count);
+        for &(u, v) in edges {
+            b.adj_left[u].push(v);
+            b.adj_right[v].push(u);
+        }
+        for (u, row) in b.adj_left.iter_mut().enumerate() {
+            row.sort_unstable();
+            if let Some(w) = row.windows(2).find(|w| w[0] == w[1]) {
+                return Err(GraphError::DuplicateEdge { u, v: w[0] });
+            }
+        }
+        for row in &mut b.adj_right {
+            row.sort_unstable();
+        }
+        b.edge_count = edges.len();
+        Ok(b)
+    }
+
     /// Adds the edge between left node `u` and right node `v`.
     ///
     /// # Errors
@@ -198,10 +245,13 @@ impl BipartiteGraph {
     /// Bipartite subgraph keeping exactly the edges for which `pred(u, v)` is true.
     pub fn filter_edges<F: FnMut(usize, usize) -> bool>(&self, mut pred: F) -> BipartiteGraph {
         let mut b = BipartiteGraph::new(self.left_count(), self.right_count());
+        // edges() yields left-major order with sorted rows, so plain appends
+        // keep both sides sorted — no per-edge sorted insertion needed
         for (u, v) in self.edges() {
             if pred(u, v) {
-                b.add_edge(u, v)
-                    .expect("filtered edges of a simple bipartite graph remain simple");
+                b.adj_left[u].push(v);
+                b.adj_right[v].push(u);
+                b.edge_count += 1;
             }
         }
         b
@@ -233,13 +283,9 @@ impl BipartiteGraph {
     /// Used to run generic node algorithms (colorings, power graphs,
     /// components) on bipartite instances.
     pub fn to_graph(&self) -> Graph {
-        let mut g = Graph::new(self.node_count());
         let shift = self.left_count();
-        for (u, v) in self.edges() {
-            g.add_edge(u, shift + v)
-                .expect("bipartite edges are simple");
-        }
-        g
+        let edges: Vec<(usize, usize)> = self.edges().map(|(u, v)| (u, shift + v)).collect();
+        Graph::from_edges_unchecked(self.node_count(), &edges)
     }
 
     /// Index of right node `v` in the flattened [`Graph`] of [`Self::to_graph`].
@@ -327,6 +373,26 @@ mod tests {
         assert!(g.contains_edge(0, b.right_index(0)));
         assert!(g.contains_edge(1, b.right_index(2)));
         assert!(!g.contains_edge(0, 1));
+    }
+
+    #[test]
+    fn bulk_builder_matches_incremental() {
+        let edges = [(1, 2), (0, 0), (0, 1), (1, 1)];
+        let inc = BipartiteGraph::from_edges(2, 3, &edges).unwrap();
+        let bulk = BipartiteGraph::from_edges_bulk(2, 3, &edges).unwrap();
+        assert_eq!(inc, bulk);
+        assert_eq!(
+            BipartiteGraph::from_edges_bulk(2, 3, &[(0, 1), (0, 1)]),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        );
+        assert_eq!(
+            BipartiteGraph::from_edges_bulk(2, 3, &[(2, 0)]),
+            Err(GraphError::NodeOutOfRange { node: 2, count: 2 })
+        );
+        assert_eq!(
+            BipartiteGraph::from_edges_bulk(2, 3, &[(0, 3)]),
+            Err(GraphError::NodeOutOfRange { node: 3, count: 3 })
+        );
     }
 
     #[test]

@@ -141,18 +141,22 @@ pub fn bipartite_components(b: &BipartiteGraph) -> Vec<BipartiteComponent> {
             comps[c].original_right.push(v - shift);
         }
     }
-    // second pass: build graphs
+    // second pass: build graphs in bulk (one edge list per component)
+    let mut edges: Vec<(usize, usize)> = Vec::new();
     for (c, comp) in comps.iter_mut().enumerate() {
-        let mut graph = BipartiteGraph::new(comp.original_left.len(), comp.original_right.len());
+        edges.clear();
         for (i, &orig_u) in comp.original_left.iter().enumerate() {
             for &orig_v in b.left_neighbors(orig_u) {
                 debug_assert_eq!(cc.label(shift + orig_v), c);
-                graph
-                    .add_edge(i, local[shift + orig_v])
-                    .expect("component edges are simple");
+                edges.push((i, local[shift + orig_v]));
             }
         }
-        comp.graph = graph;
+        comp.graph = BipartiteGraph::from_edges_bulk(
+            comp.original_left.len(),
+            comp.original_right.len(),
+            &edges,
+        )
+        .expect("component edges are simple");
     }
     comps
 }

@@ -17,39 +17,39 @@ pub fn cycle(n: usize) -> Result<Graph, GraphError> {
         });
     }
     let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
-    Graph::from_edges(n, &edges)
+    Ok(Graph::from_edges_bulk(n, &edges).expect("cycle edges are simple"))
 }
 
 /// The path `P_n` on `n` nodes.
 pub fn path(n: usize) -> Graph {
     let edges: Vec<_> = (1..n).map(|i| (i - 1, i)).collect();
-    Graph::from_edges(n, &edges).expect("path edges are simple")
+    Graph::from_edges_bulk(n, &edges).expect("path edges are simple")
 }
 
 /// The complete graph `K_n`.
 pub fn complete(n: usize) -> Graph {
-    let mut g = Graph::new(n);
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
     for u in 0..n {
         for v in u + 1..n {
-            g.add_edge(u, v).expect("complete graph edges are simple");
+            edges.push((u, v));
         }
     }
-    g
+    Graph::from_edges_bulk(n, &edges).expect("complete graph edges are simple")
 }
 
 /// The `d`-dimensional hypercube (`2^d` nodes, degree `d`).
 pub fn hypercube(d: u32) -> Graph {
     let n = 1usize << d;
-    let mut g = Graph::new(n);
+    let mut edges = Vec::with_capacity(n * d as usize / 2);
     for v in 0..n {
         for bit in 0..d {
             let w = v ^ (1 << bit);
             if w > v {
-                g.add_edge(v, w).expect("hypercube edges are simple");
+                edges.push((v, w));
             }
         }
     }
-    g
+    Graph::from_edges_bulk(n, &edges).expect("hypercube edges are simple")
 }
 
 /// The `rows × cols` torus (wrap-around grid): 4-regular for
@@ -65,30 +65,28 @@ pub fn torus(rows: usize, cols: usize) -> Result<Graph, GraphError> {
             reason: format!("torus needs both dimensions ≥ 3, got {rows}×{cols}"),
         });
     }
-    let mut g = Graph::new(rows * cols);
+    let mut edges = Vec::with_capacity(2 * rows * cols);
     let id = |r: usize, c: usize| r * cols + c;
     for r in 0..rows {
         for c in 0..cols {
-            g.add_edge(id(r, c), id((r + 1) % rows, c))
-                .expect("torus edges are simple");
-            g.add_edge(id(r, c), id(r, (c + 1) % cols))
-                .expect("torus edges are simple");
+            edges.push((id(r, c), id((r + 1) % rows, c)));
+            edges.push((id(r, c), id(r, (c + 1) % cols)));
         }
     }
-    Ok(g)
+    Ok(Graph::from_edges_bulk(rows * cols, &edges).expect("torus edges are simple"))
 }
 
 /// Erdős–Rényi graph `G(n, p)`.
 pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
-    let mut g = Graph::new(n);
+    let mut edges = Vec::new();
     for u in 0..n {
         for v in u + 1..n {
             if rng.random_bool(p.clamp(0.0, 1.0)) {
-                g.add_edge(u, v).expect("fresh pair");
+                edges.push((u, v));
             }
         }
     }
-    g
+    Graph::from_edges_bulk(n, &edges).expect("fresh pairs are simple")
 }
 
 /// Random `d`-regular simple graph via the configuration model with
@@ -119,7 +117,7 @@ pub fn random_regular<R: Rng + ?Sized>(
         stubs.shuffle(rng);
         let mut pairs: Vec<(usize, usize)> = stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
         if repair_pairing(&mut pairs, rng) {
-            let g = Graph::from_edges(n, &pairs).expect("repaired pairing is simple");
+            let g = Graph::from_edges_bulk(n, &pairs).expect("repaired pairing is simple");
             return Ok(g);
         }
     }

@@ -29,14 +29,12 @@ use crate::graph::Graph;
 /// ```
 pub fn doubling_instance(g: &Graph) -> BipartiteGraph {
     let n = g.node_count();
-    let mut b = BipartiteGraph::new(n, n);
+    let mut edges = Vec::with_capacity(2 * g.edge_count());
     for (u, v) in g.edges() {
-        b.add_edge(u, v)
-            .expect("simple graph gives simple doubling");
-        b.add_edge(v, u)
-            .expect("simple graph gives simple doubling");
+        edges.push((u, v));
+        edges.push((v, u));
     }
-    b
+    BipartiteGraph::from_edges_bulk(n, n, &edges).expect("simple graph gives simple doubling")
 }
 
 /// Node–edge incidence graph: constraints are the nodes of `G`, variables
@@ -47,11 +45,13 @@ pub fn doubling_instance(g: &Graph) -> BipartiteGraph {
 /// variable side.
 pub fn incidence_instance(g: &Graph) -> (BipartiteGraph, Vec<(usize, usize)>) {
     let edges: Vec<(usize, usize)> = g.edges().collect();
-    let mut b = BipartiteGraph::new(g.node_count(), edges.len());
-    for (i, &(u, v)) in edges.iter().enumerate() {
-        b.add_edge(u, i).expect("incidence edges are simple");
-        b.add_edge(v, i).expect("incidence edges are simple");
-    }
+    let incidences: Vec<(usize, usize)> = edges
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(u, v))| [(u, i), (v, i)])
+        .collect();
+    let b = BipartiteGraph::from_edges_bulk(g.node_count(), edges.len(), &incidences)
+        .expect("incidence edges are simple");
     (b, edges)
 }
 

@@ -4,8 +4,35 @@
 //! nodes are dense indices `0..n`, edges are unordered pairs without
 //! self-loops or duplicates. Adjacency lists are kept sorted so that
 //! membership tests are logarithmic and iteration order is deterministic.
+//!
+//! # Memory layout
+//!
+//! A graph lives in one of two interchangeable representations:
+//!
+//! * **flat (CSR)** — all adjacency rows packed into a single
+//!   `offsets`/`targets` buffer pair ([`crate::csr::Csr`]); `neighbors()`
+//!   returns a slice of one contiguous allocation, so whole-graph scans are
+//!   cache-linear. This is what the bulk builders
+//!   ([`Graph::from_edges_bulk`], [`Graph::from_adjacency`]) and the hot
+//!   producers (`power_graph`, generators, subgraph operations) emit.
+//! * **builder (per-node rows)** — one `Vec` per node, supporting the
+//!   validated incremental [`Graph::add_edge`] / [`Graph::remove_edge`] path
+//!   in `O(log Δ + Δ)` per operation.
+//!
+//! Mutating a flat graph transparently *thaws* it into builder form (one
+//! `O(n + m)` pass); [`Graph::compact`] freezes a builder back into flat
+//! form. All accessors, equality, and iteration behave identically in both
+//! representations.
 
+use crate::csr::Csr;
 use crate::error::GraphError;
+
+/// Adjacency storage: flat CSR or per-node builder rows (see module docs).
+#[derive(Debug, Clone)]
+enum Repr {
+    Adj(Vec<Vec<usize>>),
+    Flat(Csr),
+}
 
 /// A simple undirected graph over nodes `0..n`.
 ///
@@ -20,22 +47,44 @@ use crate::error::GraphError;
 /// assert_eq!(g.degree(1), 2);
 /// assert!(g.contains_edge(0, 3));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone)]
 pub struct Graph {
-    adj: Vec<Vec<usize>>,
+    repr: Repr,
     edge_count: usize,
 }
 
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new(0)
+    }
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        // representation-independent: same node set and same sorted rows
+        self.edge_count == other.edge_count
+            && self.node_count() == other.node_count()
+            && (0..self.node_count()).all(|v| self.neighbors(v) == other.neighbors(v))
+    }
+}
+
+impl Eq for Graph {}
+
 impl Graph {
-    /// Creates an empty graph with `n` isolated nodes.
+    /// Creates an empty graph with `n` isolated nodes (builder form, ready
+    /// for incremental [`Graph::add_edge`]).
     pub fn new(n: usize) -> Self {
         Graph {
-            adj: vec![Vec::new(); n],
+            repr: Repr::Adj(vec![Vec::new(); n]),
             edge_count: 0,
         }
     }
 
-    /// Builds a graph from an edge list.
+    /// Builds a graph from an edge list via the per-edge validated path.
+    ///
+    /// Every edge pays an `O(log Δ + Δ)` sorted insert; for large *trusted*
+    /// edge lists prefer [`Graph::from_edges_bulk`], which performs the same
+    /// validation in bulk at `O(n + m log Δ)` total.
     ///
     /// # Errors
     ///
@@ -49,7 +98,155 @@ impl Graph {
         Ok(g)
     }
 
+    /// Builds a graph from an edge list in bulk: counting-sort into flat CSR
+    /// rows, per-row sort, then a linear duplicate scan — `O(n + m log Δ)`
+    /// with no per-edge shifting. The result is in flat form.
+    ///
+    /// # Errors
+    ///
+    /// Rejects exactly the edge lists [`Graph::from_edges`] rejects
+    /// (out-of-range endpoints, self-loops, duplicates in either
+    /// orientation), though when several violations are present the
+    /// *reported* error may differ: range and self-loop violations are
+    /// detected in list order before any duplicate.
+    pub fn from_edges_bulk(n: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        for &(u, v) in edges {
+            if u >= n {
+                return Err(GraphError::NodeOutOfRange { node: u, count: n });
+            }
+            if v >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, count: n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+        }
+        let mut csr = Csr::from_undirected_pairs(n, edges);
+        csr.sort_rows();
+        for u in 0..n {
+            if let Some(w) = csr.row(u).windows(2).find(|w| w[0] == w[1]) {
+                return Err(GraphError::DuplicateEdge { u, v: w[0] });
+            }
+        }
+        Ok(Graph {
+            repr: Repr::Flat(csr),
+            edge_count: edges.len(),
+        })
+    }
+
+    /// Builds a graph directly from per-node neighbor lists (rows need not
+    /// be sorted). `O(n + m log Δ)`; the result is in flat form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a neighbor index is out of range, a node lists
+    /// itself (self-loop), a row contains a duplicate, or the lists are not
+    /// symmetric (`v ∈ adj[u]` without `u ∈ adj[v]`).
+    pub fn from_adjacency(adj: &[Vec<usize>]) -> Result<Self, GraphError> {
+        let n = adj.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut targets = Vec::with_capacity(adj.iter().map(Vec::len).sum());
+        for (u, row) in adj.iter().enumerate() {
+            for &v in row {
+                if v >= n {
+                    return Err(GraphError::NodeOutOfRange { node: v, count: n });
+                }
+                if v == u {
+                    return Err(GraphError::SelfLoop { node: u });
+                }
+            }
+            targets.extend_from_slice(row);
+            offsets.push(targets.len());
+        }
+        let mut csr = Csr::from_parts(offsets, targets);
+        csr.sort_rows();
+        for u in 0..n {
+            if let Some(w) = csr.row(u).windows(2).find(|w| w[0] == w[1]) {
+                return Err(GraphError::DuplicateEdge { u, v: w[0] });
+            }
+        }
+        // symmetry: every directed slot must have its mirror
+        for u in 0..n {
+            for &v in csr.row(u) {
+                if csr.row(v).binary_search(&u).is_err() {
+                    return Err(GraphError::AsymmetricAdjacency { u, v });
+                }
+            }
+        }
+        let edge_count = csr.entry_count() / 2;
+        Ok(Graph {
+            repr: Repr::Flat(csr),
+            edge_count,
+        })
+    }
+
+    /// Assembles a flat graph from trusted CSR parts: rows sorted strictly
+    /// ascending, symmetric, no self-loops. Used by in-crate bulk producers
+    /// (power graphs, subgraph operations) that guarantee the invariants.
+    pub(crate) fn from_csr_parts_unchecked(offsets: Vec<usize>, targets: Vec<usize>) -> Graph {
+        let csr = Csr::from_parts(offsets, targets);
+        debug_assert!((0..csr.node_count()).all(|v| csr.row(v).windows(2).all(|w| w[0] < w[1])));
+        debug_assert!((0..csr.node_count()).all(|v| csr
+            .row(v)
+            .iter()
+            .all(|&u| u != v && csr.row(u).binary_search(&v).is_ok())));
+        let edge_count = csr.entry_count() / 2;
+        Graph {
+            repr: Repr::Flat(csr),
+            edge_count,
+        }
+    }
+
+    /// Builds a flat graph from a trusted simple edge list (no validation
+    /// beyond debug assertions). `O(n + m log Δ)`.
+    pub(crate) fn from_edges_unchecked(n: usize, edges: &[(usize, usize)]) -> Graph {
+        let mut csr = Csr::from_undirected_pairs(n, edges);
+        csr.sort_rows();
+        debug_assert!((0..n).all(|v| csr.row(v).windows(2).all(|w| w[0] < w[1])));
+        Graph {
+            repr: Repr::Flat(csr),
+            edge_count: edges.len(),
+        }
+    }
+
+    /// Whether the graph is currently in flat (CSR) form, i.e. `neighbors()`
+    /// slices point into one contiguous buffer.
+    pub fn is_flat(&self) -> bool {
+        matches!(self.repr, Repr::Flat(_))
+    }
+
+    /// Freezes a builder-form graph into flat (CSR) form in `O(n + m)`.
+    /// No-op when already flat.
+    pub fn compact(&mut self) {
+        if let Repr::Adj(rows) = &mut self.repr {
+            let mut offsets = Vec::with_capacity(rows.len() + 1);
+            offsets.push(0usize);
+            let mut targets = Vec::with_capacity(2 * self.edge_count);
+            for row in rows.iter() {
+                targets.extend_from_slice(row);
+                offsets.push(targets.len());
+            }
+            self.repr = Repr::Flat(Csr::from_parts(offsets, targets));
+        }
+    }
+
+    /// Thaws a flat graph into builder form for incremental mutation.
+    fn thaw(&mut self) -> &mut Vec<Vec<usize>> {
+        if let Repr::Flat(csr) = &mut self.repr {
+            let rows = std::mem::take(csr).into_rows();
+            self.repr = Repr::Adj(rows);
+        }
+        match &mut self.repr {
+            Repr::Adj(rows) => rows,
+            Repr::Flat(_) => unreachable!("thawed above"),
+        }
+    }
+
     /// Adds the undirected edge `{u, v}`.
+    ///
+    /// On a flat graph the first mutation pays a one-time `O(n + m)` thaw
+    /// back into builder form.
     ///
     /// # Errors
     ///
@@ -65,35 +262,39 @@ impl Graph {
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
         }
-        match self.adj[u].binary_search(&v) {
+        let adj = self.thaw();
+        match adj[u].binary_search(&v) {
             Ok(_) => return Err(GraphError::DuplicateEdge { u, v }),
-            Err(pos) => self.adj[u].insert(pos, v),
+            Err(pos) => adj[u].insert(pos, v),
         }
-        let pos = self.adj[v].binary_search(&u).unwrap_err();
-        self.adj[v].insert(pos, u);
+        let pos = adj[v].binary_search(&u).unwrap_err();
+        adj[v].insert(pos, u);
         self.edge_count += 1;
         Ok(())
     }
 
-    /// Removes the undirected edge `{u, v}` if present; returns whether it existed.
+    /// Removes the undirected edge `{u, v}` if present; returns whether it
+    /// existed. On a flat graph the first mutation pays a one-time
+    /// `O(n + m)` thaw.
     pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
-        if u >= self.node_count() || v >= self.node_count() {
+        if u >= self.node_count() || v >= self.node_count() || !self.contains_edge(u, v) {
             return false;
         }
-        if let Ok(pos) = self.adj[u].binary_search(&v) {
-            self.adj[u].remove(pos);
-            let pos = self.adj[v].binary_search(&u).expect("adjacency symmetric");
-            self.adj[v].remove(pos);
-            self.edge_count -= 1;
-            true
-        } else {
-            false
-        }
+        let adj = self.thaw();
+        let pos = adj[u].binary_search(&v).expect("presence checked");
+        adj[u].remove(pos);
+        let pos = adj[v].binary_search(&u).expect("adjacency symmetric");
+        adj[v].remove(pos);
+        self.edge_count -= 1;
+        true
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        match &self.repr {
+            Repr::Adj(rows) => rows.len(),
+            Repr::Flat(csr) => csr.node_count(),
+        }
     }
 
     /// Number of edges.
@@ -107,39 +308,56 @@ impl Graph {
     ///
     /// Panics if `v` is out of range.
     pub fn degree(&self, v: usize) -> usize {
-        self.adj[v].len()
+        match &self.repr {
+            Repr::Adj(rows) => rows[v].len(),
+            Repr::Flat(csr) => csr.row_len(v),
+        }
     }
 
-    /// Sorted slice of neighbors of `v`.
+    /// Sorted slice of neighbors of `v`. In flat form this slice borrows
+    /// one contiguous whole-graph buffer.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     pub fn neighbors(&self, v: usize) -> &[usize] {
-        &self.adj[v]
+        match &self.repr {
+            Repr::Adj(rows) => &rows[v],
+            Repr::Flat(csr) => csr.row(v),
+        }
     }
 
     /// Whether the edge `{u, v}` is present. Out-of-range endpoints yield `false`.
     pub fn contains_edge(&self, u: usize, v: usize) -> bool {
-        u < self.node_count() && v < self.node_count() && self.adj[u].binary_search(&v).is_ok()
+        u < self.node_count()
+            && v < self.node_count()
+            && self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// Maximum degree Δ, or 0 for the empty graph.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.node_count())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree δ, or 0 for the empty graph.
     pub fn min_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+        (0..self.node_count())
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Iterator over edges as ordered pairs `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.adj
-            .iter()
-            .enumerate()
-            .flat_map(|(u, nbrs)| nbrs.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+        (0..self.node_count()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| (u, v))
+        })
     }
 
     /// Subgraph induced by `keep` (nodes keep their indices; edges to dropped
@@ -150,26 +368,14 @@ impl Graph {
     /// Panics if `keep.len() != self.node_count()`.
     pub fn induced_subgraph(&self, keep: &[bool]) -> Graph {
         assert_eq!(keep.len(), self.node_count(), "keep mask length mismatch");
-        let mut g = Graph::new(self.node_count());
-        for (u, v) in self.edges() {
-            if keep[u] && keep[v] {
-                g.add_edge(u, v)
-                    .expect("edges of a simple graph remain simple");
-            }
-        }
-        g
+        self.filter_edges(|u, v| keep[u] && keep[v])
     }
 
     /// Subgraph keeping exactly the edges for which `pred` returns true.
+    /// Built in bulk (flat form), not edge-by-edge.
     pub fn filter_edges<F: FnMut(usize, usize) -> bool>(&self, mut pred: F) -> Graph {
-        let mut g = Graph::new(self.node_count());
-        for (u, v) in self.edges() {
-            if pred(u, v) {
-                g.add_edge(u, v)
-                    .expect("filtered edges of a simple graph remain simple");
-            }
-        }
-        g
+        let kept: Vec<(usize, usize)> = self.edges().filter(|&(u, v)| pred(u, v)).collect();
+        Graph::from_edges_unchecked(self.node_count(), &kept)
     }
 }
 
@@ -277,5 +483,76 @@ mod tests {
         assert_eq!(sub.edge_count(), 2);
         assert!(sub.contains_edge(1, 2));
         assert!(sub.contains_edge(2, 3));
+    }
+
+    #[test]
+    fn bulk_builder_matches_incremental() {
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)];
+        let inc = Graph::from_edges(4, &edges).unwrap();
+        let bulk = Graph::from_edges_bulk(4, &edges).unwrap();
+        assert!(bulk.is_flat());
+        assert!(!inc.is_flat());
+        assert_eq!(inc, bulk);
+        for v in 0..4 {
+            assert_eq!(inc.neighbors(v), bulk.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn bulk_builder_rejects_invalid_lists() {
+        assert_eq!(
+            Graph::from_edges_bulk(3, &[(0, 3)]),
+            Err(GraphError::NodeOutOfRange { node: 3, count: 3 })
+        );
+        assert_eq!(
+            Graph::from_edges_bulk(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        );
+        assert_eq!(
+            Graph::from_edges_bulk(3, &[(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        );
+    }
+
+    #[test]
+    fn from_adjacency_validates_and_matches() {
+        let g = Graph::from_adjacency(&[vec![2, 1], vec![0], vec![0]]).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert!(g.is_flat());
+        assert!(matches!(
+            Graph::from_adjacency(&[vec![1], vec![]]),
+            Err(GraphError::AsymmetricAdjacency { u: 1, v: 0 }
+                | GraphError::AsymmetricAdjacency { u: 0, v: 1 })
+        ));
+        assert!(matches!(
+            Graph::from_adjacency(&[vec![0]]),
+            Err(GraphError::SelfLoop { node: 0 })
+        ));
+    }
+
+    #[test]
+    fn flat_graph_thaws_on_mutation() {
+        let mut g = Graph::from_edges_bulk(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(g.is_flat());
+        g.add_edge(1, 2).unwrap();
+        assert!(!g.is_flat());
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        g.compact();
+        assert!(g.is_flat());
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        let edges = [(0, 1), (1, 2)];
+        let a = Graph::from_edges(3, &edges).unwrap();
+        let b = Graph::from_edges_bulk(3, &edges).unwrap();
+        assert_eq!(a, b);
+        let c = Graph::from_edges_bulk(3, &[(0, 1)]).unwrap();
+        assert_ne!(a, c);
     }
 }

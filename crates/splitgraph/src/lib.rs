@@ -18,6 +18,8 @@
 //!   the doubling construction of Section 1.2, the sinkless-orientation
 //!   reduction instances of Section 2.5 / Figure 1, and girth-10 bipartite
 //!   graphs for Section 5;
+//! * [`csr`] — the flat compressed-sparse-row storage underneath the graph
+//!   types: bulk counting-sort construction with no per-edge shifting;
 //! * girth, connected components, and power-graph utilities.
 //!
 //! # Examples
@@ -41,6 +43,7 @@ mod bipartite;
 pub mod checks;
 mod color;
 mod components;
+pub mod csr;
 mod error;
 pub mod generators;
 mod girth;

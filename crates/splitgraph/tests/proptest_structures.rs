@@ -12,6 +12,46 @@ fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
     prop::collection::vec((0..n, 0..n), 0..3 * n)
 }
 
+/// The seed `power_graph` (depth-bounded BFS + per-pair `add_edge`), kept as
+/// the reference the bulk CSR implementation must reproduce exactly.
+fn reference_power_graph(g: &Graph, k: usize) -> Graph {
+    let n = g.node_count();
+    let mut out = Graph::new(n);
+    if k == 0 {
+        return out;
+    }
+    let mut dist = vec![usize::MAX; n];
+    let mut touched = Vec::new();
+    for v in 0..n {
+        dist[v] = 0;
+        touched.push(v);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(v);
+        while let Some(x) = queue.pop_front() {
+            if dist[x] == k {
+                continue;
+            }
+            for &y in g.neighbors(x) {
+                if dist[y] == usize::MAX {
+                    dist[y] = dist[x] + 1;
+                    touched.push(y);
+                    queue.push_back(y);
+                }
+            }
+        }
+        for &w in &touched {
+            if w > v {
+                out.add_edge(v, w).expect("power graph edges are simple");
+            }
+        }
+        for &w in &touched {
+            dist[w] = usize::MAX;
+        }
+        touched.clear();
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -67,6 +107,66 @@ proptest! {
         // adjacent nodes share a component
         for (u, v) in g.edges() {
             prop_assert_eq!(cc.label(u), cc.label(v));
+        }
+    }
+
+    #[test]
+    fn representations_agree_on_random_edge_lists(edges in arb_edges(24)) {
+        // incremental add_edge, deduplicating on the fly
+        let mut inc = Graph::new(24);
+        let mut kept: Vec<(usize, usize)> = Vec::new();
+        for (u, v) in edges {
+            if u != v && inc.add_edge(u, v).is_ok() {
+                kept.push((u, v));
+            }
+        }
+        let bulk = Graph::from_edges_bulk(24, &kept).unwrap();
+        let rows: Vec<Vec<usize>> = (0..24).map(|v| inc.neighbors(v).to_vec()).collect();
+        let adj = Graph::from_adjacency(&rows).unwrap();
+        prop_assert!(bulk.is_flat() && adj.is_flat());
+        prop_assert_eq!(&inc, &bulk);
+        prop_assert_eq!(&inc, &adj);
+        prop_assert_eq!(inc.edge_count(), bulk.edge_count());
+        prop_assert_eq!(inc.edge_count(), adj.edge_count());
+        for v in 0..24 {
+            prop_assert_eq!(inc.neighbors(v), bulk.neighbors(v));
+            prop_assert_eq!(inc.neighbors(v), adj.neighbors(v));
+            prop_assert_eq!(inc.degree(v), bulk.degree(v));
+            prop_assert_eq!(inc.degree(v), adj.degree(v));
+        }
+        for u in 0..24 {
+            for v in 0..24 {
+                prop_assert_eq!(inc.contains_edge(u, v), bulk.contains_edge(u, v));
+                prop_assert_eq!(inc.contains_edge(u, v), adj.contains_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_validation_agrees_with_checked_path(
+        edges in prop::collection::vec((0..20usize, 0..20usize), 0..48)
+    ) {
+        // raw lists may contain self-loops, duplicates, and (on n = 16)
+        // out-of-range endpoints; acceptance must agree exactly
+        let checked = Graph::from_edges(16, &edges);
+        let bulk = Graph::from_edges_bulk(16, &edges);
+        prop_assert_eq!(checked.is_ok(), bulk.is_ok());
+        if let (Ok(a), Ok(b)) = (checked, bulk) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn power_graph_matches_seed_reference(
+        (seed, k, p) in (0u64..200, 2usize..5, 1usize..4)
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(28, 0.04 * p as f64, &mut rng);
+        let fast = power_graph(&g, k);
+        let reference = reference_power_graph(&g, k);
+        prop_assert_eq!(&fast, &reference);
+        for v in 0..28 {
+            prop_assert_eq!(fast.neighbors(v), reference.neighbors(v));
         }
     }
 
