@@ -30,12 +30,23 @@ pub struct PerfRecord {
     pub wall_ns_before: u128,
     /// Wall time of the current implementation, nanoseconds.
     pub wall_ns_after: u128,
+    /// Effective thread count of the measured side; `None` for sequential
+    /// kernels. Sized from `std::thread::available_parallelism`.
+    pub threads: Option<usize>,
 }
 
 impl PerfRecord {
     /// `before / after` wall-time ratio.
     pub fn speedup(&self) -> f64 {
         self.wall_ns_before as f64 / self.wall_ns_after.max(1) as f64
+    }
+
+    /// True when the parallel side could only run one thread (single-vCPU
+    /// host): the record then certifies wall-clock *parity* of the
+    /// threaded path, not a speedup, and is labeled as such instead of
+    /// being reported as a regression.
+    pub fn is_parity_run(&self) -> bool {
+        self.threads == Some(1)
     }
 }
 
@@ -44,6 +55,8 @@ impl PerfRecord {
 pub struct SubstrateReport {
     /// `"quick"` or `"full"`.
     pub mode: &'static str,
+    /// `std::thread::available_parallelism()` of the measuring host.
+    pub host_parallelism: usize,
     /// All measurements.
     pub records: Vec<PerfRecord>,
 }
@@ -53,15 +66,16 @@ impl SubstrateReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\n  \"bench\": \"substrate\",\n  \"mode\": \"{}\",\n  \"records\": [",
-            esc(self.mode)
+            "{{\n  \"bench\": \"substrate\",\n  \"mode\": \"{}\",\n  \"host_parallelism\": {},\n  \"records\": [",
+            esc(self.mode),
+            self.host_parallelism
         ));
         for (i, r) in self.records.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"wall_ns_before\": {}, \"wall_ns_after\": {}, \"speedup\": {:.2}}}",
+                "\n    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"wall_ns_before\": {}, \"wall_ns_after\": {}, \"speedup\": {:.2}",
                 esc(r.name),
                 r.n,
                 r.m,
@@ -69,6 +83,13 @@ impl SubstrateReport {
                 r.wall_ns_after,
                 r.speedup()
             ));
+            if let Some(t) = r.threads {
+                out.push_str(&format!(
+                    ", \"threads\": {t}, \"parity_run\": {}",
+                    r.is_parity_run()
+                ));
+            }
+            out.push('}');
         }
         out.push_str("\n  ]\n}\n");
         out
@@ -379,6 +400,7 @@ fn run_sized(scale: &Scale) -> (Vec<Table>, SubstrateReport) {
             m: edges.len(),
             wall_ns_before: wall_before,
             wall_ns_after: wall_after,
+            threads: None,
         });
     }
 
@@ -398,6 +420,7 @@ fn run_sized(scale: &Scale) -> (Vec<Table>, SubstrateReport) {
                 m: after_p.edge_count(),
                 wall_ns_before: wall_before,
                 wall_ns_after: wall_after,
+                threads: None,
             });
         }
     }
@@ -426,46 +449,66 @@ fn run_sized(scale: &Scale) -> (Vec<Table>, SubstrateReport) {
             m: g.edge_count(),
             wall_ns_before: wall_before,
             wall_ns_after: wall_after,
+            threads: None,
         });
         // the parallel round step pays off for compute-heavy node programs;
-        // baseline it against the same program run sequentially
+        // baseline it against the same program run sequentially, with the
+        // thread count sized to what the host actually exposes (a 1-vCPU
+        // container yields a wall-clock parity run, labeled as such)
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
         let mk_heavy = |_: &NodeContext| HeavyGossip {
             acc: 0,
             rounds_left: rounds,
         };
         let (heavy_seq, wall_heavy_seq) = time(|| run_local(&g, &ids, 10 * rounds, mk_heavy));
         let (heavy_par, wall_heavy_par) =
-            time(|| run_local_parallel(&g, &ids, 10 * rounds, 4, mk_heavy));
+            time(|| run_local_parallel(&g, &ids, 10 * rounds, threads, mk_heavy));
         assert_eq!(heavy_par.outputs, heavy_seq.outputs);
         assert_eq!(heavy_par.rounds, heavy_seq.rounds);
         assert_eq!(heavy_par.messages, heavy_seq.messages);
         records.push(PerfRecord {
-            name: "executor_heavy_parallel_t4",
+            name: "executor_heavy_parallel",
             n,
             m: g.edge_count(),
             wall_ns_before: wall_heavy_seq, // sequential arena executor baseline
             wall_ns_after: wall_heavy_par,
+            threads: Some(threads),
         });
     }
 
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut t = Table::new(
         "substrate — seed implementation vs flat CSR core / arena executor",
-        &["kernel", "n", "m", "before ms", "after ms", "speedup"],
+        &[
+            "kernel",
+            "n",
+            "m",
+            "threads",
+            "before ms",
+            "after ms",
+            "speedup",
+        ],
     );
     for r in &records {
         t.row(vec![
             r.name.into(),
             r.n.to_string(),
             r.m.to_string(),
+            r.threads.map_or("-".into(), |t| t.to_string()),
             fnum(r.wall_ns_before as f64 / 1e6),
             fnum(r.wall_ns_after as f64 / 1e6),
-            fnum(r.speedup()),
+            if r.is_parity_run() {
+                "parity".into()
+            } else {
+                fnum(r.speedup())
+            },
         ]);
     }
     (
         vec![t],
         SubstrateReport {
             mode: scale.mode,
+            host_parallelism,
             records,
         },
     )
@@ -494,7 +537,16 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"substrate\""));
         assert!(json.contains("power_graph_k4"));
-        assert!(json.contains("executor_heavy_parallel_t4"));
+        assert!(json.contains("executor_heavy_parallel"));
+        assert!(json.contains("\"host_parallelism\""));
+        assert!(json.contains("\"threads\""));
+        assert!(json.contains("\"parity_run\""));
+        let parallel = report
+            .records
+            .iter()
+            .find(|r| r.name == "executor_heavy_parallel")
+            .unwrap();
+        assert_eq!(parallel.threads, Some(report.host_parallelism));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -10,6 +10,12 @@
 //! phase leaves every constraint at least a quarter of its neighbors
 //! uncolored, the residual minimum degree `δ_H ≥ δ/4` meets Theorem 2.5's
 //! requirement `δ_H ≥ 2·log n_H` once `c` is large enough.
+//!
+//! The residual components all funnel into the incremental
+//! conditional-expectation engine (through Theorem 2.5 / Lemma 2.1), and
+//! their truncation step reuses the component graph in place when it is a
+//! no-op — given a fixed seed the whole randomized pipeline is replayable
+//! bit for bit.
 
 use crate::basic::{basic_deterministic_unchecked, SchedulingMode};
 use crate::outcome::{SplitError, SplitOutcome};
@@ -210,6 +216,24 @@ mod tests {
             "unsatisfied = {} out of 4096",
             report.unsatisfied
         );
+    }
+
+    #[test]
+    fn shattering_pipeline_is_replayable() {
+        // same seed → same shattering, same residual components, and the
+        // engine-backed component solving must reproduce colors bit for bit
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = generators::random_biregular(2048, 6656, 26, &mut rng).unwrap();
+        let cfg = Theorem12Config {
+            c_constant: 1.5,
+            ..Theorem12Config::default()
+        };
+        let (a, ra) = theorem12_with_report(&b, &cfg).unwrap();
+        let (c, rc) = theorem12_with_report(&b, &cfg).unwrap();
+        assert_eq!(a.colors, c.colors);
+        assert_eq!(ra.unsatisfied, rc.unsatisfied);
+        assert_eq!(ra.attempts_used, rc.attempts_used);
+        assert!(is_weak_splitting(&b, &a.colors, 0));
     }
 
     #[test]

@@ -41,10 +41,19 @@ pub fn truncated_deterministic(
             actual: format!("δ = {delta}"),
         });
     }
-    let h = truncate_left_degrees(b, threshold);
     let mut ledger = RoundLedger::new();
     ledger.add_measured("degree truncation to ⌈2·log n⌉ (local)", 0.0);
-    let inner = basic_deterministic(&h, n_for_threshold)?;
+    // when every constraint already sits at or below the threshold the
+    // truncation is the identity — run Lemma 2.1 on `b` directly instead of
+    // rebuilding an equal graph (δ ≈ 2·log n is the common regime here, via
+    // Theorem 2.5's small-degree branch and Theorem 1.2's residual
+    // components)
+    let inner = if b.max_left_degree() <= threshold {
+        basic_deterministic(b, n_for_threshold)?
+    } else {
+        let h = truncate_left_degrees(b, threshold);
+        basic_deterministic(&h, n_for_threshold)?
+    };
     ledger.merge_prefixed("Lemma 2.1 on truncated instance", inner.ledger);
     debug_assert!(
         checks::is_weak_splitting(b, &inner.colors, threshold),
@@ -102,6 +111,19 @@ mod tests {
             trunc.ledger.measured_total(),
             full.ledger.measured_total()
         );
+    }
+
+    #[test]
+    fn noop_truncation_fast_path_is_exact() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // δ = Δ = 18 = threshold for n = 440: truncation is the identity,
+        // so the fast path (no rebuild) must match Lemma 2.1 on b directly
+        let b = generators::random_biregular(220, 220, 18, &mut rng).unwrap();
+        assert_eq!(truncate_left_degrees(&b, 18), b);
+        let via_truncate = truncated_deterministic(&b, b.node_count()).unwrap();
+        let direct = crate::basic::basic_deterministic(&b, b.node_count()).unwrap();
+        assert_eq!(via_truncate.colors, direct.colors);
+        assert!(is_weak_splitting(&b, &via_truncate.colors, 0));
     }
 
     #[test]

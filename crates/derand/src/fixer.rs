@@ -12,6 +12,12 @@
 //!   choices commute and `Φ` still never increases. Each class costs 2
 //!   LOCAL rounds (constraints publish their counts; variables announce
 //!   their choice), for `2·C` measured rounds total.
+//!
+//! Both fixers run on the incremental [`FixerState`] engine: scheduling
+//! preconditions are verified by a linear stamp pass (not a pairwise scan),
+//! class buckets come from one counting sort over the square coloring
+//! (`O(nv + palette)`, not `O(nv·palette)`), and the greedy inner loop is
+//! table-driven with no `powi` — see the [`crate::estimator`] module docs.
 
 use crate::estimator::{ColoringEstimator, FixerState};
 use splitgraph::{BipartiteGraph, MultiColor};
@@ -53,8 +59,8 @@ pub fn sequential_fix(b: &BipartiteGraph, est: ColoringEstimator, order: &[usize
     let initial_phi = state.total();
     let mut colors = vec![0 as MultiColor; nv];
     for &v in order {
-        let x = state.best_color(b, v);
-        state.fix(b, v, x);
+        let x = state.best_color(v);
+        state.fix(v, x);
         colors[v] = x;
     }
     FixOutcome {
@@ -62,6 +68,56 @@ pub fn sequential_fix(b: &BipartiteGraph, est: ColoringEstimator, order: &[usize
         initial_phi,
         final_phi: state.total(),
         rounds: 0,
+    }
+}
+
+/// [`sequential_fix`] over the identity order `0, 1, …, nv − 1` — the
+/// common case in the theorem pipelines, without materializing (or
+/// re-validating) an explicit permutation.
+pub fn sequential_fix_identity(b: &BipartiteGraph, est: ColoringEstimator) -> FixOutcome {
+    let nv = b.right_count();
+    let mut state = FixerState::new(b, est);
+    let initial_phi = state.total();
+    let mut colors = vec![0 as MultiColor; nv];
+    for (v, slot) in colors.iter_mut().enumerate() {
+        let x = state.best_color(v);
+        state.fix(v, x);
+        *slot = x;
+    }
+    FixOutcome {
+        colors,
+        initial_phi,
+        final_phi: state.total(),
+        rounds: 0,
+    }
+}
+
+/// Verifies the scheduling precondition (same-class variables share no
+/// constraint) with one linear stamp pass: per class, remember the last
+/// constraint that saw it and which variable carried it — a repeat within
+/// the same constraint is a violation. `O(Σ deg(u) + classes)` instead of
+/// the pairwise `O(Σ deg(u)²)` scan.
+pub(crate) fn verify_schedule(b: &BipartiteGraph, square_coloring: &[u32]) {
+    let classes = square_coloring
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |c| c as usize + 1);
+    let mut last_seen_constraint = vec![usize::MAX; classes];
+    let mut last_seen_var = vec![0usize; classes];
+    for u in 0..b.left_count() {
+        for &w in b.left_neighbors(u) {
+            let class = square_coloring[w] as usize;
+            if last_seen_constraint[class] == u {
+                let v = last_seen_var[class];
+                assert_ne!(
+                    square_coloring[v], square_coloring[w],
+                    "variables {v} and {w} share constraint {u} but have the same class"
+                );
+            }
+            last_seen_constraint[class] = u;
+            last_seen_var[class] = w;
+        }
     }
 }
 
@@ -86,38 +142,53 @@ pub fn phased_fix(
 ) -> FixOutcome {
     let nv = b.right_count();
     assert_eq!(square_coloring.len(), nv, "square coloring length mismatch");
-    // verify the scheduling precondition: same-class variables share no constraint
-    for u in 0..b.left_count() {
-        let nbrs = b.left_neighbors(u);
-        for (i, &v) in nbrs.iter().enumerate() {
-            for &w in &nbrs[i + 1..] {
-                assert_ne!(
-                    square_coloring[v], square_coloring[w],
-                    "variables {v} and {w} share constraint {u} but have the same class"
-                );
-            }
+    verify_schedule(b, square_coloring);
+    // counting-sort the variables into class buckets once: deciders of
+    // class p are the slice bucket[offsets[p]..offsets[p + 1]], ascending
+    // (classes ≥ palette fall outside the compiled schedule and never
+    // decide, exactly as before)
+    let np = palette as usize;
+    let mut offsets = vec![0usize; np + 1];
+    for &class in square_coloring {
+        if (class as usize) < np {
+            offsets[class as usize + 1] += 1;
         }
     }
+    for p in 0..np {
+        offsets[p + 1] += offsets[p];
+    }
+    let mut bucket = vec![0usize; offsets[np]];
+    let mut cursor = offsets.clone();
+    for (v, &class) in square_coloring.iter().enumerate() {
+        if (class as usize) < np {
+            bucket[cursor[class as usize]] = v;
+            cursor[class as usize] += 1;
+        }
+    }
+
     let mut state = FixerState::new(b, est);
     let initial_phi = state.total();
     let mut colors = vec![0 as MultiColor; nv];
     let mut rounds = 0usize;
-    for class in 0..palette {
+    let mut choices: Vec<u32> = Vec::new();
+    for class in 0..np {
         // one phase: every variable of this class decides from the current
         // counts; commits are order-independent because the class is
-        // constraint-disjoint
-        let deciders: Vec<usize> = (0..nv).filter(|&v| square_coloring[v] == class).collect();
+        // constraint-disjoint (empty classes still cost their phase in the
+        // compiled schedule)
+        let deciders = &bucket[offsets[class]..offsets[class + 1]];
+        rounds += 2;
         if deciders.is_empty() {
-            // empty classes still cost their phase in the compiled schedule
-            rounds += 2;
             continue;
         }
-        let choices: Vec<u32> = deciders.iter().map(|&v| state.best_color(b, v)).collect();
+        choices.clear();
+        for &v in deciders {
+            choices.push(state.best_color(v));
+        }
         for (&v, &x) in deciders.iter().zip(&choices) {
-            state.fix(b, v, x);
+            state.fix(v, x);
             colors[v] = x;
         }
-        rounds += 2;
     }
     FixOutcome {
         colors,
@@ -153,6 +224,21 @@ mod tests {
         assert!(out.initial_phi < 1.0, "initial Φ = {}", out.initial_phi);
         assert!(out.final_phi < 1.0);
         assert!(is_weak_splitting(&b, &to_colors(&out.colors), 0));
+    }
+
+    #[test]
+    fn sequential_fix_identity_matches_explicit_order() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let b = generators::random_left_regular(40, 80, 14, &mut rng).unwrap();
+        let order: Vec<usize> = (0..80).collect();
+        let explicit = sequential_fix(&b, ColoringEstimator::monochromatic(&b), &order);
+        let identity = sequential_fix_identity(&b, ColoringEstimator::monochromatic(&b));
+        assert_eq!(explicit.colors, identity.colors);
+        assert_eq!(
+            explicit.initial_phi.to_bits(),
+            identity.initial_phi.to_bits()
+        );
+        assert_eq!(explicit.final_phi.to_bits(), identity.final_phi.to_bits());
     }
 
     #[test]
@@ -205,6 +291,15 @@ mod tests {
         let b = generators::complete_bipartite(1, 3);
         // all three variables share the constraint but get one class
         let _ = phased_fix(&b, ColoringEstimator::monochromatic(&b), &[0, 0, 0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same class")]
+    fn phased_fix_rejects_nonadjacent_class_repeat() {
+        let b = generators::complete_bipartite(1, 4);
+        // classes repeat with a different class in between: the stamp pass
+        // must still catch the {0, 2} collision under constraint 0
+        let _ = phased_fix(&b, ColoringEstimator::monochromatic(&b), &[0, 1, 0, 2], 3);
     }
 
     #[test]

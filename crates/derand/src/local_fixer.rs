@@ -173,18 +173,8 @@ pub fn distributed_phased_fix(
         b.right_count(),
         "square coloring length mismatch"
     );
-    // same scheduling precondition as the central fixer
-    for u in 0..b.left_count() {
-        let nbrs = b.left_neighbors(u);
-        for (i, &v) in nbrs.iter().enumerate() {
-            for &w in &nbrs[i + 1..] {
-                assert_ne!(
-                    square_coloring[v], square_coloring[w],
-                    "variables {v} and {w} share constraint {u} but have the same class"
-                );
-            }
-        }
-    }
+    // same scheduling precondition (and stamp-pass check) as the central fixer
+    crate::fixer::verify_schedule(b, square_coloring);
     let est = Rc::new(est);
     let g = b.to_graph();
     let ids: Vec<u64> = (0..g.node_count() as u64).collect();
@@ -226,7 +216,7 @@ pub fn distributed_phased_fix(
     // final Φ re-evaluated centrally (for the FixOutcome contract)
     let mut state = crate::estimator::FixerState::new(b, (*est).clone());
     for (v, &x) in colors.iter().enumerate() {
-        state.fix(b, v, x);
+        state.fix(v, x);
     }
     FixOutcome {
         colors,

@@ -1,0 +1,246 @@
+//! Parity proptests: the incremental fixer engine must be *bit-identical*
+//! in its color choices to the naive pre-refactor reference — per-query
+//! `powi` evaluation, per-color-outer candidate loops, one `Vec` of counts
+//! per constraint, and `Φ` recomputed from scratch at every step (no power
+//! tables, no flat arrays, no tracked total) — and its incrementally
+//! tracked `Φ` must follow the reference's from-scratch `Φ` within `1e-9`
+//! at every step of the trajectory, across left-regular and irregular
+//! bipartite instances and all three estimator instantiations.
+//!
+//! The reference keeps the `S_u ← S_u − old + new` update of the original
+//! engine rather than re-summing `S_u = Σ_x base(u, F_{u,x})` per query:
+//! re-summing is mathematically identical but visits the addends in a
+//! different order, so mathematically tied candidate colors (which both
+//! engines must break toward the smaller color) can split by one ULP and
+//! flip the argmin — the recurrence is what "the same color choices" is
+//! defined against.
+
+use derand::{sequential_fix, ColoringEstimator, FixerState};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use splitgraph::{generators, BipartiteGraph};
+
+/// Which estimator to instantiate over an instance.
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    Monochromatic,
+    MissingColor(u32),
+    Overload(u32),
+}
+
+fn estimator(b: &BipartiteGraph, kind: Kind) -> ColoringEstimator {
+    match kind {
+        Kind::Monochromatic => ColoringEstimator::monochromatic(b),
+        Kind::MissingColor(c) => ColoringEstimator::missing_color(b, c),
+        Kind::Overload(c) => {
+            // caps around half the degree; degree-0/1 constraints get their
+            // degree as cap (never binding) and are exempted — the engine
+            // must skip them without changing any choice
+            let caps: Vec<usize> = (0..b.left_count())
+                .map(|u| {
+                    let d = b.left_degree(u);
+                    if d >= 2 {
+                        d / 2 + 1
+                    } else {
+                        d
+                    }
+                })
+                .collect();
+            let avg = if b.left_count() == 0 {
+                1.0
+            } else {
+                (b.edge_count() as f64 / b.left_count() as f64).max(1.0)
+            };
+            let t = derand::chernoff_t(avg / 2.0 + 1.0, c, avg);
+            let mut est = ColoringEstimator::overload(b, c, &caps, t);
+            for u in 0..b.left_count() {
+                if b.left_degree(u) < 2 {
+                    est.exempt(u);
+                }
+            }
+            est
+        }
+    }
+}
+
+/// Naive reference: the pre-refactor fixer verbatim — one count `Vec` per
+/// constraint, per-query `powi`, per-color-outer candidate loops, and `Φ`
+/// recomputed from scratch at every step. A sibling copy lives in
+/// `crates/bench/src/pipeline_perf.rs` (`SeedFixerState`) as the frozen
+/// *before* side of the speedup records; keep the two in lockstep.
+struct NaiveRef {
+    palette: u32,
+    factor: f64,
+    step: f64,
+    base_zero: Vec<f64>,
+    counts: Vec<Vec<u32>>,
+    unfixed: Vec<usize>,
+    sums: Vec<f64>,
+}
+
+impl NaiveRef {
+    fn new(b: &BipartiteGraph, est: &ColoringEstimator) -> Self {
+        let palette = est.palette();
+        NaiveRef {
+            palette,
+            factor: est.factor(),
+            step: est.step(),
+            base_zero: (0..b.left_count()).map(|u| est.base(u, 0)).collect(),
+            counts: vec![vec![0u32; palette as usize]; b.left_count()],
+            unfixed: (0..b.left_count()).map(|u| b.left_degree(u)).collect(),
+            sums: (0..b.left_count())
+                .map(|u| palette as f64 * est.base(u, 0))
+                .collect(),
+        }
+    }
+
+    fn base(&self, u: usize, fixed: u32) -> f64 {
+        if self.step == 0.0 {
+            if fixed == 0 {
+                self.base_zero[u]
+            } else {
+                0.0
+            }
+        } else {
+            self.base_zero[u] * self.step.powi(fixed as i32)
+        }
+    }
+
+    fn phi(&self, u: usize) -> f64 {
+        self.factor.powi(self.unfixed[u] as i32) * self.sums[u]
+    }
+
+    /// `Φ` recomputed from scratch (per step — no incremental tracking).
+    fn total(&self) -> f64 {
+        (0..self.counts.len()).map(|u| self.phi(u)).sum()
+    }
+
+    fn phi_after(&self, u: usize, x: u32) -> f64 {
+        let old = self.base(u, self.counts[u][x as usize]);
+        let new = self.base(u, self.counts[u][x as usize] + 1);
+        self.factor.powi(self.unfixed[u] as i32 - 1) * (self.sums[u] - old + new)
+    }
+
+    fn best_color(&self, b: &BipartiteGraph, v: usize) -> u32 {
+        let mut best = 0u32;
+        let mut best_score = f64::INFINITY;
+        for x in 0..self.palette {
+            let score: f64 = b
+                .right_neighbors(v)
+                .iter()
+                .map(|&u| self.phi_after(u, x))
+                .sum();
+            if score < best_score {
+                best_score = score;
+                best = x;
+            }
+        }
+        best
+    }
+
+    fn fix(&mut self, b: &BipartiteGraph, v: usize, x: u32) {
+        for &u in b.right_neighbors(v) {
+            let old = self.base(u, self.counts[u][x as usize]);
+            self.counts[u][x as usize] += 1;
+            let new = self.base(u, self.counts[u][x as usize]);
+            self.sums[u] += new - old;
+            self.unfixed[u] -= 1;
+        }
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+}
+
+/// Runs both engines step by step over a shuffled order and asserts
+/// identical choices plus a matching `Φ` trajectory.
+fn assert_parity(b: &BipartiteGraph, kind: Kind, order_seed: u64) {
+    let est = estimator(b, kind);
+    let mut order: Vec<usize> = (0..b.right_count()).collect();
+    let mut rng = StdRng::seed_from_u64(order_seed);
+    order.shuffle(&mut rng);
+
+    let mut engine = FixerState::new(b, est.clone());
+    let mut naive = NaiveRef::new(b, &est);
+    assert!(
+        close(engine.total(), naive.total()),
+        "{kind:?}: initial Φ {} vs naive {}",
+        engine.total(),
+        naive.total()
+    );
+    let mut colors = vec![0u32; b.right_count()];
+    for &v in &order {
+        let fast = engine.best_color(v);
+        let slow = naive.best_color(b, v);
+        assert_eq!(fast, slow, "{kind:?}: choice for variable {v} diverged");
+        engine.fix(v, fast);
+        naive.fix(b, v, slow);
+        colors[v] = fast;
+        // the incrementally tracked Φ must follow the from-scratch Φ at
+        // every step (the drift guard keeps the gap below 1e-9)
+        assert!(
+            close(engine.tracked_total(), naive.total()),
+            "{kind:?}: tracked Φ {} vs naive {} after fixing {v}",
+            engine.tracked_total(),
+            naive.total()
+        );
+        assert!(close(engine.total(), naive.total()));
+    }
+    // whole-pass cross-check: sequential_fix over the same order reproduces
+    // the step-by-step trajectory exactly
+    let out = sequential_fix(b, est, &order);
+    assert_eq!(out.colors, colors);
+    assert!(close(out.final_phi, naive.total()));
+}
+
+const ALL_KINDS: [Kind; 4] = [
+    Kind::Monochromatic,
+    Kind::MissingColor(3),
+    Kind::MissingColor(6),
+    Kind::Overload(4),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_matches_naive_on_left_regular(
+        (nc, nv_mult, deg, seed) in (2usize..14, 2usize..5, 2usize..9, 0u64..10_000)
+    ) {
+        let nv = nc * nv_mult;
+        let deg = deg.min(nv);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = generators::random_left_regular(nc, nv, deg, &mut rng).unwrap();
+        for kind in ALL_KINDS {
+            assert_parity(&b, kind, seed ^ 0xA5A5);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_naive_on_irregular(
+        (nc, nv, p10, seed) in (2usize..12, 2usize..24, 1usize..7, 0u64..10_000)
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = generators::erdos_renyi_bipartite(nc, nv, 0.1 * p10 as f64, &mut rng);
+        for kind in ALL_KINDS {
+            assert_parity(&b, kind, seed ^ 0x5A5A);
+        }
+    }
+
+    #[test]
+    fn incremental_matches_naive_on_overload_tight_caps(
+        (nc, deg, seed) in (2usize..10, 4usize..12, 0u64..10_000)
+    ) {
+        // biregular-ish dense instances where the MGF terms actually move
+        let nv = nc * 2;
+        let deg = deg.min(nv);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = generators::random_left_regular(nc, nv, deg, &mut rng).unwrap();
+        for palette in [2u32, 3, 5] {
+            assert_parity(&b, Kind::Overload(palette), seed ^ 0x33);
+        }
+    }
+}
