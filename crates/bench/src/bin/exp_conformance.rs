@@ -1,0 +1,5 @@
+//! Experiment `conformance` — the family × group conformance matrix.
+fn main() {
+    let quick = splitting_bench::quick_flag();
+    splitting_bench::run_experiment_main(splitting_bench::exp_conformance(quick));
+}

@@ -1,0 +1,57 @@
+//! Experiment `conformance` — the conformance matrix as a result table:
+//! scenario families × entrypoint groups, each cell the number of
+//! passed/failed checks. Green cells are the precondition every other
+//! experiment's numbers rest on.
+
+use crate::table::Table;
+use conformance::{matrix, run_corpus, Group, Tier};
+
+/// Runs the conformance corpus (quick or full tier) and renders the
+/// family × group matrix plus a failure table (empty when green).
+pub fn exp_conformance(quick: bool) -> Vec<Table> {
+    let tier = if quick { Tier::Quick } else { Tier::Full };
+    let report = run_corpus(tier);
+    let mut headers: Vec<&str> = vec!["scenario"];
+    let group_names: Vec<&'static str> = Group::ALL.iter().map(|g| g.name()).collect();
+    headers.extend(group_names.iter().copied());
+    headers.push("regimes");
+    let mut t = Table::new("conformance matrix (checks passed per cell)", &headers);
+    for row in matrix(&report) {
+        let mut cells = vec![row.scenario.clone()];
+        for (checks, fails) in row.cells {
+            cells.push(match (checks, fails) {
+                (0, _) => "-".into(),
+                (n, 0) => format!("{n} ok"),
+                (n, k) => format!("{k}/{n} FAIL"),
+            });
+        }
+        cells.push(row.regimes.clone());
+        t.row(cells);
+    }
+    let mut failures = Table::new(
+        "conformance failures (replay selectors)",
+        &["scenario", "group", "check", "detail"],
+    );
+    for f in report.failures() {
+        failures.row(vec![
+            f.scenario.clone(),
+            f.group.name().to_string(),
+            f.check.to_string(),
+            f.detail.clone(),
+        ]);
+    }
+    vec![t, failures]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance_matrix_is_green_and_covers_all_families() {
+        let tables = exp_conformance(true);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].row_count(), conformance::FAMILY_COUNT);
+        assert_eq!(tables[1].row_count(), 0, "quick tier must be green");
+    }
+}

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 
 mod exp_ablations;
+mod exp_conformance;
 mod exp_fig1;
 mod exp_section2;
 mod exp_section3;
@@ -22,6 +23,7 @@ mod substrate_perf;
 mod table;
 
 pub use exp_ablations::{exp_abl_engine, exp_abl_eps, exp_abl_shatter};
+pub use exp_conformance::exp_conformance;
 pub use exp_fig1::{exp_fig1, exp_thm210};
 pub use exp_section2::{
     exp_lem21, exp_lem22, exp_lem24, exp_lem26, exp_lem29, exp_thm12, exp_thm25, exp_thm27,
@@ -62,6 +64,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("abl_eps", exp_abl_eps),
         ("abl_shatter", exp_abl_shatter),
         ("abl_engine", exp_abl_engine),
+        ("conformance", exp_conformance),
     ]
 }
 

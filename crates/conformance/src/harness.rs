@@ -1,0 +1,891 @@
+//! The differential + metamorphic harness: drives every solver entrypoint
+//! over a [`Scenario`], validates outputs with the `splitgraph::checks`
+//! certifiers and the round ledgers, cross-checks alternate engines on the
+//! shared instance, and asserts metamorphic invariants.
+//!
+//! Checks are grouped by *entrypoint group* so the conformance matrix
+//! (family × group) stays readable and each cell is independently
+//! replayable from its seed.
+
+use crate::scenario::{Regime, Scenario, Tier};
+use degree_split::{DegreeSplitter, Engine, Flavor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use splitgraph::math::{weak_multicolor_degree_threshold, weak_multicolor_required_colors};
+use splitgraph::{checks, BipartiteGraph, Color};
+use splitting_core as core;
+use splitting_core::{SplitError, Theorem12Config, Variant, WeakSplittingSolver};
+use splitting_reductions as red;
+
+/// The entrypoint groups the harness drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Group {
+    /// The [`WeakSplittingSolver`] parameter-dispatching façade.
+    Solver,
+    /// Direct theorem pipelines: 2.5, 2.7, 1.2, and the zero-round
+    /// algorithm, plus their round-ledger bounds.
+    Theorems,
+    /// Multicolor splitting variants (Definitions 1.2/1.3) across the
+    /// random, compiled-deterministic, and SLOCAL engines.
+    Multicolor,
+    /// Directed degree splitting across every `Engine` × `Flavor` combo.
+    DegreeSplit,
+    /// Section 4 reductions: uniform splitting, Δ-coloring, MIS, edge
+    /// coloring.
+    Reductions,
+    /// Metamorphic invariants: relabeling equivariance, Red↔Blue swap,
+    /// disjoint-union composition.
+    Metamorphic,
+}
+
+impl Group {
+    /// Every group, in matrix-column order.
+    pub const ALL: [Group; 6] = [
+        Group::Solver,
+        Group::Theorems,
+        Group::Multicolor,
+        Group::DegreeSplit,
+        Group::Reductions,
+        Group::Metamorphic,
+    ];
+
+    /// Stable display/selector name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Group::Solver => "solver",
+            Group::Theorems => "theorems",
+            Group::Multicolor => "multicolor",
+            Group::DegreeSplit => "degree-split",
+            Group::Reductions => "reductions",
+            Group::Metamorphic => "metamorphic",
+        }
+    }
+
+    /// Parses a selector name back into a group.
+    pub fn parse(s: &str) -> Option<Group> {
+        Group::ALL.into_iter().find(|g| g.name() == s)
+    }
+}
+
+/// One failed check, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Scenario name (`family/<params>#<seed>`).
+    pub scenario: String,
+    /// Scenario family.
+    pub family: &'static str,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Entrypoint group the check belongs to.
+    pub group: Group,
+    /// Check identifier.
+    pub check: &'static str,
+    /// Human-readable failure detail.
+    pub detail: String,
+}
+
+/// Results of one (scenario, group) cell.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// The group this cell drove.
+    pub group: Group,
+    /// Number of checks executed.
+    pub checks: usize,
+    /// Failed checks.
+    pub failures: Vec<Finding>,
+}
+
+/// Results of one scenario across all groups.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario family.
+    pub family: &'static str,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Regime tags (for the matrix).
+    pub regimes: Vec<Regime>,
+    /// Per-group cells.
+    pub cells: Vec<CellReport>,
+}
+
+/// The whole conformance run.
+#[derive(Debug, Clone)]
+pub struct ConformanceReport {
+    /// The tier that was run.
+    pub tier: Tier,
+    /// Per-scenario reports, in corpus order.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl ConformanceReport {
+    /// Total checks executed.
+    pub fn total_checks(&self) -> usize {
+        self.scenarios
+            .iter()
+            .flat_map(|s| &s.cells)
+            .map(|c| c.checks)
+            .sum()
+    }
+
+    /// All failures across the run.
+    pub fn failures(&self) -> Vec<&Finding> {
+        self.scenarios
+            .iter()
+            .flat_map(|s| &s.cells)
+            .flat_map(|c| &c.failures)
+            .collect()
+    }
+
+    /// Whether every check passed.
+    pub fn is_green(&self) -> bool {
+        self.failures().is_empty()
+    }
+}
+
+/// Check recorder for one cell.
+struct Ctx<'a> {
+    scenario: &'a Scenario,
+    group: Group,
+    checks: usize,
+    failures: Vec<Finding>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(scenario: &'a Scenario, group: Group) -> Self {
+        Ctx {
+            scenario,
+            group,
+            checks: 0,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Records a check; on failure, captures the detail for the ledger.
+    fn check(&mut self, name: &'static str, ok: bool, detail: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.failures.push(Finding {
+                scenario: self.scenario.name.clone(),
+                family: self.scenario.family,
+                seed: self.scenario.seed,
+                group: self.group,
+                check: name,
+                detail: detail(),
+            });
+        }
+    }
+
+    fn into_cell(self) -> CellReport {
+        CellReport {
+            group: self.group,
+            checks: self.checks,
+            failures: self.failures,
+        }
+    }
+}
+
+/// Runs the full corpus for a tier over every group.
+pub fn run_corpus(tier: Tier) -> ConformanceReport {
+    let scenarios = crate::scenario::corpus(tier)
+        .iter()
+        .map(|s| run_scenario(s, &Group::ALL))
+        .collect();
+    ConformanceReport { tier, scenarios }
+}
+
+/// Runs selected groups over one scenario.
+pub fn run_scenario(s: &Scenario, groups: &[Group]) -> ScenarioReport {
+    let cells = groups.iter().map(|&g| run_cell(s, g)).collect();
+    ScenarioReport {
+        scenario: s.name.clone(),
+        family: s.family,
+        seed: s.seed,
+        regimes: s.regimes.clone(),
+        cells,
+    }
+}
+
+/// Runs one (scenario, group) cell — the replayable unit.
+pub fn run_cell(s: &Scenario, group: Group) -> CellReport {
+    let mut ctx = Ctx::new(s, group);
+    match group {
+        Group::Solver => check_solver(&mut ctx),
+        Group::Theorems => check_theorems(&mut ctx),
+        Group::Multicolor => check_multicolor(&mut ctx),
+        Group::DegreeSplit => check_degree_split(&mut ctx),
+        Group::Reductions => check_reductions(&mut ctx),
+        Group::Metamorphic => check_metamorphic(&mut ctx),
+    }
+    ctx.into_cell()
+}
+
+// ---------------------------------------------------------------- solver
+
+fn check_solver(ctx: &mut Ctx<'_>) {
+    let s = ctx.scenario;
+    let b = &s.bipartite;
+    for allow_randomized in [false, true] {
+        let solver = WeakSplittingSolver {
+            allow_randomized,
+            seed: s.seed,
+            thm12_constant: s.thm12_constant,
+        };
+        let mode = if allow_randomized { "rand" } else { "det" };
+        ctx.check("solver.plan-pure", solver.plan(b) == solver.plan(b), || {
+            format!("{mode}: plan() is not a pure function of the instance")
+        });
+        match solver.solve(b) {
+            Ok((out, pipeline)) => {
+                ctx.check(
+                    "solver.plan-announced",
+                    solver.plan(b) == Some(pipeline),
+                    || format!("{mode}: solve() took {pipeline:?} but plan() disagrees"),
+                );
+                let violations = checks::weak_splitting_violations(b, &out.colors, 0);
+                ctx.check("solver.output-valid", violations.is_empty(), || {
+                    format!(
+                        "{mode}: {pipeline:?} output violates {} constraints: {:?}",
+                        violations.len(),
+                        &violations[..violations.len().min(5)]
+                    )
+                });
+                ctx.check(
+                    "solver.ledger-sane",
+                    out.ledger.total().is_finite() && out.ledger.total() >= 0.0,
+                    || format!("{mode}: ledger total {}", out.ledger.total()),
+                );
+                // replay: same solver, same instance, identical output
+                // (a replay that *errors* is itself a stability failure —
+                // record it, never panic the corpus run)
+                let replay = solver.solve(b);
+                ctx.check(
+                    "solver.replay-stable",
+                    matches!(&replay, Ok((out2, _)) if out.colors == out2.colors),
+                    || format!("{mode}: identical solve replay diverged: {replay:?}"),
+                );
+            }
+            Err(err) => {
+                ctx.check("solver.negative-honest", solver.plan(b).is_none(), || {
+                    format!("{mode}: plan() promised a pipeline but solve() failed: {err}")
+                });
+                ctx.check(
+                    "solver.error-kind",
+                    matches!(err, SplitError::Precondition { .. }),
+                    || format!("{mode}: uncovered instance must report Precondition, got {err}"),
+                );
+            }
+        }
+    }
+    // the dispatcher must find a pipeline iff the instance carries a
+    // positive regime tag (randomized mode sees every regime)
+    let rand_solver = WeakSplittingSolver {
+        allow_randomized: true,
+        seed: s.seed,
+        thm12_constant: s.thm12_constant,
+    };
+    ctx.check(
+        "solver.matches-regimes",
+        rand_solver.plan(b).is_some() == s.weak_pipeline_expected(),
+        || {
+            format!(
+                "plan = {:?} but regime tags say expected = {}",
+                rand_solver.plan(b),
+                s.weak_pipeline_expected()
+            )
+        },
+    );
+}
+
+// -------------------------------------------------------------- theorems
+
+fn check_theorems(ctx: &mut Ctx<'_>) {
+    let s = ctx.scenario;
+    let b = &s.bipartite;
+
+    // Theorem 2.5: deterministic headline result
+    if s.has(Regime::Thm25) {
+        match core::theorem25(b, Flavor::Deterministic) {
+            Ok((out, report)) => {
+                ctx.check(
+                    "thm25.valid",
+                    checks::is_weak_splitting(b, &out.colors, 0),
+                    || "deterministic Theorem 2.5 output invalid".into(),
+                );
+                let expect_drr = s.has(Regime::Drr) && s.has(Regime::Thm25);
+                ctx.check(
+                    "thm25.drr-branch",
+                    (report.drr_iterations > 0) == expect_drr,
+                    || {
+                        format!(
+                            "DRR iterations = {}, Drr tag = {}",
+                            report.drr_iterations, expect_drr
+                        )
+                    },
+                );
+                // bit determinism (an erroring replay is itself a failure)
+                let replay = core::theorem25(b, Flavor::Deterministic);
+                ctx.check(
+                    "thm25.bit-deterministic",
+                    matches!(&replay, Ok((out2, _)) if out.colors == out2.colors),
+                    || "two identical Theorem 2.5 runs diverged".into(),
+                );
+                // round-ledger bound: measured+charged rounds stay within a
+                // generous constant of the paper's predicted bound
+                let bound =
+                    core::theorem25_round_bound(b.node_count(), b.min_left_degree(), b.rank());
+                ctx.check(
+                    "thm25.round-bound",
+                    out.ledger.total() <= 64.0 * bound + 64.0,
+                    || format!("ledger {} vs predicted bound {bound}", out.ledger.total()),
+                );
+                // randomized flavor must charge no more than deterministic
+                // and stay valid
+                let ran = core::theorem25(b, Flavor::Randomized);
+                ctx.check(
+                    "thm25.flavor-differential",
+                    matches!(&ran, Ok((r, _)) if checks::is_weak_splitting(b, &r.colors, 0)
+                        && r.ledger.charged_total() <= out.ledger.charged_total()),
+                    || "randomized flavor failed, invalid, or charged more".into(),
+                );
+            }
+            Err(err) => ctx.check("thm25.applies", false, || {
+                format!("Thm25-tagged instance rejected: {err}")
+            }),
+        }
+    } else {
+        ctx.check(
+            "thm25.negative",
+            matches!(
+                core::theorem25(b, Flavor::Deterministic),
+                Err(SplitError::Precondition { .. })
+            ),
+            || "untagged instance was accepted by Theorem 2.5".into(),
+        );
+    }
+
+    // Zero-round randomized algorithm (same regime as Thm 2.5)
+    if s.has(Regime::ZeroRound) {
+        match core::zero_round_whp(b, s.seed, 32) {
+            Ok(out) => {
+                ctx.check(
+                    "zero-round.valid",
+                    checks::is_weak_splitting(b, &out.colors, 0),
+                    || "zero_round_whp returned an invalid splitting".into(),
+                );
+                ctx.check("zero-round.zero-rounds", out.ledger.total() == 0.0, || {
+                    format!("zero-round ledger is {}", out.ledger.total())
+                });
+                // differential vs the deterministic pipeline on the shared
+                // instance: both engines must certify
+                if s.has(Regime::Thm25) {
+                    let det = core::theorem25(b, Flavor::Deterministic);
+                    ctx.check(
+                        "zero-round.cross-engine",
+                        det.map(|(o, _)| checks::is_weak_splitting(b, &o.colors, 0))
+                            .unwrap_or(false),
+                        || "deterministic engine disagrees on a shared instance".into(),
+                    );
+                }
+            }
+            Err(err) => ctx.check("zero-round.applies", false, || {
+                format!("ZeroRound-tagged instance failed: {err}")
+            }),
+        }
+        let a = core::zero_round_coloring(b, s.seed);
+        let c = core::zero_round_coloring(b, s.seed);
+        ctx.check("zero-round.seed-stable", a.colors == c.colors, || {
+            "same seed produced different zero-round colorings".into()
+        });
+    } else {
+        ctx.check(
+            "zero-round.negative",
+            matches!(
+                core::zero_round_whp(b, s.seed, 4),
+                Err(SplitError::Precondition { .. })
+            ),
+            || "untagged instance was accepted by zero_round_whp".into(),
+        );
+    }
+
+    // Theorem 2.7: the δ ≥ 6r regime, deterministic and randomized
+    if s.has(Regime::Thm27) {
+        for variant in [Variant::Deterministic, Variant::Randomized(s.seed)] {
+            match core::theorem27(b, variant) {
+                Ok(out) => {
+                    ctx.check(
+                        "thm27.valid",
+                        checks::is_weak_splitting(b, &out.colors, 0),
+                        || format!("Theorem 2.7 {variant:?} output invalid"),
+                    );
+                    let replay = core::theorem27(b, variant);
+                    ctx.check(
+                        "thm27.seed-stable",
+                        matches!(&replay, Ok(out2) if out.colors == out2.colors),
+                        || format!("Theorem 2.7 {variant:?} not stable under replay"),
+                    );
+                }
+                Err(err) => ctx.check("thm27.applies", false, || {
+                    format!("Thm27-tagged instance rejected ({variant:?}): {err}")
+                }),
+            }
+        }
+    } else {
+        ctx.check(
+            "thm27.negative",
+            matches!(
+                core::theorem27(b, Variant::Deterministic),
+                Err(SplitError::Precondition { .. })
+            ),
+            || "untagged instance was accepted by Theorem 2.7".into(),
+        );
+    }
+
+    // Theorem 1.2: the randomized shattering window
+    if s.has(Regime::Thm12) {
+        let cfg = Theorem12Config {
+            seed: s.seed,
+            c_constant: s.thm12_constant,
+            ..Theorem12Config::default()
+        };
+        match core::theorem12(b, &cfg) {
+            Ok(out) => {
+                ctx.check(
+                    "thm12.valid",
+                    checks::is_weak_splitting(b, &out.colors, 0),
+                    || "Theorem 1.2 output invalid".into(),
+                );
+                let replay = core::theorem12(b, &cfg);
+                ctx.check(
+                    "thm12.seed-stable",
+                    matches!(&replay, Ok(out2) if out.colors == out2.colors),
+                    || "Theorem 1.2 not stable under identical config".into(),
+                );
+            }
+            Err(err) => ctx.check("thm12.applies", false, || {
+                format!("Thm12-tagged instance failed: {err}")
+            }),
+        }
+    } else {
+        let cfg = Theorem12Config {
+            seed: s.seed,
+            c_constant: s.thm12_constant,
+            ..Theorem12Config::default()
+        };
+        ctx.check(
+            "thm12.negative",
+            matches!(
+                core::theorem12(b, &cfg),
+                Err(SplitError::Precondition { .. })
+            ),
+            || "untagged instance was accepted by Theorem 1.2".into(),
+        );
+    }
+}
+
+// ------------------------------------------------------------ multicolor
+
+fn check_multicolor(ctx: &mut Ctx<'_>) {
+    let s = ctx.scenario;
+    let b = &s.bipartite;
+    let n = b.node_count();
+
+    // Definition 1.3 (C-weak multicolor): certified only in its regime
+    if s.has(Regime::Multicolor) {
+        let threshold = weak_multicolor_degree_threshold(n);
+        let required = weak_multicolor_required_colors(n);
+        let rand_out = core::weak_multicolor_random(b, s.seed);
+        ctx.check(
+            "weak-multicolor.random-valid",
+            checks::is_weak_multicolor_splitting(b, &rand_out.colors, threshold, required),
+            || "randomized Def 1.3 coloring invalid in its certified regime".into(),
+        );
+        match core::weak_multicolor_deterministic(b) {
+            Ok(det) => {
+                ctx.check(
+                    "weak-multicolor.det-valid",
+                    checks::is_weak_multicolor_splitting(b, &det.colors, threshold, required),
+                    || "deterministic Def 1.3 coloring invalid".into(),
+                );
+                ctx.check(
+                    "weak-multicolor.palette",
+                    det.palette as usize == required,
+                    || format!("palette {} vs required {required}", det.palette),
+                );
+                // differential: the compiled LOCAL engine and the SLOCAL
+                // engine are the same greedy pass — bit-identical colors
+                match core::weak_multicolor_slocal(b) {
+                    Ok(sl) => ctx.check(
+                        "weak-multicolor.local-vs-slocal",
+                        sl.colors == det.colors,
+                        || "compiled and SLOCAL engines diverge on shared instance".into(),
+                    ),
+                    Err(err) => ctx.check("weak-multicolor.local-vs-slocal", false, || {
+                        format!("SLOCAL engine failed where compiled succeeded: {err}")
+                    }),
+                }
+            }
+            Err(err) => ctx.check("weak-multicolor.det-applies", false, || {
+                format!("Multicolor-tagged instance rejected: {err}")
+            }),
+        }
+    }
+
+    // Definition 1.2 ((C, λ)-multicolor): runs everywhere; the Chernoff
+    // certificate may legitimately decline small-degree instances, but an
+    // accepted run must be valid, within palette, and replayable
+    let (c_bound, lambda) = (6u32, 0.6f64);
+    let palette = core::theorem33_palette(c_bound, lambda);
+    ctx.check("multicolor.palette-bound", palette <= c_bound, || {
+        format!("palette {palette} exceeds C = {c_bound}")
+    });
+    let rand_out = core::multicolor_splitting_random(b, c_bound, lambda, s.seed);
+    ctx.check(
+        "multicolor.random-in-palette",
+        rand_out.colors.iter().all(|&x| x < rand_out.palette),
+        || "randomized (C, λ) coloring used a color outside its palette".into(),
+    );
+    let replay = core::multicolor_splitting_random(b, c_bound, lambda, s.seed);
+    ctx.check(
+        "multicolor.random-seed-stable",
+        rand_out.colors == replay.colors,
+        || "same seed produced different (C, λ) colorings".into(),
+    );
+    match core::multicolor_splitting_deterministic(b, c_bound, lambda) {
+        Ok(det) => {
+            ctx.check(
+                "multicolor.det-valid",
+                checks::is_multicolor_splitting(b, &det.colors, det.palette, lambda, 0),
+                || "accepted deterministic (C, λ) coloring is invalid".into(),
+            );
+            let det2 = core::multicolor_splitting_deterministic(b, c_bound, lambda);
+            ctx.check(
+                "multicolor.det-bit-deterministic",
+                matches!(&det2, Ok(d2) if det.colors == d2.colors),
+                || "deterministic (C, λ) engine not replay-stable".into(),
+            );
+        }
+        Err(err) => {
+            // EstimatorTooLarge is the honest answer outside the certified
+            // regime; in the Def 1.3 regime (huge degrees) it must succeed
+            ctx.check(
+                "multicolor.det-declines-honestly",
+                matches!(err, SplitError::EstimatorTooLarge { .. }) && !s.has(Regime::Multicolor),
+                || format!("deterministic (C, λ) run failed with {err}"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------- degree-split
+
+fn check_degree_split(ctx: &mut Ctx<'_>) {
+    let s = ctx.scenario;
+    if !s.has(Regime::DegreeSplit) {
+        return;
+    }
+    let g = s.multigraph();
+    let n = g.node_count();
+    let eps = 0.25;
+    let mut oracle_reference: Option<Vec<bool>> = None;
+    for engine in [Engine::EulerianOracle, Engine::Walk] {
+        for flavor in [Flavor::Deterministic, Flavor::Randomized] {
+            let splitter = DegreeSplitter::new(eps, engine, flavor);
+            let r = splitter.split(&g, n);
+            let tag = format!("{engine:?}/{flavor:?}");
+            ctx.check(
+                "degree-split.covers-edges",
+                r.orientation.edge_count() == g.edge_count(),
+                || {
+                    format!(
+                        "{tag}: oriented {} of {} edges",
+                        r.orientation.edge_count(),
+                        g.edge_count()
+                    )
+                },
+            );
+            let r2 = splitter.split(&g, n);
+            let bits = |o: &splitgraph::Orientation| -> Vec<bool> {
+                (0..o.edge_count())
+                    .map(|e| o.is_towards_second(e))
+                    .collect()
+            };
+            ctx.check(
+                "degree-split.replay-stable",
+                bits(&r.orientation) == bits(&r2.orientation),
+                || format!("{tag}: identical splits disagree"),
+            );
+            match engine {
+                Engine::EulerianOracle => {
+                    // the reference engine: Theorem 2.3 contract, in fact
+                    // discrepancy ≤ parity, rounds charged not measured
+                    ctx.check(
+                        "degree-split.oracle-contract",
+                        splitter.contract_violations(&g, &r.orientation).is_empty(),
+                        || format!("{tag}: ε·d + 2 contract violated"),
+                    );
+                    let parity_ok =
+                        (0..n).all(|v| r.orientation.discrepancy(&g, v) <= g.degree(v) % 2 + 1);
+                    ctx.check("degree-split.oracle-parity", parity_ok, || {
+                        format!("{tag}: discrepancy above the Eulerian parity bound")
+                    });
+                    ctx.check(
+                        "degree-split.oracle-charged",
+                        r.ledger.measured_total() == 0.0
+                            && (g.edge_count() == 0 || r.ledger.charged_total() > 0.0),
+                        || format!("{tag}: oracle rounds must be charged, not measured"),
+                    );
+                    // flavor must not change the orientation, only the charge
+                    match &oracle_reference {
+                        None => oracle_reference = Some(bits(&r.orientation)),
+                        Some(reference) => ctx.check(
+                            "degree-split.flavor-invariant",
+                            *reference == bits(&r.orientation),
+                            || "charged flavor changed the oracle's orientation".into(),
+                        ),
+                    }
+                }
+                Engine::Walk => {
+                    // measured engine: cuts can concentrate on one node of
+                    // an irregular multigraph (per-node bounds degenerate
+                    // to d + 1 there), so the ε·d + 2 contract is asserted
+                    // in aggregate — its documented strength
+                    let total: f64 = (0..n)
+                        .map(|v| r.orientation.discrepancy(&g, v) as f64)
+                        .sum();
+                    let budget: f64 = (0..n).map(|v| eps * g.degree(v) as f64 + 2.0).sum();
+                    ctx.check("degree-split.walk-aggregate", total <= budget, || {
+                        format!("{tag}: total discrepancy {total} above Σ(ε·d + 2) = {budget}")
+                    });
+                    ctx.check(
+                        "degree-split.walk-measured",
+                        r.ledger.charged_total() == 0.0
+                            && (g.edge_count() == 0 || r.ledger.measured_total() > 0.0),
+                        || format!("{tag}: walk rounds must be measured, not charged"),
+                    );
+                }
+            }
+        }
+    }
+    // charged-formula differential: the randomized Theorem 2.3 flavor is
+    // never more expensive than the deterministic one
+    let det = DegreeSplitter::new(eps, Engine::EulerianOracle, Flavor::Deterministic).split(&g, n);
+    let ran = DegreeSplitter::new(eps, Engine::EulerianOracle, Flavor::Randomized).split(&g, n);
+    ctx.check(
+        "degree-split.flavor-charge-order",
+        ran.ledger.charged_total() <= det.ledger.charged_total(),
+        || {
+            format!(
+                "randomized charge {} > deterministic {}",
+                ran.ledger.charged_total(),
+                det.ledger.charged_total()
+            )
+        },
+    );
+}
+
+// ------------------------------------------------------------ reductions
+
+fn check_reductions(ctx: &mut Ctx<'_>) {
+    let s = ctx.scenario;
+    let g = s.host_graph();
+    let n = g.node_count();
+    if n == 0 || g.edge_count() == 0 {
+        return;
+    }
+
+    // uniform splitting (Section 4.1) at the feasible accuracy for the
+    // max-degree floor; the Chernoff certificate only covers hosts dense
+    // enough that the unclamped ε stays ≤ 1/2 (the Uniform regime tag).
+    // The cap admits every registered host, full tier included (the
+    // largest, K_{80,640}, flattens to 51,200 edges).
+    if g.max_degree() >= 4 && g.edge_count() <= 64_000 {
+        let dmax = g.max_degree();
+        let eps = red::feasible_eps(n, dmax);
+        // randomized: one coin per node; the union bound leaves ≥ 1/2
+        // success probability per seed, so 16 seeds fail with p ≤ 2⁻¹⁶
+        let las_vegas = (0..16).any(|i| {
+            let sides = red::uniform_splitting_random(&g, s.seed.wrapping_add(i));
+            checks::is_uniform_splitting(&g, &sides, eps, dmax)
+        });
+        ctx.check("uniform.random-las-vegas", las_vegas, || {
+            format!("no valid uniform splitting in 16 seeds at eps = {eps:.3}")
+        });
+        let a = red::uniform_splitting_random(&g, s.seed);
+        let b2 = red::uniform_splitting_random(&g, s.seed);
+        ctx.check("uniform.random-seed-stable", a == b2, || {
+            "same seed produced different uniform splittings".into()
+        });
+        match red::uniform_splitting_deterministic(&g, eps, dmax) {
+            Ok(out) => {
+                ctx.check(
+                    "uniform.det-valid",
+                    checks::is_uniform_splitting(&g, &out.colors, eps, dmax),
+                    || format!("deterministic uniform splitting invalid at eps = {eps:.3}"),
+                );
+                let replay = red::uniform_splitting_deterministic(&g, eps, dmax);
+                ctx.check(
+                    "uniform.det-bit-deterministic",
+                    matches!(&replay, Ok(out2) if out.colors == out2.colors),
+                    || "deterministic uniform splitting not replay-stable".into(),
+                );
+            }
+            Err(err) => ctx.check(
+                "uniform.det-declines-honestly",
+                matches!(err, SplitError::EstimatorTooLarge { .. }) && !s.has(Regime::Uniform),
+                || format!("deterministic uniform splitting failed: {err}"),
+            ),
+        }
+    }
+
+    // the Section 4 reduction pipelines on small/medium hosts
+    if g.edge_count() <= 3_000 && g.max_degree() >= 2 {
+        let base = 4 * (splitgraph::math::log2(n.max(2)).ceil() as usize);
+        match red::delta_coloring_via_splitting(&g, base, Some(0.35)) {
+            Ok((colors, report, _)) => {
+                ctx.check(
+                    "coloring.proper",
+                    checks::is_proper_coloring(&g, &colors),
+                    || "Δ-coloring reduction produced an improper coloring".into(),
+                );
+                ctx.check(
+                    "coloring.palette",
+                    colors.iter().all(|&c| c < report.palette.max(1)),
+                    || "coloring uses colors outside the reported palette".into(),
+                );
+            }
+            Err(err) => ctx.check("coloring.applies", false, || {
+                format!("Δ-coloring reduction failed: {err}")
+            }),
+        }
+        let (in_set, _, _) = red::mis_via_splitting(&g, base, s.seed);
+        ctx.check("mis.valid", checks::is_mis(&g, &in_set), || {
+            "MIS reduction output is not a maximal independent set".into()
+        });
+        // differential: both edge-splitting engines on the shared host
+        for engine in [red::EdgeSplitEngine::Eulerian, red::EdgeSplitEngine::Walk] {
+            match red::edge_coloring_via_splitting(&g, 8, engine) {
+                Ok((colors, _, _)) => ctx.check(
+                    "edge-coloring.proper",
+                    checks::is_proper_edge_coloring(&g, &colors),
+                    || format!("{engine:?} edge coloring is improper"),
+                ),
+                Err(err) => ctx.check("edge-coloring.applies", false, || {
+                    format!("{engine:?} edge coloring failed: {err}")
+                }),
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- metamorphic
+
+/// Applies a right-side relabeling to a bipartite instance.
+fn relabel_right(b: &BipartiteGraph, perm: &[usize]) -> BipartiteGraph {
+    let edges: Vec<(usize, usize)> = b.edges().map(|(u, v)| (u, perm[v])).collect();
+    BipartiteGraph::from_edges_bulk(b.left_count(), b.right_count(), &edges)
+        .expect("relabeling preserves simplicity")
+}
+
+fn check_metamorphic(ctx: &mut Ctx<'_>) {
+    let s = ctx.scenario;
+    let b = &s.bipartite;
+    if !s.weak_pipeline_expected() {
+        // negative instances stay negative under relabeling
+        let mut rng = StdRng::seed_from_u64(s.seed ^ 0x5EED_5EED);
+        let mut perm: Vec<usize> = (0..b.right_count()).collect();
+        perm.shuffle(&mut rng);
+        let relabeled = relabel_right(b, &perm);
+        let solver = WeakSplittingSolver {
+            seed: s.seed,
+            thm12_constant: s.thm12_constant,
+            ..Default::default()
+        };
+        ctx.check(
+            "metamorphic.negative-relabel",
+            solver.plan(&relabeled).is_none(),
+            || "relabeling changed an uncovered instance into a covered one".into(),
+        );
+        return;
+    }
+
+    let solver = WeakSplittingSolver {
+        seed: s.seed,
+        thm12_constant: s.thm12_constant,
+        ..Default::default()
+    };
+    let Ok((out, _)) = solver.solve(b) else {
+        ctx.check("metamorphic.base-solve", false, || {
+            "positive instance failed to solve".into()
+        });
+        return;
+    };
+
+    // Red ↔ Blue swap symmetry: weak splitting is color-symmetric
+    let flipped: Vec<Color> = out.colors.iter().map(|c| c.flipped()).collect();
+    ctx.check(
+        "metamorphic.color-swap",
+        checks::is_weak_splitting(b, &flipped, 0),
+        || "flipping Red↔Blue broke a valid weak splitting".into(),
+    );
+
+    // node-relabeling equivariance: a permuted instance is still solvable,
+    // and transporting the original solution along the permutation keeps
+    // it valid on the permuted instance
+    let mut rng = StdRng::seed_from_u64(s.seed ^ 0x5EED_5EED);
+    let mut perm: Vec<usize> = (0..b.right_count()).collect();
+    perm.shuffle(&mut rng);
+    let relabeled = relabel_right(b, &perm);
+    match solver.solve(&relabeled) {
+        Ok((rout, _)) => ctx.check(
+            "metamorphic.relabel-solvable",
+            checks::is_weak_splitting(&relabeled, &rout.colors, 0),
+            || "solver output on the relabeled instance is invalid".into(),
+        ),
+        Err(err) => ctx.check("metamorphic.relabel-solvable", false, || {
+            format!("relabeled instance rejected: {err}")
+        }),
+    }
+    let mut transported = out.colors.clone();
+    for (v, &c) in out.colors.iter().enumerate() {
+        transported[perm[v]] = c;
+    }
+    ctx.check(
+        "metamorphic.relabel-transport",
+        checks::is_weak_splitting(&relabeled, &transported, 0),
+        || "transported solution invalid on the relabeled instance".into(),
+    );
+
+    // disjoint-union composition (bounded to keep the cell cheap):
+    // solving the union solves each part, and gluing part solutions
+    // solves the union
+    if b.edge_count() <= 10_000 {
+        let union = splitgraph::generators::bipartite_disjoint_union(&[b, b]);
+        if solver.plan(&union).is_some() {
+            match solver.solve(&union) {
+                Ok((uout, _)) => {
+                    let first: Vec<Color> = uout.colors[..b.right_count()].to_vec();
+                    let second: Vec<Color> = uout.colors[b.right_count()..].to_vec();
+                    ctx.check(
+                        "metamorphic.union-restricts",
+                        checks::is_weak_splitting(b, &first, 0)
+                            && checks::is_weak_splitting(b, &second, 0),
+                        || "union solution does not restrict to the parts".into(),
+                    );
+                }
+                Err(err) => ctx.check("metamorphic.union-solvable", false, || {
+                    format!("self-union of a covered instance rejected: {err}")
+                }),
+            }
+            let mut glued = out.colors.clone();
+            glued.extend(out.colors.iter().copied());
+            ctx.check(
+                "metamorphic.parts-compose",
+                checks::is_weak_splitting(&union, &glued, 0),
+                || "gluing two valid part solutions broke the union".into(),
+            );
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Conformance runner: drives the scenario corpus over every entrypoint
+//! group, prints the family × group matrix, and writes the failure-replay
+//! ledger. Exits non-zero when any check fails.
+//!
+//! Usage: `conformance [--quick | --full] [--ledger PATH]`
+
+use conformance::{render_matrix, repro_line, run_corpus, write_ledger, Tier};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tier = if args.iter().any(|a| a == "--full") {
+        Tier::Full
+    } else {
+        Tier::Quick
+    };
+    let ledger_path: PathBuf = args
+        .iter()
+        .position(|a| a == "--ledger")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("conformance-ledger.txt"));
+
+    let label = match tier {
+        Tier::Quick => "quick",
+        Tier::Full => "full",
+    };
+    eprintln!("conformance: running the {label} tier…");
+    let start = std::time::Instant::now();
+    let report = run_corpus(tier);
+    let elapsed = start.elapsed();
+
+    print!("{}", render_matrix(&report));
+    println!(
+        "\n{} scenarios × {} groups, {} checks in {elapsed:.1?}",
+        report.scenarios.len(),
+        conformance::Group::ALL.len(),
+        report.total_checks(),
+    );
+
+    if let Err(err) = write_ledger(&ledger_path, &report) {
+        eprintln!(
+            "conformance: could not write ledger {}: {err}",
+            ledger_path.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let failures = report.failures();
+    if failures.is_empty() {
+        println!("conformance: GREEN (ledger at {})", ledger_path.display());
+        ExitCode::SUCCESS
+    } else {
+        println!("conformance: {} FAILURES", failures.len());
+        for f in &failures {
+            println!("{}", repro_line(f));
+        }
+        println!("ledger written to {}", ledger_path.display());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,114 @@
+//! Human-readable conformance matrix: scenario families × entrypoint
+//! groups, with per-cell check/failure counts.
+
+use crate::harness::{ConformanceReport, Group};
+
+/// One matrix row: a scenario plus its per-group `(checks, failures)`.
+#[derive(Debug, Clone)]
+pub struct MatrixRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Regime tags, pre-rendered.
+    pub regimes: String,
+    /// Cells in [`Group::ALL`] order: `(checks, failures)`.
+    pub cells: Vec<(usize, usize)>,
+}
+
+/// Flattens a report into matrix rows (one per scenario, corpus order).
+pub fn matrix(report: &ConformanceReport) -> Vec<MatrixRow> {
+    report
+        .scenarios
+        .iter()
+        .map(|s| {
+            let cells = Group::ALL
+                .iter()
+                .map(|&g| {
+                    s.cells
+                        .iter()
+                        .find(|c| c.group == g)
+                        .map(|c| (c.checks, c.failures.len()))
+                        .unwrap_or((0, 0))
+                })
+                .collect();
+            MatrixRow {
+                scenario: s.scenario.clone(),
+                regimes: s
+                    .regimes
+                    .iter()
+                    .map(|r| r.name())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                cells,
+            }
+        })
+        .collect()
+}
+
+/// Renders the matrix as an aligned text table. Cells show `✓n` (n checks
+/// passed), `✗k/n` (k of n failed), or `-` (group not applicable).
+pub fn render_matrix(report: &ConformanceReport) -> String {
+    let rows = matrix(report);
+    let mut header: Vec<String> = vec!["scenario".into()];
+    header.extend(Group::ALL.iter().map(|g| g.name().to_string()));
+    header.push("regimes".into());
+    let mut body: Vec<Vec<String>> = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let mut cols = vec![row.scenario.clone()];
+        for &(checks, fails) in &row.cells {
+            cols.push(match (checks, fails) {
+                (0, _) => "-".into(),
+                (n, 0) => format!("✓{n}"),
+                (n, k) => format!("✗{k}/{n}"),
+            });
+        }
+        cols.push(row.regimes.clone());
+        body.push(cols);
+    }
+    let widths: Vec<usize> = (0..header.len())
+        .map(|i| {
+            body.iter()
+                .map(|r| r[i].chars().count())
+                .chain(std::iter::once(header[i].chars().count()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let render_row = |cols: &[String]| -> String {
+        cols.iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<width$}", width = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = render_row(&header);
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for cols in &body {
+        out.push_str(&render_row(cols));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_scenario;
+    use crate::scenario::{corpus, Tier};
+
+    #[test]
+    fn matrix_has_one_row_per_scenario_and_all_groups() {
+        let scenarios = corpus(Tier::Quick);
+        let report = ConformanceReport {
+            tier: Tier::Quick,
+            scenarios: vec![run_scenario(&scenarios[0], &[Group::Solver])],
+        };
+        let rows = matrix(&report);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].cells.len(), Group::ALL.len());
+        let rendered = render_matrix(&report);
+        assert!(rendered.contains("solver"));
+        assert!(rendered.contains(&scenarios[0].name));
+    }
+}

@@ -1,0 +1,54 @@
+//! The quick conformance tier as a test: every (scenario, group) cell of
+//! the quick corpus must be green, with coverage floors on families,
+//! groups, and regimes. On failure the assertion message contains the
+//! one-line repros.
+
+use conformance::{repro_line, run_corpus, Group, Regime, Tier, FAMILY_COUNT};
+use std::collections::BTreeSet;
+
+#[test]
+fn quick_tier_is_green() {
+    let report = run_corpus(Tier::Quick);
+    let failures = report.failures();
+    assert!(
+        failures.is_empty(),
+        "{} conformance failures:\n{}",
+        failures.len(),
+        failures
+            .iter()
+            .map(|f| repro_line(f))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // coverage floors from the acceptance criteria: ≥ 12 scenario
+    // families × ≥ 6 entrypoint groups, every regime exercised
+    const {
+        assert!(FAMILY_COUNT >= 12);
+        assert!(Group::ALL.len() >= 6);
+    }
+    let families: BTreeSet<&str> = report.scenarios.iter().map(|s| s.family).collect();
+    assert!(families.len() >= 12, "families: {families:?}");
+    for group in Group::ALL {
+        let driven = report
+            .scenarios
+            .iter()
+            .flat_map(|s| &s.cells)
+            .filter(|c| c.group == group)
+            .map(|c| c.checks)
+            .sum::<usize>();
+        assert!(driven > 0, "group {} never ran a check", group.name());
+    }
+    let exercised: BTreeSet<&str> = report
+        .scenarios
+        .iter()
+        .flat_map(|s| &s.regimes)
+        .map(|r| r.name())
+        .collect();
+    for regime in Regime::ALL {
+        assert!(
+            exercised.contains(regime.name()),
+            "regime {} not exercised by the quick corpus",
+            regime.name()
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Failure replay entrypoint: `CONFORMANCE_REPLAY='scenario:group'` re-runs
+//! exactly the cell a ledger line names (the scenario is rebuilt from its
+//! registry seed). Without the variable, a smoke selector keeps the replay
+//! path itself under test.
+
+use conformance::{repro_line, Selector, Tier, REPLAY_ENV};
+
+#[test]
+fn replay_selected_cell() {
+    let raw = std::env::var(REPLAY_ENV).unwrap_or_default();
+    let (selector, from_env) = if raw.trim().is_empty() {
+        // smoke default: a cheap scenario across all groups
+        (
+            Selector::parse("torus-incidence/6x6#1").expect("smoke selector parses"),
+            false,
+        )
+    } else {
+        // a set-but-unparseable selector is a typo, not a smoke request —
+        // fail loudly instead of silently replaying the wrong cell
+        let sel = Selector::parse(&raw).unwrap_or_else(|| {
+            panic!(
+                "{REPLAY_ENV}='{raw}' does not parse; expected 'scenario[:group]' \
+                 with group one of {:?}",
+                conformance::Group::ALL.map(|g| g.name())
+            )
+        });
+        (sel, true)
+    };
+    // ledger lines name quick-tier scenarios; full-tier-only scenarios
+    // (extra seeds) are found in the full corpus
+    let cells = conformance::replay::replay(Tier::Quick, &selector)
+        .or_else(|| conformance::replay::replay(Tier::Full, &selector))
+        .unwrap_or_else(|| {
+            panic!(
+                "{REPLAY_ENV}='{}' does not name a registered scenario",
+                selector.scenario
+            )
+        });
+    let checks: usize = cells.iter().map(|c| c.checks).sum();
+    let failures: Vec<String> = cells
+        .iter()
+        .flat_map(|c| &c.failures)
+        .map(repro_line)
+        .collect();
+    println!(
+        "replayed {} ({} cells, {checks} checks, {} failures){}",
+        selector.scenario,
+        cells.len(),
+        failures.len(),
+        if from_env { "" } else { " [smoke default]" }
+    );
+    for line in &failures {
+        println!("{line}");
+    }
+    assert!(
+        failures.is_empty(),
+        "replayed cell still failing:\n{}",
+        failures.join("\n")
+    );
+}

@@ -340,6 +340,200 @@ pub fn is_uniform_splitting(g: &Graph, sides: &[Color], eps: f64, min_degree: us
     uniform_splitting_violations(g, sides, eps, min_degree).is_empty()
 }
 
+/// Checker-check property tests: the certifiers themselves are validated
+/// against permutation equivariance (relabeling nodes relabels the reported
+/// violations and nothing else) and planted-violation completeness (a
+/// deliberately broken solution is always reported). Everything downstream
+/// — unit tests, the conformance harness, the experiments — trusts these
+/// functions as ground truth, so they get their own adversarial tests.
+#[cfg(test)]
+mod checker_checks {
+    use super::*;
+    use crate::generators;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{RngExt, SeedableRng};
+
+    /// A random instance, a random (mostly broken) coloring, and relabeling
+    /// permutations for both sides, all derived from one seed.
+    fn setup(seed: u64) -> (BipartiteGraph, Vec<Color>, Vec<usize>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nl = rng.random_range(2usize..12);
+        let nr = rng.random_range(2usize..20);
+        let b = generators::erdos_renyi_bipartite(nl, nr, 0.4, &mut rng);
+        let colors: Vec<Color> = (0..nr)
+            .map(|_| Color::from_bool(rng.random_bool(0.5)))
+            .collect();
+        let mut left_perm: Vec<usize> = (0..nl).collect();
+        let mut right_perm: Vec<usize> = (0..nr).collect();
+        left_perm.shuffle(&mut rng);
+        right_perm.shuffle(&mut rng);
+        (b, colors, left_perm, right_perm)
+    }
+
+    /// Applies `(left_perm, right_perm)` to a bipartite graph: node `u`
+    /// becomes `left_perm[u]`, node `v` becomes `right_perm[v]`.
+    fn permuted(b: &BipartiteGraph, left_perm: &[usize], right_perm: &[usize]) -> BipartiteGraph {
+        let edges: Vec<(usize, usize)> = b
+            .edges()
+            .map(|(u, v)| (left_perm[u], right_perm[v]))
+            .collect();
+        BipartiteGraph::from_edges_bulk(b.left_count(), b.right_count(), &edges)
+            .expect("permutation preserves simplicity")
+    }
+
+    fn permuted_colors<T: Copy>(colors: &[T], perm: &[usize]) -> Vec<T> {
+        let mut out = colors.to_vec();
+        for (v, &c) in colors.iter().enumerate() {
+            out[perm[v]] = c;
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn weak_splitting_checker_is_permutation_equivariant(seed in 0u64..10_000) {
+            let (b, colors, left_perm, right_perm) = setup(seed);
+            let bp = permuted(&b, &left_perm, &right_perm);
+            let cp = permuted_colors(&colors, &right_perm);
+            for min_degree in [0, 2] {
+                let mut expected: Vec<usize> = weak_splitting_violations(&b, &colors, min_degree)
+                    .into_iter()
+                    .map(|u| left_perm[u])
+                    .collect();
+                expected.sort_unstable();
+                let mut got = weak_splitting_violations(&bp, &cp, min_degree);
+                got.sort_unstable();
+                prop_assert_eq!(got, expected);
+            }
+        }
+
+        #[test]
+        fn multicolor_checker_is_permutation_equivariant(seed in 0u64..10_000) {
+            let (b, _, left_perm, right_perm) = setup(seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC01);
+            let palette = 3u32;
+            let colors: Vec<MultiColor> = (0..b.right_count())
+                .map(|_| rng.random_range(0..palette))
+                .collect();
+            let bp = permuted(&b, &left_perm, &right_perm);
+            let cp = permuted_colors(&colors, &right_perm);
+            let mut expected: Vec<(usize, MultiColor, usize)> =
+                multicolor_splitting_violations(&b, &colors, palette, 0.4, 0)
+                    .into_iter()
+                    .map(|(u, x, c)| (left_perm[u], x, c))
+                    .collect();
+            expected.sort_unstable();
+            let mut got = multicolor_splitting_violations(&bp, &cp, palette, 0.4, 0);
+            got.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn uniform_checker_is_permutation_equivariant(seed in 0u64..10_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.random_range(3usize..24);
+            let g = generators::erdos_renyi(n, 0.35, &mut rng);
+            let sides: Vec<Color> = (0..n)
+                .map(|_| Color::from_bool(rng.random_bool(0.5)))
+                .collect();
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            let edges: Vec<(usize, usize)> =
+                g.edges().map(|(u, v)| (perm[u], perm[v])).collect();
+            let gp = Graph::from_edges_bulk(n, &edges).expect("permuted simple graph");
+            let sp = permuted_colors(&sides, &perm);
+            let mut expected: Vec<(usize, usize, usize)> =
+                uniform_splitting_violations(&g, &sides, 0.2, 1)
+                    .into_iter()
+                    .map(|(v, r, bl)| (perm[v], r, bl))
+                    .collect();
+            expected.sort_unstable();
+            let mut got = uniform_splitting_violations(&gp, &sp, 0.2, 1);
+            got.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn planted_weak_violation_is_always_reported(seed in 0u64..10_000) {
+            let (b, mut colors, _, _) = setup(seed);
+            let Some(u) = (0..b.left_count()).find(|&u| b.left_degree(u) >= 1) else {
+                return;
+            };
+            // blind constraint u: all its variables red
+            for &v in b.left_neighbors(u) {
+                colors[v] = Color::Red;
+            }
+            prop_assert!(weak_splitting_violations(&b, &colors, 0).contains(&u));
+            prop_assert!(!is_weak_splitting(&b, &colors, 0));
+        }
+
+        #[test]
+        fn planted_multicolor_overload_is_always_reported(seed in 0u64..10_000) {
+            let (b, _, _, _) = setup(seed);
+            let Some(u) = (0..b.left_count()).find(|&u| b.left_degree(u) >= 3) else {
+                return;
+            };
+            let mut colors: Vec<MultiColor> = vec![1; b.right_count()];
+            // overload color 0 at u: all deg(u) neighbors, cap is ⌈0.4·deg⌉ < deg
+            for &v in b.left_neighbors(u) {
+                colors[v] = 0;
+            }
+            let d = b.left_degree(u);
+            let violations = multicolor_splitting_violations(&b, &colors, 2, 0.4, 0);
+            prop_assert!(violations.contains(&(u, 0, d)), "missing ({}, 0, {}) in {:?}", u, d, violations);
+        }
+
+        #[test]
+        fn planted_uniform_violation_is_always_reported(seed in 0u64..10_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.random_range(3usize..24);
+            let g = generators::erdos_renyi(n, 0.4, &mut rng);
+            let Some(v) = (0..n).find(|&v| g.degree(v) >= 1) else {
+                return;
+            };
+            let mut sides: Vec<Color> = (0..n)
+                .map(|_| Color::from_bool(rng.random_bool(0.5)))
+                .collect();
+            // starve v of blue neighbors entirely
+            for &w in g.neighbors(v) {
+                sides[w] = Color::Red;
+            }
+            let violations = uniform_splitting_violations(&g, &sides, 0.25, 1);
+            prop_assert!(violations.iter().any(|&(x, _, blue)| x == v && blue == 0));
+        }
+
+        #[test]
+        fn planted_sink_is_always_reported(seed in 0u64..10_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.random_range(3usize..24);
+            let g = generators::erdos_renyi(n, 0.4, &mut rng);
+            let Some(v) = (0..n).find(|&v| g.degree(v) >= 1) else {
+                return;
+            };
+            // orient every incident edge into v, the rest arbitrarily
+            let forward: Vec<bool> = g
+                .edges()
+                .map(|(a, b2)| {
+                    if b2 == v {
+                        true
+                    } else if a == v {
+                        false
+                    } else {
+                        rng.random_bool(0.5)
+                    }
+                })
+                .collect();
+            let o = GraphOrientation { forward };
+            prop_assert!(sink_violations(&g, &o, 0).contains(&v));
+            prop_assert!(!is_sinkless(&g, &o, 0));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

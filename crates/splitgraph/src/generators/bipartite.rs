@@ -139,6 +139,126 @@ pub fn erdos_renyi_bipartite<R: Rng + ?Sized>(
     b
 }
 
+/// Chung–Lu-style power-law bipartite graph: each left (constraint) node
+/// draws its degree from the truncated power law
+/// `P(deg = k) ∝ k^{-exponent}` on `min_degree..=max_degree`, then picks
+/// that many distinct right neighbors uniformly at random. The heavy tail
+/// concentrates edges on a few constraints — the regime where weak
+/// splitting's degree thresholds and rank bounds diverge the most across a
+/// single instance.
+///
+/// # Errors
+///
+/// Returns an error if `max_degree > right_count`, `min_degree == 0`, or
+/// `min_degree > max_degree`.
+pub fn power_law_bipartite<R: Rng + ?Sized>(
+    left_count: usize,
+    right_count: usize,
+    exponent: f64,
+    min_degree: usize,
+    max_degree: usize,
+    rng: &mut R,
+) -> Result<BipartiteGraph, GraphError> {
+    if min_degree == 0 || min_degree > max_degree {
+        return Err(GraphError::InfeasibleDegrees {
+            reason: format!("power-law degree range [{min_degree}, {max_degree}] is empty or zero"),
+        });
+    }
+    if max_degree > right_count {
+        return Err(GraphError::InfeasibleDegrees {
+            reason: format!("max degree {max_degree} exceeds right side size {right_count}"),
+        });
+    }
+    // inverse-CDF table over the truncated support
+    let weights: Vec<f64> = (min_degree..=max_degree)
+        .map(|k| (k as f64).powf(-exponent))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut b = BipartiteGraph::new(left_count, right_count);
+    let mut pool: Vec<usize> = (0..right_count).collect();
+    for u in 0..left_count {
+        let coin: f64 = rng.random::<f64>() * total;
+        let mut acc = 0.0;
+        let mut degree = max_degree;
+        for (i, w) in weights.iter().enumerate() {
+            acc += w;
+            if coin < acc {
+                degree = min_degree + i;
+                break;
+            }
+        }
+        for i in 0..degree {
+            let j = rng.random_range(i..right_count);
+            pool.swap(i, j);
+            b.add_edge(u, pool[i])
+                .expect("distinct draws give fresh edges");
+        }
+    }
+    Ok(b)
+}
+
+/// Two-tier skewed bipartite graph: `heavy_count` constraints of degree
+/// `heavy_degree` plus `light_count` constraints of degree `light_degree`,
+/// each picking distinct right neighbors uniformly at random. `δ` comes
+/// from one tier and `Δ` from the other, so degree-uniformization and the
+/// `δ ≥ 6r` dispatch see maximal spread.
+///
+/// # Errors
+///
+/// Returns an error if either tier's degree exceeds `right_count`.
+pub fn skewed_bipartite<R: Rng + ?Sized>(
+    heavy_count: usize,
+    heavy_degree: usize,
+    light_count: usize,
+    light_degree: usize,
+    right_count: usize,
+    rng: &mut R,
+) -> Result<BipartiteGraph, GraphError> {
+    let max_degree = heavy_degree.max(light_degree);
+    if max_degree > right_count {
+        return Err(GraphError::InfeasibleDegrees {
+            reason: format!("tier degree {max_degree} exceeds right side size {right_count}"),
+        });
+    }
+    let left_count = heavy_count + light_count;
+    let mut b = BipartiteGraph::new(left_count, right_count);
+    let mut pool: Vec<usize> = (0..right_count).collect();
+    for u in 0..left_count {
+        let degree = if u < heavy_count {
+            heavy_degree
+        } else {
+            light_degree
+        };
+        for i in 0..degree {
+            let j = rng.random_range(i..right_count);
+            pool.swap(i, j);
+            b.add_edge(u, pool[i])
+                .expect("distinct draws give fresh edges");
+        }
+    }
+    Ok(b)
+}
+
+/// Disjoint union of bipartite instances: part `i`'s left nodes are offset
+/// by the preceding parts' left counts, its right nodes by the preceding
+/// right counts. `δ`, `Δ`, and the rank of the union are the min/max over
+/// the parts — the composition the metamorphic conformance checks exploit
+/// (a splitting of the union restricts to one of every part and vice
+/// versa).
+pub fn bipartite_disjoint_union(parts: &[&BipartiteGraph]) -> BipartiteGraph {
+    let left_count: usize = parts.iter().map(|p| p.left_count()).sum();
+    let right_count: usize = parts.iter().map(|p| p.right_count()).sum();
+    let mut edges = Vec::with_capacity(parts.iter().map(|p| p.edge_count()).sum());
+    let (mut left_off, mut right_off) = (0usize, 0usize);
+    for p in parts {
+        edges.extend(p.edges().map(|(u, v)| (u + left_off, v + right_off)));
+        left_off += p.left_count();
+        right_off += p.right_count();
+    }
+    BipartiteGraph::from_edges_bulk(left_count, right_count, &edges)
+        .expect("offset parts keep edges disjoint and in range")
+}
+
 /// The complete bipartite graph `K_{left,right}`.
 pub fn complete_bipartite(left_count: usize, right_count: usize) -> BipartiteGraph {
     let mut b = BipartiteGraph::new(left_count, right_count);
@@ -212,7 +332,85 @@ mod tests {
     fn er_bipartite_extremes() {
         let mut rng = StdRng::seed_from_u64(2);
         assert_eq!(erdos_renyi_bipartite(5, 5, 0.0, &mut rng).edge_count(), 0);
-        assert_eq!(erdos_renyi_bipartite(5, 5, 1.0, &mut rng).edge_count(), 25);
+        let full = erdos_renyi_bipartite(5, 5, 1.0, &mut rng);
+        assert_eq!(full.edge_count(), 25);
+        assert_eq!(full.rank(), 5);
+        assert_eq!(full.min_left_degree(), 5);
+        // out-of-range probabilities clamp instead of panicking
+        assert_eq!(erdos_renyi_bipartite(4, 4, -0.3, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi_bipartite(4, 4, 2.0, &mut rng).edge_count(), 16);
+        // empty sides are fine at both extremes
+        for p in [0.0, 1.0] {
+            assert_eq!(erdos_renyi_bipartite(0, 5, p, &mut rng).edge_count(), 0);
+            assert_eq!(erdos_renyi_bipartite(5, 0, p, &mut rng).edge_count(), 0);
+            assert_eq!(erdos_renyi_bipartite(0, 0, p, &mut rng).node_count(), 0);
+        }
+    }
+
+    #[test]
+    fn power_law_degrees_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let b = power_law_bipartite(80, 60, 2.0, 2, 40, &mut rng).unwrap();
+        assert_eq!(b.left_count(), 80);
+        for u in 0..80 {
+            assert!((2..=40).contains(&b.left_degree(u)));
+        }
+        // the heavy tail should actually produce spread
+        assert!(b.max_left_degree() > b.min_left_degree());
+        assert!(power_law_bipartite(4, 3, 2.0, 1, 5, &mut rng).is_err());
+        assert!(power_law_bipartite(4, 8, 2.0, 0, 5, &mut rng).is_err());
+        assert!(power_law_bipartite(4, 8, 2.0, 6, 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn power_law_exponent_controls_skew() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // a steep exponent keeps most constraints near the minimum degree
+        let b = power_law_bipartite(200, 100, 3.5, 2, 50, &mut rng).unwrap();
+        let low = (0..200).filter(|&u| b.left_degree(u) <= 4).count();
+        assert!(low > 150, "steep power law should hug d_min, got {low}");
+    }
+
+    #[test]
+    fn skewed_two_tier_degrees() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let b = skewed_bipartite(4, 30, 20, 6, 40, &mut rng).unwrap();
+        assert_eq!(b.left_count(), 24);
+        for u in 0..4 {
+            assert_eq!(b.left_degree(u), 30);
+        }
+        for u in 4..24 {
+            assert_eq!(b.left_degree(u), 6);
+        }
+        assert_eq!(b.min_left_degree(), 6);
+        assert_eq!(b.max_left_degree(), 30);
+        assert!(skewed_bipartite(1, 50, 1, 2, 40, &mut rng).is_err());
+    }
+
+    #[test]
+    fn disjoint_union_offsets_parts() {
+        let a = complete_bipartite(2, 3);
+        let b = complete_bipartite(1, 4);
+        let u = bipartite_disjoint_union(&[&a, &b]);
+        assert_eq!(u.left_count(), 3);
+        assert_eq!(u.right_count(), 7);
+        assert_eq!(u.edge_count(), 10);
+        // part boundaries: no edge crosses the offset
+        for v in 0..3 {
+            assert!(u.contains_edge(0, v) && u.contains_edge(1, v));
+            assert!(!u.contains_edge(2, v));
+        }
+        for v in 3..7 {
+            assert!(u.contains_edge(2, v));
+            assert!(!u.contains_edge(0, v));
+        }
+        // parameters are min/max over parts
+        assert_eq!(u.min_left_degree(), 3);
+        assert_eq!(u.rank(), 2);
+        // empty union is the empty graph
+        let e = bipartite_disjoint_union(&[]);
+        assert_eq!(e.left_count(), 0);
+        assert_eq!(e.edge_count(), 0);
     }
 
     #[test]

@@ -101,6 +101,16 @@ pub fn random_regular<R: Rng + ?Sized>(
     d: usize,
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
+    if n == 0 {
+        // the empty graph is vacuously 0-regular for d = 0
+        return if d == 0 {
+            Ok(Graph::new(0))
+        } else {
+            Err(GraphError::InfeasibleDegrees {
+                reason: format!("degree {d} requested on an empty node set"),
+            })
+        };
+    }
     if d >= n {
         return Err(GraphError::InfeasibleDegrees {
             reason: format!("degree {d} must be smaller than node count {n}"),
@@ -226,6 +236,68 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert!(random_regular(5, 3, &mut rng).is_err()); // odd n*d
         assert!(random_regular(4, 4, &mut rng).is_err()); // d >= n
+    }
+
+    #[test]
+    fn hypercube_trivial_dimensions() {
+        // d = 0: the single-node graph, no edges
+        let h0 = hypercube(0);
+        assert_eq!(h0.node_count(), 1);
+        assert_eq!(h0.edge_count(), 0);
+        assert_eq!(h0.degree(0), 0);
+        // d = 1: a single edge
+        let h1 = hypercube(1);
+        assert_eq!(h1.node_count(), 2);
+        assert_eq!(h1.edge_count(), 1);
+        assert!(h1.contains_edge(0, 1));
+    }
+
+    #[test]
+    fn torus_minimal_dimensions() {
+        // 3×3 is the smallest torus without parallel wrap-around edges
+        let t = torus(3, 3).unwrap();
+        assert_eq!(t.node_count(), 9);
+        assert_eq!(t.edge_count(), 18);
+        for v in 0..9 {
+            assert_eq!(t.degree(v), 4);
+        }
+        // anything smaller in either dimension must be rejected, not folded
+        assert!(torus(2, 3).is_err());
+        assert!(torus(3, 2).is_err());
+        assert!(torus(0, 0).is_err());
+    }
+
+    #[test]
+    fn trivial_families_are_well_formed() {
+        assert_eq!(path(0).node_count(), 0);
+        let p1 = path(1);
+        assert_eq!((p1.node_count(), p1.edge_count()), (1, 0));
+        assert_eq!(complete(0).node_count(), 0);
+        assert_eq!(complete(1).edge_count(), 0);
+        let c3 = cycle(3).unwrap();
+        assert_eq!((c3.node_count(), c3.edge_count()), (3, 3));
+    }
+
+    #[test]
+    fn erdos_renyi_clamps_out_of_range_probabilities() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(erdos_renyi(6, -0.5, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi(6, 1.5, &mut rng).edge_count(), 15);
+    }
+
+    #[test]
+    fn random_regular_degenerate_parameters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // the empty graph is vacuously 0-regular
+        let g = random_regular(0, 0, &mut rng).unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert!(random_regular(0, 2, &mut rng).is_err());
+        // d = 0 on any node set: isolated nodes
+        let g = random_regular(7, 0, &mut rng).unwrap();
+        assert_eq!((g.node_count(), g.edge_count()), (7, 0));
+        // n·d odd in both orders of magnitude
+        assert!(random_regular(3, 1, &mut rng).is_err());
+        assert!(random_regular(101, 7, &mut rng).is_err());
     }
 
     #[test]

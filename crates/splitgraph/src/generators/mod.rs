@@ -8,7 +8,8 @@ mod high_girth;
 mod instances;
 
 pub use bipartite::{
-    complete_bipartite, erdos_renyi_bipartite, random_biregular, random_left_regular,
+    bipartite_disjoint_union, complete_bipartite, erdos_renyi_bipartite, power_law_bipartite,
+    random_biregular, random_left_regular, skewed_bipartite,
 };
 pub use general::{complete, cycle, erdos_renyi, hypercube, path, random_regular, torus};
 pub use high_girth::{
