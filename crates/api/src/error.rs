@@ -1,0 +1,188 @@
+//! The structured error taxonomy of the request/solution boundary.
+//!
+//! Every failure that can cross the API surface is one of the
+//! [`ApiError`] variants below — a closed, typed taxonomy replacing the
+//! mixed stringly/[`SplitError`]-only failures of the per-theorem
+//! entrypoints. Pipeline errors ([`SplitError`]) convert losslessly via
+//! `From`, so shimmed legacy callers keep their diagnostics.
+
+use crate::render::JsonObject;
+use splitting_core::SplitError;
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong at the API boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiError {
+    /// The request itself is malformed: a parameter outside its domain or
+    /// an instance kind that does not match the problem (e.g. weak
+    /// splitting over a multigraph).
+    InvalidRequest {
+        /// Which request field is at fault.
+        field: &'static str,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The instance lies outside every regime the paper covers for the
+    /// requested problem/determinism combination (maps the pipelines'
+    /// `SplitError::Precondition`).
+    UnsupportedRegime {
+        /// The requirement, in the paper's notation.
+        requirement: String,
+        /// The measured offending parameters.
+        actual: String,
+    },
+    /// A randomized phase failed its postcondition on every attempted
+    /// seed (maps `SplitError::RandomizedFailure`).
+    RandomizedFailure {
+        /// Which phase failed.
+        phase: String,
+        /// Seeds attempted before giving up.
+        attempts: usize,
+    },
+    /// The derandomized fixer's union bound does not certify the instance
+    /// (`Φ ≥ 1`; maps `SplitError::EstimatorTooLarge`).
+    CertificationUnavailable {
+        /// The initial pessimistic estimate.
+        phi: f64,
+    },
+    /// A computed solution failed its own certificate check before it
+    /// could be returned — the boundary never hands out unverified
+    /// output. Seeing this means an algorithm bug or an uncertified
+    /// randomized run outside its guaranteed regime.
+    CertificateViolation {
+        /// Certificate kind that failed, in stable-name form.
+        kind: &'static str,
+        /// Number of violated local constraints.
+        violations: usize,
+    },
+    /// The solution exists but its round ledger exceeds the request's
+    /// `max_rounds` budget.
+    BudgetExceeded {
+        /// The configured budget.
+        budget: f64,
+        /// The rounds the chosen pipeline actually needs.
+        needed: f64,
+    },
+}
+
+impl ApiError {
+    /// Stable machine-readable discriminant (used in logs and metrics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ApiError::InvalidRequest { .. } => "invalid-request",
+            ApiError::UnsupportedRegime { .. } => "unsupported-regime",
+            ApiError::RandomizedFailure { .. } => "randomized-failure",
+            ApiError::CertificationUnavailable { .. } => "certification-unavailable",
+            ApiError::CertificateViolation { .. } => "certificate-violation",
+            ApiError::BudgetExceeded { .. } => "budget-exceeded",
+        }
+    }
+
+    /// One-line JSON rendering for service logs (serde-free, stable
+    /// field order).
+    pub fn to_json_line(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.string("event", "error");
+        obj.string("kind", self.kind());
+        obj.string("detail", &self.to_string());
+        obj.finish()
+    }
+}
+
+impl fmt::Display for ApiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApiError::InvalidRequest { field, reason } => {
+                write!(f, "invalid request: {field}: {reason}")
+            }
+            ApiError::UnsupportedRegime {
+                requirement,
+                actual,
+            } => write!(f, "unsupported regime: need {requirement}, have {actual}"),
+            ApiError::RandomizedFailure { phase, attempts } => {
+                write!(
+                    f,
+                    "randomized phase '{phase}' failed after {attempts} attempts"
+                )
+            }
+            ApiError::CertificationUnavailable { phi } => {
+                write!(
+                    f,
+                    "derandomization certificate unavailable: initial Φ = {phi} is not below 1"
+                )
+            }
+            ApiError::CertificateViolation { kind, violations } => {
+                write!(
+                    f,
+                    "solution failed its {kind} certificate with {violations} violations"
+                )
+            }
+            ApiError::BudgetExceeded { budget, needed } => {
+                write!(f, "round budget exceeded: need {needed}, budget {budget}")
+            }
+        }
+    }
+}
+
+impl Error for ApiError {}
+
+impl From<SplitError> for ApiError {
+    fn from(e: SplitError) -> Self {
+        match e {
+            SplitError::Precondition {
+                requirement,
+                actual,
+            } => ApiError::UnsupportedRegime {
+                requirement,
+                actual,
+            },
+            SplitError::RandomizedFailure { phase, attempts } => {
+                ApiError::RandomizedFailure { phase, attempts }
+            }
+            SplitError::EstimatorTooLarge { phi } => ApiError::CertificationUnavailable { phi },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_error_maps_losslessly() {
+        let e: ApiError = SplitError::Precondition {
+            requirement: "δ ≥ 2 log n".into(),
+            actual: "δ = 3".into(),
+        }
+        .into();
+        assert_eq!(e.kind(), "unsupported-regime");
+        assert!(e.to_string().contains("δ ≥ 2 log n"));
+        let e: ApiError = SplitError::EstimatorTooLarge { phi: 1.25 }.into();
+        assert_eq!(e.kind(), "certification-unavailable");
+        let e: ApiError = SplitError::RandomizedFailure {
+            phase: "shattering".into(),
+            attempts: 16,
+        }
+        .into();
+        assert_eq!(e.kind(), "randomized-failure");
+    }
+
+    #[test]
+    fn json_line_is_escaped_and_stable() {
+        let e = ApiError::InvalidRequest {
+            field: "lambda",
+            reason: "must lie in (0, 1], got \"2.0\"".into(),
+        };
+        let line = e.to_json_line();
+        assert!(line.starts_with("{\"event\":\"error\",\"kind\":\"invalid-request\""));
+        assert!(line.contains("\\\"2.0\\\""));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ApiError>();
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod api_perf;
 mod exp_ablations;
 mod exp_conformance;
 mod exp_fig1;
@@ -22,6 +23,7 @@ mod pipeline_perf;
 mod substrate_perf;
 mod table;
 
+pub use api_perf::{run_api_perf, ApiRecord, ApiReport};
 pub use exp_ablations::{exp_abl_engine, exp_abl_eps, exp_abl_shatter};
 pub use exp_conformance::exp_conformance;
 pub use exp_fig1::{exp_fig1, exp_thm210};

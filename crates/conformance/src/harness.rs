@@ -37,17 +37,23 @@ pub enum Group {
     /// Metamorphic invariants: relabeling equivariance, Red↔Blue swap,
     /// disjoint-union composition.
     Metamorphic,
+    /// The `splitting-api` request/solution layer: every applicable
+    /// `Problem` variant solved through `Session::solve`, bit-compared
+    /// against the legacy entrypoint it shims, with verified
+    /// certificates and batch/sequential equality.
+    Api,
 }
 
 impl Group {
     /// Every group, in matrix-column order.
-    pub const ALL: [Group; 6] = [
+    pub const ALL: [Group; 7] = [
         Group::Solver,
         Group::Theorems,
         Group::Multicolor,
         Group::DegreeSplit,
         Group::Reductions,
         Group::Metamorphic,
+        Group::Api,
     ];
 
     /// Stable display/selector name.
@@ -59,6 +65,7 @@ impl Group {
             Group::DegreeSplit => "degree-split",
             Group::Reductions => "reductions",
             Group::Metamorphic => "metamorphic",
+            Group::Api => "api",
         }
     }
 
@@ -218,6 +225,7 @@ pub fn run_cell(s: &Scenario, group: Group) -> CellReport {
         Group::DegreeSplit => check_degree_split(&mut ctx),
         Group::Reductions => check_reductions(&mut ctx),
         Group::Metamorphic => check_metamorphic(&mut ctx),
+        Group::Api => check_api(&mut ctx),
     }
     ctx.into_cell()
 }
@@ -778,6 +786,381 @@ fn check_reductions(ctx: &mut Ctx<'_>) {
             }
         }
     }
+}
+
+// ------------------------------------------------------------------- api
+
+/// Drives the `splitting-api` request/solution layer over the scenario
+/// and bit-compares every route against the legacy entrypoint it shims.
+fn check_api(ctx: &mut Ctx<'_>) {
+    use splitting_api::{Determinism, Problem, Request, Session};
+
+    let s = ctx.scenario;
+    let b = &s.bipartite;
+    let session = Session::with_threads(1);
+
+    // weak splitting: the api must agree with the legacy façade verbatim
+    // in both determinism policies — same dispatch, same bits, same
+    // honesty about uncovered regimes
+    for determinism in [Determinism::Deterministic, Determinism::Randomized] {
+        let request = Request::new(
+            Problem::WeakSplitting {
+                thm12_constant: s.thm12_constant,
+            },
+            b.clone(),
+        )
+        .determinism_policy(determinism)
+        .seed(s.seed);
+        let legacy = WeakSplittingSolver {
+            allow_randomized: determinism == Determinism::Randomized,
+            seed: s.seed,
+            thm12_constant: s.thm12_constant,
+        };
+        let mode = determinism.name();
+        match (session.solve(&request), legacy.solve(b)) {
+            (Ok(solution), Ok((out, pipeline))) => {
+                ctx.check(
+                    "api.weak-bit-identical",
+                    solution.output.two_coloring() == Some(&out.colors[..]),
+                    || format!("{mode}: api output diverges from the legacy façade"),
+                );
+                ctx.check(
+                    "api.weak-provenance-pipeline",
+                    solution.provenance.pipeline == Some(pipeline),
+                    || {
+                        format!(
+                            "{mode}: provenance says {:?}, façade took {pipeline:?}",
+                            solution.provenance.pipeline
+                        )
+                    },
+                );
+                ctx.check("api.weak-certificate", solution.certificate.holds(), || {
+                    format!("{mode}: returned certificate does not hold")
+                });
+                ctx.check(
+                    "api.weak-reverify",
+                    solution.reverify(request.instance()),
+                    || format!("{mode}: certificate fails re-verification"),
+                );
+                ctx.check(
+                    "api.weak-ledger-identical",
+                    solution.ledger.total() == out.ledger.total(),
+                    || {
+                        format!(
+                            "{mode}: api ledger {} vs legacy {}",
+                            solution.ledger.total(),
+                            out.ledger.total()
+                        )
+                    },
+                );
+            }
+            (Err(api_err), Err(legacy_err)) => {
+                // both sides failed: the api error must be the typed
+                // mapping of the façade's error (uncovered regime →
+                // unsupported-regime, exhausted retries →
+                // randomized-failure, …), not merely any failure
+                let expected = splitting_api::ApiError::from(legacy_err).kind();
+                ctx.check(
+                    "api.weak-negative-typed",
+                    api_err.kind() == expected,
+                    || format!("{mode}: expected {expected}, got {api_err}"),
+                );
+            }
+            (Ok(_), Err(e)) => ctx.check("api.weak-agreement", false, || {
+                format!("{mode}: api solved where the façade failed with {e}")
+            }),
+            (Err(e), Ok(_)) => ctx.check("api.weak-agreement", false, || {
+                format!("{mode}: api failed with {e} where the façade solved")
+            }),
+        }
+    }
+
+    // (C, λ)-multicolor: deterministic engine parity, including honest
+    // declines outside the certified regime
+    let request = Request::new(
+        Problem::MulticolorSplitting {
+            colors: 6,
+            lambda: 0.6,
+        },
+        b.clone(),
+    )
+    .deterministic();
+    match (
+        session.solve(&request),
+        core::multicolor_splitting_deterministic(b, 6, 0.6),
+    ) {
+        (Ok(solution), Ok(det)) => {
+            ctx.check(
+                "api.multicolor-bit-identical",
+                solution.output.multi_coloring() == Some((&det.colors[..], det.palette)),
+                || "api (C, λ) coloring diverges from the legacy engine".into(),
+            );
+            ctx.check(
+                "api.multicolor-certificate",
+                solution.certificate.holds() && solution.reverify(request.instance()),
+                || "api (C, λ) certificate does not hold/re-verify".into(),
+            );
+        }
+        (Err(api_err), Err(SplitError::EstimatorTooLarge { .. })) => ctx.check(
+            "api.multicolor-declines-honestly",
+            api_err.kind() == "certification-unavailable",
+            || format!("expected certification-unavailable, got {api_err}"),
+        ),
+        (api, legacy) => ctx.check("api.multicolor-agreement", false, || {
+            format!(
+                "api {:?} vs legacy {:?} disagree about solvability",
+                api.as_ref().map(|_| "ok").map_err(|e| e.kind()),
+                legacy.as_ref().map(|_| "ok").err()
+            )
+        }),
+    }
+
+    // degree splitting on the scenario's derived multigraph
+    if s.has(Regime::DegreeSplit) {
+        let g = s.multigraph();
+        let n = g.node_count();
+        for engine in [Engine::EulerianOracle, Engine::Walk] {
+            let request = Request::new(Problem::DegreeSplitting { eps: 0.25, engine }, g.clone())
+                .deterministic();
+            let legacy = DegreeSplitter::new(0.25, engine, Flavor::Deterministic).split(&g, n);
+            let bits = |o: &splitgraph::Orientation| -> Vec<bool> {
+                (0..o.edge_count())
+                    .map(|e| o.is_towards_second(e))
+                    .collect()
+            };
+            match session.solve(&request) {
+                Ok(solution) => {
+                    ctx.check(
+                        "api.degree-split-bit-identical",
+                        solution
+                            .output
+                            .edge_orientation()
+                            .map(|o| bits(o) == bits(&legacy.orientation))
+                            .unwrap_or(false),
+                        || format!("{engine:?}: api orientation diverges from DegreeSplitter"),
+                    );
+                    ctx.check(
+                        "api.degree-split-certificate",
+                        solution.certificate.holds() && solution.reverify(request.instance()),
+                        || format!("{engine:?}: contract certificate does not hold"),
+                    );
+                }
+                Err(e) => ctx.check("api.degree-split-solves", false, || {
+                    format!("{engine:?}: api rejected the multigraph: {e}")
+                }),
+            }
+        }
+    }
+
+    // Section 4 reductions on small/medium hosts (same budget as the
+    // legacy reductions group)
+    let g = s.host_graph();
+    if g.node_count() > 0 && g.edge_count() > 0 && g.edge_count() <= 3_000 && g.max_degree() >= 2 {
+        let base = 4 * (splitgraph::math::log2(g.node_count().max(2)).ceil() as usize);
+
+        let request = Request::new(
+            Problem::Mis {
+                base_degree: Some(base),
+            },
+            g.clone(),
+        )
+        .seed(s.seed);
+        let (legacy, _, _) = red::mis_via_splitting(&g, base, s.seed);
+        match session.solve(&request) {
+            Ok(solution) => ctx.check(
+                "api.mis-bit-identical",
+                solution.output.independent_set() == Some(&legacy[..])
+                    && solution.certificate.holds(),
+                || "api MIS diverges from the legacy reduction".into(),
+            ),
+            Err(e) => ctx.check("api.mis-solves", false, || {
+                format!("api rejected the MIS host: {e}")
+            }),
+        }
+
+        let request = Request::new(
+            Problem::EdgeColoring {
+                base_degree: Some(8),
+                engine: red::EdgeSplitEngine::Eulerian,
+            },
+            g.clone(),
+        );
+        match (
+            session.solve(&request),
+            red::edge_coloring_via_splitting(&g, 8, red::EdgeSplitEngine::Eulerian),
+        ) {
+            (Ok(solution), Ok((colors, _, _))) => ctx.check(
+                "api.edge-coloring-bit-identical",
+                solution
+                    .output
+                    .multi_coloring()
+                    .map(|(xs, _)| xs == &colors[..])
+                    .unwrap_or(false)
+                    && solution.certificate.holds(),
+                || "api edge coloring diverges from the legacy reduction".into(),
+            ),
+            (api, legacy) => ctx.check("api.edge-coloring-agreement", false, || {
+                format!(
+                    "api {:?} vs legacy {:?} disagree about solvability",
+                    api.as_ref().map(|_| "ok").map_err(|e| e.kind()),
+                    legacy.as_ref().map(|_| "ok").err()
+                )
+            }),
+        }
+    }
+
+    // Definition 1.3 weak multicolor in its certified regime
+    if s.has(Regime::Multicolor) {
+        let request = Request::new(Problem::WeakMulticolor, b.clone()).deterministic();
+        match (
+            session.solve(&request),
+            core::weak_multicolor_deterministic(b),
+        ) {
+            (Ok(solution), Ok(det)) => ctx.check(
+                "api.weak-multicolor-bit-identical",
+                solution.output.multi_coloring() == Some((&det.colors[..], det.palette))
+                    && solution.certificate.holds(),
+                || "api Def 1.3 coloring diverges from the legacy engine".into(),
+            ),
+            (api, legacy) => ctx.check("api.weak-multicolor-agreement", false, || {
+                format!(
+                    "api {:?} vs legacy {:?} disagree about solvability",
+                    api.as_ref().map(|_| "ok").map_err(|e| e.kind()),
+                    legacy.as_ref().map(|_| "ok").err()
+                )
+            }),
+        }
+    }
+
+    // uniform splitting parity on hosts the legacy group also drives
+    if g.max_degree() >= 4 && g.edge_count() <= 64_000 && g.edge_count() > 0 {
+        let dmax = g.max_degree();
+        let eps = red::feasible_eps(g.node_count(), dmax);
+        let request = Request::new(
+            Problem::UniformSplitting {
+                eps: Some(eps),
+                min_degree: Some(dmax),
+            },
+            g.clone(),
+        )
+        .deterministic();
+        match (
+            session.solve(&request),
+            red::uniform_splitting_deterministic(&g, eps, dmax),
+        ) {
+            (Ok(solution), Ok(out)) => ctx.check(
+                "api.uniform-bit-identical",
+                solution.output.two_coloring() == Some(&out.colors[..])
+                    && solution.certificate.holds(),
+                || "api uniform splitting diverges from the legacy engine".into(),
+            ),
+            (Err(api_err), Err(SplitError::EstimatorTooLarge { .. })) => ctx.check(
+                "api.uniform-declines-honestly",
+                api_err.kind() == "certification-unavailable" && !s.has(Regime::Uniform),
+                || format!("uniform decline mismatch: {api_err}"),
+            ),
+            (api, legacy) => ctx.check("api.uniform-agreement", false, || {
+                format!(
+                    "api {:?} vs legacy {:?} disagree about solvability",
+                    api.as_ref().map(|_| "ok").map_err(|e| e.kind()),
+                    legacy.as_ref().map(|_| "ok").err()
+                )
+            }),
+        }
+    }
+
+    // Δ-coloring parity on small hosts (same budget as the legacy group)
+    if g.node_count() > 0 && g.edge_count() > 0 && g.edge_count() <= 3_000 && g.max_degree() >= 2 {
+        let base = 4 * (splitgraph::math::log2(g.node_count().max(2)).ceil() as usize);
+        let request = Request::new(
+            Problem::DeltaColoring {
+                base_degree: Some(base),
+                max_eps: Some(0.35),
+            },
+            g.clone(),
+        )
+        .deterministic();
+        match (
+            session.solve(&request),
+            red::delta_coloring_via_splitting(&g, base, Some(0.35)),
+        ) {
+            (Ok(solution), Ok((colors, _, _))) => ctx.check(
+                "api.delta-coloring-bit-identical",
+                solution
+                    .output
+                    .multi_coloring()
+                    .map(|(xs, _)| xs == &colors[..])
+                    .unwrap_or(false)
+                    && solution.certificate.holds(),
+                || "api Δ-coloring diverges from the legacy reduction".into(),
+            ),
+            (api, legacy) => ctx.check("api.delta-coloring-agreement", false, || {
+                format!(
+                    "api {:?} vs legacy {:?} disagree about solvability",
+                    api.as_ref().map(|_| "ok").map_err(|e| e.kind()),
+                    legacy.as_ref().map(|_| "ok").err()
+                )
+            }),
+        }
+    }
+
+    // sinkless orientation parity where the Figure 1 reduction applies
+    if g.node_count() > 0 && g.min_degree() >= 5 && g.edge_count() <= 3_000 {
+        let ids: Vec<u64> = (0..g.node_count() as u64).collect();
+        let request = Request::new(Problem::SinklessOrientation, g.clone()).seed(s.seed);
+        match (
+            session.solve(&request),
+            core::sinkless_via_weak_splitting(&g, &ids, s.seed),
+        ) {
+            (Ok(solution), Ok(reduction)) => ctx.check(
+                "api.sinkless-bit-identical",
+                solution
+                    .output
+                    .host_orientation()
+                    .map(|o| o.forward == reduction.orientation.forward)
+                    .unwrap_or(false)
+                    && solution.certificate.holds(),
+                || "api sinkless orientation diverges from the Figure 1 pipeline".into(),
+            ),
+            (api, legacy) => ctx.check("api.sinkless-agreement", false, || {
+                format!(
+                    "api {:?} vs legacy {:?} disagree about solvability",
+                    api.as_ref().map(|_| "ok").map_err(|e| e.kind()),
+                    legacy.as_ref().map(|_| "ok").err()
+                )
+            }),
+        }
+    }
+
+    // batch = sequential, in request order (two policies over the shared
+    // instance — cheap, and exercises the scoped-thread path)
+    let requests = vec![
+        Request::new(
+            Problem::WeakSplitting {
+                thm12_constant: s.thm12_constant,
+            },
+            b.clone(),
+        )
+        .seed(s.seed),
+        Request::new(
+            Problem::WeakSplitting {
+                thm12_constant: s.thm12_constant,
+            },
+            b.clone(),
+        )
+        .deterministic(),
+    ];
+    let sequential: Vec<_> = requests.iter().map(|r| session.solve(r)).collect();
+    let batched = Session::with_threads(2).solve_batch(&requests);
+    let batch_matches = sequential.len() == batched.len()
+        && sequential.iter().zip(&batched).all(|(a, b)| match (a, b) {
+            (Ok(x), Ok(y)) => x.output == y.output,
+            (Err(x), Err(y)) => x == y,
+            _ => false,
+        });
+    ctx.check("api.batch-equals-sequential", batch_matches, || {
+        "solve_batch diverges from sequential solve on the same requests".into()
+    });
 }
 
 // ----------------------------------------------------------- metamorphic

@@ -55,8 +55,9 @@ pub use drr1::{degree_rank_reduction_i, DrrIterationStats, DrrReduction};
 pub use drr2::{degree_rank_reduction_ii, drr2_iteration, Drr2IterationStats, Drr2Reduction};
 pub use high_girth::{lemma51_stats, theorem52, theorem53, GirthScheduling, Lemma51Stats};
 pub use lower_bound::{
-    corollary211_deterministic_bound, orientation_from_splitting, sinkless_via_weak_splitting,
-    solve_rank2_reference, theorem210_randomized_bound, SinklessReduction,
+    corollary211_deterministic_bound, orientation_from_splitting, sinkless_from_instance,
+    sinkless_via_weak_splitting, solve_rank2_reference, theorem210_randomized_bound,
+    SinklessReduction,
 };
 pub use multicolor::{
     multicolor_splitting_deterministic, multicolor_splitting_random, theorem33_palette,
@@ -66,7 +67,9 @@ pub use multicolor::{
 pub use outcome::{to_two_coloring, SplitError, SplitOutcome};
 pub use shatter::{shatter, shatter_with_probability, ShatterOutcome};
 pub use slocal_alg::slocal_weak_splitting;
-pub use solver::{Pipeline, WeakSplittingSolver};
+pub use solver::{
+    decide_pipeline, Pipeline, RegimeParams, WeakSplittingSolver, DISPATCH_REQUIREMENT,
+};
 pub use thm12::{theorem12, theorem12_with_report, Theorem12Config, Theorem12Report};
 pub use thm25::{theorem25, theorem25_round_bound, Theorem25Report};
 pub use thm27::{theorem27, Variant};

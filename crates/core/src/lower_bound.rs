@@ -66,13 +66,29 @@ pub fn sinkless_via_weak_splitting(
     ids: &[u64],
     seed: u64,
 ) -> Result<SinklessReduction, SplitError> {
+    sinkless_from_instance(g, sinkless_instance(g, ids), ids, seed)
+}
+
+/// Runs Figure 1 steps 2–3 on a **prebuilt** sinkless instance (callers
+/// that already constructed one — e.g. to inspect `δ_B`/`r_B` before
+/// committing — avoid building it twice). `instance` must come from
+/// [`sinkless_instance`] over the same `(g, ids)`.
+///
+/// # Errors
+///
+/// Exactly like [`sinkless_via_weak_splitting`].
+pub fn sinkless_from_instance(
+    g: &Graph,
+    instance: SinklessInstance,
+    ids: &[u64],
+    seed: u64,
+) -> Result<SinklessReduction, SplitError> {
     if g.min_degree() < 5 {
         return Err(SplitError::Precondition {
             requirement: "δ_G ≥ 5".into(),
             actual: format!("δ_G = {}", g.min_degree()),
         });
     }
-    let instance = sinkless_instance(g, ids);
     let b = &instance.bipartite;
     debug_assert!(b.rank() <= 2);
     debug_assert!(b.min_left_degree() >= 3);

@@ -15,6 +15,7 @@ use crate::zero_round::zero_round_whp;
 use degree_split::Flavor;
 use splitgraph::math::weak_splitting_degree_threshold;
 use splitgraph::BipartiteGraph;
+use std::fmt;
 
 /// Solver configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,32 +52,95 @@ pub enum Pipeline {
     Theorem12,
 }
 
+impl Pipeline {
+    /// Stable display name (used in provenance records and service logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Pipeline::Theorem27 => "theorem27",
+            Pipeline::Theorem25 => "theorem25",
+            Pipeline::ZeroRound => "zero-round",
+            Pipeline::Theorem12 => "theorem12",
+        }
+    }
+}
+
+/// The coverage requirement of the dispatcher, in the paper's notation —
+/// the single source for every "uncovered regime" error message.
+pub const DISPATCH_REQUIREMENT: &str =
+    "one of: δ ≥ 6r; δ ≥ 2·log n; randomized and δ ≥ c·log(r·log n)";
+
+/// The `(n, δ, r)` parameters entering the dispatch decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegimeParams {
+    /// Total node count `n = |U| + |V|`.
+    pub n: usize,
+    /// Minimum constraint degree `δ`.
+    pub delta: usize,
+    /// Rank `r` (maximum variable degree).
+    pub rank: usize,
+}
+
+impl RegimeParams {
+    /// Reads the dispatch parameters off an instance.
+    pub fn of(b: &BipartiteGraph) -> Self {
+        RegimeParams {
+            n: b.node_count(),
+            delta: b.min_left_degree(),
+            rank: b.rank(),
+        }
+    }
+}
+
+impl fmt::Display for RegimeParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "δ = {}, r = {}, n = {}", self.delta, self.rank, self.n)
+    }
+}
+
+/// The one shared regime-dispatch decision, mirroring the case analysis
+/// running through the paper: `δ ≥ 6r` → Theorem 2.7; `δ ≥ 2·log n` →
+/// Theorem 2.5 (deterministic) or the zero-round algorithm (randomized);
+/// `δ ≥ c·log(r·log n)` → Theorem 1.2 (randomized only).
+///
+/// Both [`WeakSplittingSolver::plan`] and [`WeakSplittingSolver::solve`]
+/// (and the `splitting-api` request layer) route through this function, so
+/// plan-vs-solve can never disagree about the chosen pipeline.
+pub fn decide_pipeline(
+    allow_randomized: bool,
+    thm12_constant: f64,
+    p: RegimeParams,
+) -> Option<Pipeline> {
+    let RegimeParams { n, delta, rank } = p;
+    if delta >= 6 * rank && delta >= 2 {
+        return Some(Pipeline::Theorem27);
+    }
+    if delta >= weak_splitting_degree_threshold(n) {
+        return Some(if allow_randomized {
+            Pipeline::ZeroRound
+        } else {
+            Pipeline::Theorem25
+        });
+    }
+    if allow_randomized {
+        let req = thm12_constant
+            * splitgraph::math::log2(
+                ((rank.max(1) as f64) * splitgraph::math::log2(n.max(2))).ceil() as usize + 1,
+            );
+        if delta as f64 >= req {
+            return Some(Pipeline::Theorem12);
+        }
+    }
+    None
+}
+
 impl WeakSplittingSolver {
     /// The pipeline the dispatcher would choose for `b`, if any.
     pub fn plan(&self, b: &BipartiteGraph) -> Option<Pipeline> {
-        let delta = b.min_left_degree();
-        let rank = b.rank();
-        let n = b.node_count();
-        if delta >= 6 * rank && delta >= 2 {
-            return Some(Pipeline::Theorem27);
-        }
-        if delta >= weak_splitting_degree_threshold(n) {
-            return Some(if self.allow_randomized {
-                Pipeline::ZeroRound
-            } else {
-                Pipeline::Theorem25
-            });
-        }
-        if self.allow_randomized {
-            let req = self.thm12_constant
-                * splitgraph::math::log2(
-                    ((rank.max(1) as f64) * splitgraph::math::log2(n.max(2))).ceil() as usize + 1,
-                );
-            if delta as f64 >= req {
-                return Some(Pipeline::Theorem12);
-            }
-        }
-        None
+        decide_pipeline(
+            self.allow_randomized,
+            self.thm12_constant,
+            RegimeParams::of(b),
+        )
     }
 
     /// Solves `b` with the dispatched pipeline.
@@ -87,13 +151,8 @@ impl WeakSplittingSolver {
     /// every regime the paper covers, or propagates pipeline errors.
     pub fn solve(&self, b: &BipartiteGraph) -> Result<(SplitOutcome, Pipeline), SplitError> {
         let plan = self.plan(b).ok_or_else(|| SplitError::Precondition {
-            requirement: "one of: δ ≥ 6r; δ ≥ 2·log n; randomized and δ ≥ c·log(r·log n)".into(),
-            actual: format!(
-                "δ = {}, r = {}, n = {}",
-                b.min_left_degree(),
-                b.rank(),
-                b.node_count()
-            ),
+            requirement: DISPATCH_REQUIREMENT.into(),
+            actual: RegimeParams::of(b).to_string(),
         })?;
         let out = match plan {
             Pipeline::Theorem27 => {

@@ -1,0 +1,71 @@
+//! Plan-vs-solve consistency: `WeakSplittingSolver::plan` and
+//! `WeakSplittingSolver::solve` both route through the shared
+//! [`decide_pipeline`] decision function, so the pipeline `solve` executes
+//! must always be the one `plan` announced. These properties pin that
+//! contract over randomized biregular instances spanning every regime
+//! (Theorem 2.7 skew, Theorem 2.5 / zero-round density, the Theorem 1.2
+//! shattering window, and the uncovered territory below all of them).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use splitting_core::{decide_pipeline, RegimeParams, WeakSplittingSolver};
+
+proptest! {
+    /// `solve` executes exactly the pipeline `plan` chose, and fails iff
+    /// `plan` found nothing.
+    #[test]
+    fn solve_pipeline_matches_plan(
+        (nu, ratio, k, seed, mode) in (4usize..40, 1usize..8, 1usize..6, 0u64..1_000, 0u32..8)
+    ) {
+        // d = k·ratio keeps nu·d divisible by nv = nu·ratio (biregular
+        // feasibility) while still spanning every dispatch regime
+        let nv = nu * ratio;
+        let d = (k * ratio).max(2).min(nv);
+        prop_assume!(nu * d % nv == 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // very dense corners can exhaust the generator's repair budget —
+        // skip those cases, the regime coverage does not depend on them
+        let Ok(b) = splitgraph::generators::random_biregular(nu, nv, d, &mut rng) else {
+            return;
+        };
+        let solver = WeakSplittingSolver {
+            allow_randomized: mode % 2 == 0,
+            seed,
+            // c ∈ {1.5, 2.5, 3.5, 4.5}: straddles the Theorem 1.2 window
+            thm12_constant: 1.5 + f64::from(mode / 2),
+        };
+        let plan = solver.plan(&b);
+        match solver.solve(&b) {
+            Ok((_, pipeline)) => prop_assert_eq!(plan, Some(pipeline)),
+            Err(_) => prop_assert_eq!(plan, None),
+        }
+    }
+
+    /// `plan` is exactly the shared decision function on the instance's
+    /// `(n, δ, r)` parameters — no second copy of the regime logic exists.
+    #[test]
+    fn plan_is_the_shared_decision_function(
+        (nu, ratio, k, seed, mode) in (4usize..40, 1usize..8, 1usize..6, 0u64..1_000, 0u32..2)
+    ) {
+        let nv = nu * ratio;
+        let d = (k * ratio).max(2).min(nv);
+        prop_assume!(nu * d % nv == 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // very dense corners can exhaust the generator's repair budget —
+        // skip those cases, the regime coverage does not depend on them
+        let Ok(b) = splitgraph::generators::random_biregular(nu, nv, d, &mut rng) else {
+            return;
+        };
+        let allow_randomized = mode == 0;
+        let solver = WeakSplittingSolver {
+            allow_randomized,
+            seed,
+            ..Default::default()
+        };
+        prop_assert_eq!(
+            solver.plan(&b),
+            decide_pipeline(allow_randomized, solver.thm12_constant, RegimeParams::of(&b))
+        );
+    }
+}

@@ -125,7 +125,7 @@ pub(crate) fn verify_schedule(b: &BipartiteGraph, square_coloring: &[u32]) {
 /// `square_coloring`, a proper coloring (palette size `palette`) of the
 /// variable square of `b` (variables sharing a constraint must have
 /// different colors — e.g. from [`splitgraph::right_square`] +
-/// [`local_coloring::color_power`]).
+/// `local_coloring::color_power`).
 ///
 /// Measured rounds are `2 × palette` (each phase: constraints publish
 /// counts, the class announces choices).

@@ -74,8 +74,8 @@ pub fn delta_coloring_via_splitting(
         if eps > max_eps {
             break; // degrees too small to certify a useful split
         }
-        let mut parts: std::collections::HashMap<u64, Vec<usize>> =
-            std::collections::HashMap::new();
+        let mut parts: std::collections::BTreeMap<u64, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for (v, &label) in part.iter().enumerate() {
             parts.entry(label).or_default().push(v);
         }
@@ -118,7 +118,9 @@ pub fn delta_coloring_via_splitting(
 
     // base case: disjoint palettes per part, greedy (d+1) coloring standing
     // in for [FHK16] (charged O(√d + log* n))
-    let mut parts: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    // BTreeMap: palette offsets are assigned in iteration order, so the
+    // part order must be a pure function of the instance
+    let mut parts: std::collections::BTreeMap<u64, Vec<usize>> = std::collections::BTreeMap::new();
     for (v, &label) in part.iter().enumerate() {
         parts.entry(label).or_default().push(v);
     }

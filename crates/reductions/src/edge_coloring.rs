@@ -80,9 +80,10 @@ pub fn edge_coloring_via_splitting(
         if max_class_degree <= base_degree_target || levels >= 62 {
             break;
         }
-        // split every class in parallel
-        let mut classes: std::collections::HashMap<u64, Vec<usize>> =
-            std::collections::HashMap::new();
+        // split every class in parallel (BTreeMap: palette assembly below
+        // and replay stability need a deterministic class order)
+        let mut classes: std::collections::BTreeMap<u64, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for (i, &c) in class.iter().enumerate() {
             classes.entry(c).or_default().push(i);
         }
@@ -116,8 +117,11 @@ pub fn edge_coloring_via_splitting(
         levels += 1;
     }
 
-    // base case: greedy edge coloring per class with disjoint palettes
-    let mut classes: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    // base case: greedy edge coloring per class with disjoint palettes,
+    // in class-label order so the palette offsets (and thus the output)
+    // are a pure function of the instance
+    let mut classes: std::collections::BTreeMap<u64, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (i, &c) in class.iter().enumerate() {
         classes.entry(c).or_default().push(i);
     }

@@ -1,11 +1,13 @@
-//! Lemma 4.2: maximal independent set by heavy-node elimination.
+//! Lemma 4.2: maximal independent set by heavy-node elimination, driven
+//! through the unified API (the MIS reduction is randomized-only — the
+//! request layer says so if you ask for the deterministic track).
 //!
 //! ```sh
 //! cargo run --release -p distributed-splitting --example mis_via_splitting
 //! ```
 
-use distributed_splitting::reductions::mis_via_splitting;
-use distributed_splitting::splitgraph::{checks, generators};
+use distributed_splitting::api::{Problem, Request, Session};
+use distributed_splitting::splitgraph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -17,19 +19,32 @@ fn main() {
     println!("graph: n = {n}, Δ = {delta}");
 
     let base_degree = 2 * (n as f64).log2().ceil() as usize;
-    let (mis, report, ledger) = mis_via_splitting(&g, base_degree, 17);
+    let session = Session::new();
 
-    assert!(checks::is_mis(&g, &mis));
+    // deterministic requests are rejected with a typed error: Lemma 4.2
+    // instantiates its splitting oracle A with randomness (an efficient
+    // deterministic A is exactly the paper's open problem)
+    let problem = Problem::Mis {
+        base_degree: Some(base_degree),
+    };
+    let rejected = session.solve(&Request::new(problem.clone(), g.clone()).deterministic());
+    println!(
+        "\ndeterministic track: {}",
+        rejected.expect_err("MIS has no deterministic pipeline")
+    );
+
+    // the randomized track solves, certifies, and carries provenance
+    let solution = session
+        .solve(&Request::new(problem, g).seed(17))
+        .expect("randomized MIS succeeds");
+    assert!(solution.certificate.holds());
+
+    let mis = solution.output.independent_set().expect("node-set output");
     let size = mis.iter().filter(|&&x| x).count();
     println!(
-        "MIS: valid, {size} nodes (Lemma 4.3 floor: n/(Δ+1) = {})",
+        "\nMIS: certified maximal independent, {size} nodes (Lemma 4.3 floor: n/(Δ+1) = {})",
         n / (delta + 1)
     );
-    println!("degree-halving steps: {}", report.steps);
-    println!(
-        "heavy-elimination iterations: {}",
-        report.elimination_iterations
-    );
-    println!("splitting oracle calls: {}", report.splittings);
-    println!("\nround ledger:\n{ledger}");
+    println!("provenance: {}", solution.provenance);
+    println!("\nround ledger:\n{}", solution.ledger);
 }

@@ -1,12 +1,13 @@
-//! Quickstart: build a weak-splitting instance, solve it with the
-//! parameter-dispatching solver, inspect the round ledger.
+//! Quickstart: build a weak-splitting instance and solve it through the
+//! unified request/solution API — one `Request` in, one certified
+//! `Solution` out, with the dispatch decision on record.
 //!
 //! ```sh
 //! cargo run -p distributed-splitting --example quickstart
 //! ```
 
-use distributed_splitting::core::{Pipeline, WeakSplittingSolver};
-use distributed_splitting::splitgraph::{checks, generators};
+use distributed_splitting::api::{Problem, Request, Session};
+use distributed_splitting::splitgraph::{generators, Color};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,31 +26,26 @@ fn main() {
         b.rank()
     );
 
+    let session = Session::new();
+
     // deterministic track (Theorem 2.5 territory)
-    let solver = WeakSplittingSolver {
-        allow_randomized: false,
-        ..Default::default()
-    };
-    let (out, pipeline) = solver.solve(&b).expect("instance is in a covered regime");
-    assert!(matches!(pipeline, Pipeline::Theorem25));
-    assert!(checks::is_weak_splitting(&b, &out.colors, 0));
-    println!("\ndeterministic pipeline: {pipeline:?}");
-    println!("{}", out.ledger);
+    let request = Request::new(Problem::weak_splitting(), b.clone()).deterministic();
+    let solution = session.solve(&request).expect("covered regime");
+    assert!(solution.certificate.holds());
+    println!("\ndeterministic: {}", solution.provenance);
+    println!("{}", solution.ledger);
 
-    // randomized track (zero-round algorithm suffices at this degree)
-    let solver = WeakSplittingSolver::default();
-    let (out, pipeline) = solver.solve(&b).expect("instance is in a covered regime");
-    assert!(checks::is_weak_splitting(&b, &out.colors, 0));
-    println!("\nrandomized pipeline: {pipeline:?}");
-    println!("{}", out.ledger);
+    // randomized track (the zero-round algorithm suffices at this degree)
+    let request = Request::new(Problem::weak_splitting(), b).seed(7);
+    let solution = session.solve(&request).expect("covered regime");
+    assert!(solution.certificate.holds());
+    println!("\nrandomized: {}", solution.provenance);
+    println!("{}", solution.ledger);
 
-    let reds = out
-        .colors
-        .iter()
-        .filter(|c| **c == distributed_splitting::splitgraph::Color::Red)
-        .count();
-    println!(
-        "\ncolor balance: {reds} red / {} blue",
-        out.colors.len() - reds
-    );
+    let colors = solution.output.two_coloring().expect("two-coloring output");
+    let reds = colors.iter().filter(|c| **c == Color::Red).count();
+    println!("\ncolor balance: {reds} red / {} blue", colors.len() - reds);
+
+    // every solution renders as one JSON line for service logs
+    println!("\nlog line: {}", solution.to_json_line());
 }

@@ -14,20 +14,31 @@
 //! * [`derand`] — pessimistic estimators and the conditional-expectation
 //!   fixers;
 //! * [`core`] (`splitting-core`) — every algorithm of the paper;
-//! * [`reductions`] (`splitting-reductions`) — Section 4 pipelines.
+//! * [`reductions`] (`splitting-reductions`) — Section 4 pipelines;
+//! * [`api`] (`splitting-api`) — the unified request/solution layer: one
+//!   typed door to every workload above, with batch sessions and
+//!   provenance-carrying certificates.
 //!
 //! # Quickstart
 //!
+//! Everything the paper solves goes through one `Request` → `Session` →
+//! `Solution` lifecycle (the per-theorem entrypoints remain available in
+//! [`core`] and [`reductions`] for direct use):
+//!
 //! ```
-//! use distributed_splitting::core::{theorem25, SplitOutcome};
-//! use distributed_splitting::splitgraph::{checks, generators};
-//! use degree_split::Flavor;
+//! use distributed_splitting::api::{Problem, Request, Session};
+//! use distributed_splitting::splitgraph::generators;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let b = generators::random_biregular(100, 100, 20, &mut rng).unwrap();
-//! let (out, _report): (SplitOutcome, _) = theorem25(&b, Flavor::Deterministic).unwrap();
-//! assert!(checks::is_weak_splitting(&b, &out.colors, 0));
+//! let solution = Session::new()
+//!     .solve(&Request::new(Problem::weak_splitting(), b).deterministic())
+//!     .unwrap();
+//! // the certificate re-ran splitgraph::checks before the solution was
+//! // returned; provenance records the dispatched pipeline and why
+//! assert!(solution.certificate.holds());
+//! assert_eq!(solution.provenance.route, "theorem25");
 //! ```
 
 #![warn(missing_docs)]
@@ -38,5 +49,6 @@ pub use derand;
 pub use local_coloring;
 pub use local_runtime;
 pub use splitgraph;
+pub use splitting_api as api;
 pub use splitting_core as core;
 pub use splitting_reductions as reductions;
