@@ -64,6 +64,15 @@ pub enum ApiError {
         /// The rounds the chosen pipeline actually needs.
         needed: f64,
     },
+    /// The serving side refused admission: its job queue was at capacity
+    /// when the request arrived. The request was **not** executed — a
+    /// client may retry after backing off.
+    Overloaded {
+        /// Queue depth observed at admission time.
+        queue_depth: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
 }
 
 impl ApiError {
@@ -76,6 +85,7 @@ impl ApiError {
             ApiError::CertificationUnavailable { .. } => "certification-unavailable",
             ApiError::CertificateViolation { .. } => "certificate-violation",
             ApiError::BudgetExceeded { .. } => "budget-exceeded",
+            ApiError::Overloaded { .. } => "overloaded",
         }
     }
 
@@ -120,6 +130,15 @@ impl fmt::Display for ApiError {
             }
             ApiError::BudgetExceeded { budget, needed } => {
                 write!(f, "round budget exceeded: need {needed}, budget {budget}")
+            }
+            ApiError::Overloaded {
+                queue_depth,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "overloaded: job queue at {queue_depth}/{capacity}; retry after backoff"
+                )
             }
         }
     }
@@ -178,6 +197,19 @@ mod tests {
         assert!(line.starts_with("{\"event\":\"error\",\"kind\":\"invalid-request\""));
         assert!(line.contains("\\\"2.0\\\""));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn overloaded_is_typed_and_renders() {
+        let e = ApiError::Overloaded {
+            queue_depth: 128,
+            capacity: 128,
+        };
+        assert_eq!(e.kind(), "overloaded");
+        assert!(e.to_string().contains("128/128"));
+        assert!(e
+            .to_json_line()
+            .starts_with("{\"event\":\"error\",\"kind\":\"overloaded\""));
     }
 
     #[test]

@@ -47,12 +47,12 @@
 //! assert!(solution.to_json_line().starts_with("{\"event\":\"solution\""));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod error;
 mod problem;
-mod render;
+pub mod render;
 mod request;
 mod session;
 mod solution;

@@ -14,6 +14,29 @@ use std::fmt;
 /// default to the reproduction's standard choices (documented per field).
 /// Determinism policy, seeds, and budgets live on the
 /// [`Request`](crate::Request) instead — they are cross-cutting.
+///
+/// # Problem → pipeline dispatch
+///
+/// Which theorem of the paper serves each variant, on which instance
+/// shape, and which `splitgraph::checks` predicate certifies the output:
+///
+/// | `Problem` variant | Instance | Route(s) | Certificate |
+/// |---|---|---|---|
+/// | [`WeakSplitting`](Problem::WeakSplitting) | bipartite | `(n, δ, r)` regime dispatch: δ ≥ 6r → Thm 2.7; δ ≥ 2·log n → Thm 2.5 (det) / zero-round (rand); δ ≥ c·log(r·log n) → Thm 1.2 (rand); overridable via [`Request::force_pipeline`](crate::Request::force_pipeline) | `is_weak_splitting` |
+/// | [`WeakMulticolor`](Problem::WeakMulticolor) | bipartite | missing-color fixer (det) / zero-round choice (rand), Def 1.3 | `is_weak_multicolor_splitting` |
+/// | [`MulticolorSplitting`](Problem::MulticolorSplitting) `{C, λ}` | bipartite | Chernoff-overload fixer (det) / zero-round choice (rand), Def 1.2 | `is_multicolor_splitting` |
+/// | [`UniformSplitting`](Problem::UniformSplitting) `{ε, δ₀}` | host graph | derandomized doubling instance (det) / Las Vegas coin flips (rand), §4.1 | `is_uniform_splitting` |
+/// | [`DegreeSplitting`](Problem::DegreeSplitting) `{ε, engine}` | multigraph | Eulerian oracle or walk engine, Thm 2.3 flavor from the determinism policy | `ε·d + 2` contract (per-node / aggregate) |
+/// | [`SinklessOrientation`](Problem::SinklessOrientation) | host graph | Figure 1 reduction → Thm 2.7 or rank-2 reference (§2.5) | `is_sinkless` |
+/// | [`DeltaColoring`](Problem::DeltaColoring) | host graph | recursive uniform splitting + greedy base (Lemma 4.1) | `is_proper_coloring` |
+/// | [`EdgeColoring`](Problem::EdgeColoring) `{engine}` | host graph | recursive edge splitting + greedy base (§1.1, \[GS17\]) | `is_proper_edge_coloring` |
+/// | [`Mis`](Problem::Mis) | host graph | heavy-node elimination (Lemma 4.2; randomized-only — a det request is a typed error) | `is_mis` |
+///
+/// The regime decision for `WeakSplitting` is the single shared
+/// `splitting_core::decide_pipeline` function — `WeakSplittingSolver::plan`,
+/// `::solve`, and this API all route through it, so plan-vs-solve can
+/// never disagree (pinned by a proptest in
+/// `crates/core/tests/dispatch_consistency.rs`).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Problem {
     /// Weak splitting (Definition 1.1) over a bipartite instance,

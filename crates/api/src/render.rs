@@ -1,14 +1,17 @@
 //! Serde-free JSON-line rendering helpers.
 //!
-//! The service-log format is newline-delimited JSON with a stable field
-//! order; this module provides the tiny escaping/assembly layer every
-//! `to_json_line` implementation shares, so no external serialization
-//! dependency is needed.
+//! The service-log and wire format is newline-delimited JSON with a
+//! stable field order; this module provides the tiny escaping/assembly
+//! layer every `to_json_line` implementation shares, so no external
+//! serialization dependency is needed. It is public because the
+//! `splitting-server` wire layer assembles its protocol frames with the
+//! same builder — one renderer, one byte-level convention (see
+//! `docs/PROTOCOL.md`).
 
 use std::fmt::Write as _;
 
 /// Escapes `s` into `out` as JSON string contents (without the quotes).
-pub(crate) fn escape_into(out: &mut String, s: &str) {
+pub fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -26,7 +29,7 @@ pub(crate) fn escape_into(out: &mut String, s: &str) {
 
 /// Renders an `f64` the way the rest of the JSON reports do: finite
 /// numbers verbatim, non-finite as `null` (JSON has no NaN/Inf).
-pub(crate) fn number(x: f64) -> String {
+pub fn number(x: f64) -> String {
     if x == 0.0 {
         // normalize -0.0: round-trips as 0 and keeps log lines diffable
         "0".into()
@@ -38,13 +41,14 @@ pub(crate) fn number(x: f64) -> String {
 }
 
 /// An incrementally-built single-line JSON object with stable field order.
-pub(crate) struct JsonObject {
+pub struct JsonObject {
     buf: String,
     first: bool,
 }
 
 impl JsonObject {
-    pub(crate) fn new() -> Self {
+    /// Starts an empty object (`{`).
+    pub fn new() -> Self {
         JsonObject {
             buf: String::from("{"),
             first: true,
@@ -62,7 +66,7 @@ impl JsonObject {
     }
 
     /// Adds a string field.
-    pub(crate) fn string(&mut self, key: &str, value: &str) -> &mut Self {
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
         self.key(key);
         self.buf.push('"');
         escape_into(&mut self.buf, value);
@@ -72,32 +76,38 @@ impl JsonObject {
 
     /// Adds a raw (pre-rendered) JSON value — a number, bool, or nested
     /// object the caller already assembled.
-    pub(crate) fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
         self.key(key);
         self.buf.push_str(value);
         self
     }
 
     /// Adds an unsigned integer field.
-    pub(crate) fn uint(&mut self, key: &str, value: u64) -> &mut Self {
+    pub fn uint(&mut self, key: &str, value: u64) -> &mut Self {
         self.raw(key, &value.to_string())
     }
 
     /// Adds a float field (`null` when non-finite).
-    pub(crate) fn float(&mut self, key: &str, value: f64) -> &mut Self {
+    pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
         let n = number(value);
         self.raw(key, &n)
     }
 
     /// Adds a boolean field.
-    pub(crate) fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
         self.raw(key, if value { "true" } else { "false" })
     }
 
     /// Closes the object and returns the line.
-    pub(crate) fn finish(mut self) -> String {
+    pub fn finish(mut self) -> String {
         self.buf.push('}');
         self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        JsonObject::new()
     }
 }
 

@@ -4,6 +4,7 @@
 use crate::problem::{Instance, Problem};
 use splitting_core::Pipeline;
 use std::fmt;
+use std::sync::Arc;
 
 /// Whether randomized pipelines may be used.
 ///
@@ -69,10 +70,15 @@ pub struct Budget {
 /// assert_eq!(request.problem().name(), "weak-splitting");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+///
+/// The instance is held behind an [`Arc`], so cloning a request — the
+/// common move when fanning the same work out to batch sessions or the
+/// `splitd` job queue — shares the graph structurally instead of
+/// deep-copying it. Equality still compares instance *contents*.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     problem: Problem,
-    instance: Instance,
+    instance: Arc<Instance>,
     determinism: Determinism,
     seed: u64,
     pipeline_override: Option<Pipeline>,
@@ -90,7 +96,7 @@ impl Request {
     pub fn new(problem: Problem, instance: impl Into<Instance>) -> Self {
         Request {
             problem,
-            instance: instance.into(),
+            instance: Arc::new(instance.into()),
             determinism: Determinism::default(),
             seed: DEFAULT_SEED,
             pipeline_override: None,
@@ -179,10 +185,10 @@ impl Request {
         &self.budget
     }
 
-    /// Recovers the instance without cloning (for callers that want to
-    /// reuse it after solving).
+    /// Recovers the instance, cloning only when other requests still
+    /// share it (for callers that want to reuse it after solving).
     pub fn into_instance(self) -> Instance {
-        self.instance
+        Arc::try_unwrap(self.instance).unwrap_or_else(|shared| (*shared).clone())
     }
 }
 

@@ -35,6 +35,11 @@ pub struct ApiRecord {
     pub requests: usize,
     /// Worker threads of the batch side.
     pub threads: usize,
+    /// `std::thread::available_parallelism()` of the measuring host at
+    /// the time this row was measured — recorded per row so a reader of
+    /// `BENCH_api.json` can tell a genuine batch slowdown from plain
+    /// oversubscription without consulting out-of-band context.
+    pub host_parallelism: usize,
     /// Wall time of the legacy direct-call loop, nanoseconds.
     pub wall_ns_legacy: u128,
     /// Wall time of sequential single-call API dispatch, nanoseconds.
@@ -59,6 +64,14 @@ impl ApiRecord {
     /// Batched requests per second.
     pub fn throughput_rps(&self) -> f64 {
         self.requests as f64 / (self.wall_ns_api_batch.max(1) as f64 / 1e9)
+    }
+
+    /// True when this row ran more worker threads than the host has
+    /// cores. Such rows certify wall-clock *parity* (the batch path is
+    /// bit-identical to sequential by construction) and their
+    /// `batch_speedup` ≤ 1 is scheduling noise, not an API regression.
+    pub fn oversubscribed(&self) -> bool {
+        self.threads > self.host_parallelism
     }
 }
 
@@ -88,19 +101,22 @@ impl ApiReport {
             }
             out.push_str(&format!(
                 "\n    {{\"name\": \"{}\", \"requests\": {}, \"threads\": {}, \
+                 \"host_parallelism\": {}, \"oversubscribed\": {}, \
                  \"wall_ns_legacy\": {}, \"wall_ns_api_seq\": {}, \"wall_ns_api_batch\": {}, \
                  \"overhead\": {:.3}, \"batch_speedup\": {:.2}, \"throughput_rps\": {:.1}, \
                  \"parity_run\": {}}}",
                 esc(r.name),
                 r.requests,
                 r.threads,
+                r.host_parallelism,
+                r.oversubscribed(),
                 r.wall_ns_legacy,
                 r.wall_ns_api_seq,
                 r.wall_ns_api_batch,
                 r.overhead(),
                 r.batch_speedup(),
                 r.throughput_rps(),
-                r.threads == 1 || self.host_parallelism == 1
+                r.threads == 1 || r.oversubscribed()
             ));
         }
         out.push_str("\n  ]\n}\n");
@@ -247,6 +263,7 @@ pub fn run_api_perf(quick: bool) -> (Vec<Table>, ApiReport) {
                 name: w.name,
                 requests: w.requests.len(),
                 threads,
+                host_parallelism,
                 wall_ns_legacy,
                 wall_ns_api_seq,
                 wall_ns_api_batch,
@@ -277,7 +294,11 @@ pub fn run_api_perf(quick: bool) -> (Vec<Table>, ApiReport) {
             fnum(r.wall_ns_api_seq as f64 / 1e6),
             fnum(r.wall_ns_api_batch as f64 / 1e6),
             format!("{:.3}×", r.overhead()),
-            format!("{:.2}×", r.batch_speedup()),
+            format!(
+                "{:.2}×{}",
+                r.batch_speedup(),
+                if r.oversubscribed() { " (oversub)" } else { "" }
+            ),
             fnum(r.throughput_rps()),
         ]);
     }

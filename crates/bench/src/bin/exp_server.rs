@@ -1,0 +1,16 @@
+//! Experiment `server` — sustained-load throughput, latency percentiles,
+//! and queue depth of the `splitd` job-queue service, on the same
+//! zero-round workload as experiment `api` plus mixed priority traffic.
+//! `--quick` shrinks the load; `--json <path>` additionally emits the
+//! machine-readable `BENCH_server.json` report.
+fn main() {
+    let quick = splitting_bench::quick_flag();
+    let (tables, report) = splitting_bench::run_server_perf(quick);
+    for t in &tables {
+        t.print();
+    }
+    if let Some(path) = splitting_bench::json_path_flag() {
+        std::fs::write(&path, report.to_json()).expect("write --json output");
+        eprintln!("wrote {path}");
+    }
+}

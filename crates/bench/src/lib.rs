@@ -20,6 +20,7 @@ mod exp_section5;
 mod exp_substrate;
 mod json;
 mod pipeline_perf;
+mod server_perf;
 mod substrate_perf;
 mod table;
 
@@ -36,6 +37,7 @@ pub use exp_section5::{exp_lem51, exp_thm52};
 pub use exp_substrate::{exp_edge_split, exp_runtime};
 pub use json::{json_path_flag, tables_to_json};
 pub use pipeline_perf::{run_pipeline_perf, PipelineRecord, PipelineReport};
+pub use server_perf::{run_server_perf, ServerRecord, ServerReport};
 pub use substrate_perf::{run_substrate_perf, PerfRecord, SubstrateReport};
 pub use table::{fnum, Table};
 

@@ -42,11 +42,16 @@ pub enum Group {
     /// against the legacy entrypoint it shims, with verified
     /// certificates and batch/sequential equality.
     Api,
+    /// The `splitd` service layer: every applicable request rendered to
+    /// the wire, run through the job-queue server, and the embedded
+    /// reply payload byte-compared against a direct `Session::solve`
+    /// rendering — the bit-parity guarantee of `docs/PROTOCOL.md`.
+    Server,
 }
 
 impl Group {
     /// Every group, in matrix-column order.
-    pub const ALL: [Group; 7] = [
+    pub const ALL: [Group; 8] = [
         Group::Solver,
         Group::Theorems,
         Group::Multicolor,
@@ -54,6 +59,7 @@ impl Group {
         Group::Reductions,
         Group::Metamorphic,
         Group::Api,
+        Group::Server,
     ];
 
     /// Stable display/selector name.
@@ -66,6 +72,7 @@ impl Group {
             Group::Reductions => "reductions",
             Group::Metamorphic => "metamorphic",
             Group::Api => "api",
+            Group::Server => "server",
         }
     }
 
@@ -226,6 +233,7 @@ pub fn run_cell(s: &Scenario, group: Group) -> CellReport {
         Group::Reductions => check_reductions(&mut ctx),
         Group::Metamorphic => check_metamorphic(&mut ctx),
         Group::Api => check_api(&mut ctx),
+        Group::Server => check_server(&mut ctx),
     }
     ctx.into_cell()
 }
@@ -1161,6 +1169,204 @@ fn check_api(ctx: &mut Ctx<'_>) {
     ctx.check("api.batch-equals-sequential", batch_matches, || {
         "solve_batch diverges from sequential solve on the same requests".into()
     });
+}
+
+// ---------------------------------------------------------------- server
+
+fn check_server(ctx: &mut Ctx<'_>) {
+    use splitting_api::{Determinism, Problem, Request, Session};
+    use splitting_server::{wire, Priority, Server, ServerConfig, Submitted};
+
+    let s = ctx.scenario;
+    let b = &s.bipartite;
+    let g = s.host_graph();
+    let small_host =
+        g.node_count() > 0 && g.edge_count() > 0 && g.edge_count() <= 3_000 && g.max_degree() >= 2;
+
+    // the request menu mirrors the api group's regime gating, so every
+    // scenario family exercises the service on each applicable variant —
+    // including ones that resolve to typed error payloads
+    let mut requests: Vec<(&'static str, Request)> = vec![
+        (
+            "weak-det",
+            Request::new(
+                Problem::WeakSplitting {
+                    thm12_constant: s.thm12_constant,
+                },
+                b.clone(),
+            )
+            .deterministic(),
+        ),
+        (
+            "weak-rand",
+            Request::new(
+                Problem::WeakSplitting {
+                    thm12_constant: s.thm12_constant,
+                },
+                b.clone(),
+            )
+            .determinism_policy(Determinism::Randomized)
+            .seed(s.seed),
+        ),
+        (
+            "multicolor",
+            Request::new(
+                Problem::MulticolorSplitting {
+                    colors: 6,
+                    lambda: 0.6,
+                },
+                b.clone(),
+            )
+            .deterministic(),
+        ),
+    ];
+    if s.has(Regime::Multicolor) {
+        requests.push((
+            "weak-multicolor",
+            Request::new(Problem::WeakMulticolor, b.clone()).deterministic(),
+        ));
+    }
+    if s.has(Regime::DegreeSplit) {
+        requests.push((
+            "degree-split",
+            Request::new(
+                Problem::DegreeSplitting {
+                    eps: 0.25,
+                    engine: Engine::EulerianOracle,
+                },
+                s.multigraph(),
+            )
+            .deterministic(),
+        ));
+    }
+    if small_host {
+        let base = 4 * (splitgraph::math::log2(g.node_count().max(2)).ceil() as usize);
+        requests.push((
+            "mis",
+            Request::new(
+                Problem::Mis {
+                    base_degree: Some(base),
+                },
+                g.clone(),
+            )
+            .seed(s.seed),
+        ));
+        requests.push((
+            "delta-coloring",
+            Request::new(
+                Problem::DeltaColoring {
+                    base_degree: Some(base),
+                    max_eps: Some(0.35),
+                },
+                g.clone(),
+            )
+            .deterministic(),
+        ));
+        requests.push((
+            "edge-coloring",
+            Request::new(
+                Problem::EdgeColoring {
+                    base_degree: Some(8),
+                    engine: red::EdgeSplitEngine::Eulerian,
+                },
+                g.clone(),
+            ),
+        ));
+    }
+    if g.node_count() > 0 && g.min_degree() >= 5 && g.edge_count() <= 3_000 {
+        requests.push((
+            "sinkless",
+            Request::new(Problem::SinklessOrientation, g.clone()).seed(s.seed),
+        ));
+    }
+
+    // ground truth: the direct in-process rendering, solution or typed
+    // error — exactly the payload the wire must carry, byte for byte
+    let session = Session::with_threads(1);
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|(_, r)| {
+            session
+                .solve(r)
+                .map_or_else(|e| e.to_json_line(), |sol| sol.to_json_line())
+        })
+        .collect();
+
+    // wire path: render each request, round-trip it through the codec,
+    // submit over one connection, and read the ordered reply stream
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        record_timings: false,
+        ..ServerConfig::default()
+    });
+    let (mut tx, rx) = server.connect().split();
+    for (name, request) in &requests {
+        let line = wire::render_request(name, Priority::Normal, request);
+        ctx.check(
+            "server.request-roundtrip",
+            wire::parse_request(&line)
+                .map(|(envelope, parsed)| envelope.id == *name && parsed == *request)
+                .unwrap_or(false),
+            || format!("{name}: rendered request does not parse back identically"),
+        );
+        ctx.check(
+            "server.admitted",
+            tx.submit_line(&line) == Submitted::Queued,
+            || format!("{name}: request refused admission"),
+        );
+    }
+    tx.finish();
+    let frames: Vec<String> = rx.collect();
+    ctx.check(
+        "server.one-reply-per-request",
+        frames.len() == requests.len(),
+        || format!("{} requests but {} replies", requests.len(), frames.len()),
+    );
+    for (i, ((name, _), want)) in requests.iter().zip(&expected).enumerate() {
+        let Some(frame) = frames.get(i) else { break };
+        let Some(reply) = wire::split_reply(frame) else {
+            ctx.check("server.reply-parses", false, || {
+                format!("{name}: reply frame is malformed: {frame}")
+            });
+            continue;
+        };
+        ctx.check(
+            "server.reply-order",
+            reply.id == *name && reply.seq == i as u64,
+            || {
+                format!(
+                    "expected {name} at seq {i}, got {} at seq {}",
+                    reply.id, reply.seq
+                )
+            },
+        );
+        ctx.check(
+            "server.payload-byte-identical",
+            reply.payload == Some(want.as_str()),
+            || format!("{name}: wire payload diverges from direct Session::solve rendering"),
+        );
+        let expect_type = if want.starts_with("{\"event\":\"solution\"") {
+            "solution"
+        } else {
+            "error"
+        };
+        ctx.check("server.frame-type", reply.frame_type == expect_type, || {
+            format!("{name}: frame type {} for payload {want}", reply.frame_type)
+        });
+    }
+
+    // the in-process fast path (pre-parsed requests, no codec) must
+    // produce the very same frame stream as the wire path
+    let (mut tx, rx) = server.connect().split();
+    for (name, request) in &requests {
+        tx.submit_request(name, Priority::Normal, request.clone());
+    }
+    tx.finish();
+    let inproc: Vec<String> = rx.collect();
+    ctx.check("server.inproc-equals-wire", inproc == frames, || {
+        "submit_request frame stream diverges from the wire-path stream".into()
+    });
+    server.shutdown();
 }
 
 // ----------------------------------------------------------- metamorphic

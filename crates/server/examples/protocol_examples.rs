@@ -1,0 +1,163 @@
+//! Regenerates the worked request/response examples embedded in
+//! `docs/PROTOCOL.md`.
+//!
+//! Every example in the spec is real output of this build — the
+//! doc-sync test (`crates/server/tests/protocol_doc.rs`) replays each
+//! request through a timings-disabled server and asserts the committed
+//! response byte for byte. After changing the wire format, run
+//!
+//! ```text
+//! cargo run -p splitting-server --example protocol_examples
+//! ```
+//!
+//! and paste the emitted blocks over the marked sections of the spec.
+
+use splitgraph::{generators, MultiGraph};
+use splitting_api::{Problem, Request};
+use splitting_server::{wire, Submitted};
+use splitting_server::{Priority, Server, ServerConfig};
+
+fn main() {
+    let server = Server::start(ServerConfig {
+        record_timings: false,
+        ..ServerConfig::default()
+    });
+
+    // 3 constraints of degree 12 over 36 variables of degree 1: the
+    // δ ≥ 6r zero-round regime, so the weak-splitting examples solve
+    let skewed = splitgraph::BipartiteGraph::from_edges_bulk(
+        3,
+        36,
+        &(0..3)
+            .flat_map(|c| (0..12).map(move |j| (c, 12 * c + j)))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let k66 = generators::complete_bipartite(6, 6);
+    let host6 = generators::complete(6);
+    let host16 = generators::complete(16);
+    let cyc6 = generators::cycle(6).unwrap();
+    let multi = MultiGraph::from_endpoints(
+        4,
+        vec![
+            (0, 1),
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (2, 3),
+            (3, 0),
+            (1, 3),
+            (0, 2),
+        ],
+    );
+
+    let examples: Vec<(&str, String, Request)> = vec![
+        (
+            "weak-splitting",
+            "weak".into(),
+            Request::new(Problem::weak_splitting(), skewed.clone()).seed(7),
+        ),
+        (
+            "weak-multicolor",
+            "weak-mc".into(),
+            Request::new(
+                Problem::WeakMulticolor,
+                generators::complete_bipartite(3, 64),
+            )
+            .deterministic(),
+        ),
+        (
+            "multicolor-splitting",
+            "mc".into(),
+            Request::new(
+                Problem::MulticolorSplitting {
+                    colors: 6,
+                    lambda: 0.6,
+                },
+                k66.clone(),
+            )
+            .deterministic(),
+        ),
+        (
+            "uniform-splitting",
+            "uniform".into(),
+            Request::new(
+                Problem::UniformSplitting {
+                    eps: Some(splitting_reductions::feasible_eps(16, 15)),
+                    min_degree: Some(15),
+                },
+                host16.clone(),
+            )
+            .deterministic(),
+        ),
+        (
+            "degree-splitting",
+            "degree".into(),
+            Request::new(
+                Problem::DegreeSplitting {
+                    eps: 0.25,
+                    engine: degree_split::Engine::EulerianOracle,
+                },
+                multi,
+            )
+            .deterministic(),
+        ),
+        (
+            "sinkless-orientation",
+            "sinkless".into(),
+            Request::new(Problem::SinklessOrientation, host6.clone()),
+        ),
+        (
+            "delta-coloring",
+            "delta".into(),
+            Request::new(
+                Problem::DeltaColoring {
+                    base_degree: Some(12),
+                    max_eps: Some(0.35),
+                },
+                host6.clone(),
+            )
+            .deterministic(),
+        ),
+        (
+            "edge-coloring",
+            "edge".into(),
+            Request::new(
+                Problem::EdgeColoring {
+                    base_degree: Some(8),
+                    engine: splitting_reductions::EdgeSplitEngine::Eulerian,
+                },
+                cyc6.clone(),
+            ),
+        ),
+        (
+            "mis",
+            "mis-1".into(),
+            Request::new(
+                Problem::Mis {
+                    base_degree: Some(8),
+                },
+                cyc6,
+            ),
+        ),
+    ];
+
+    let (mut tx, mut rx) = server.connect().split();
+    let mut lines = Vec::new();
+    for (name, id, request) in &examples {
+        let line = wire::render_request(id, Priority::Normal, request);
+        assert_eq!(tx.submit_line(&line), Submitted::Queued, "{name}");
+        lines.push((name, line));
+    }
+    tx.finish();
+
+    for (name, line) in lines {
+        let reply = rx.recv().expect("one reply per request");
+        println!("### `{name}`\n");
+        println!("<!-- doc-sync: request {name} -->");
+        println!("```json\n{line}\n```\n");
+        println!("<!-- doc-sync: response {name} -->");
+        println!("```json\n{reply}\n```\n");
+    }
+    server.shutdown();
+}

@@ -1,0 +1,114 @@
+//! `splitd` — the splitting-as-a-service daemon.
+//!
+//! Speaks the newline-delimited JSON protocol of `docs/PROTOCOL.md`
+//! over stdin/stdout (default), a Unix socket (`--socket`), or TCP
+//! (`--tcp`). See `README.md` § Service for a quickstart.
+
+use splitting_server::{transport, Admission, Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+splitd — splitting-as-a-service job-queue daemon
+
+USAGE:
+    splitd [OPTIONS]
+
+TRANSPORT (default: serve stdin/stdout, exit at EOF or shutdown frame):
+    --socket <PATH>        listen on a Unix-domain socket
+    --tcp <ADDR>           listen on TCP, e.g. 127.0.0.1:7317
+
+OPTIONS:
+    --workers <N>          persistent worker threads [default: 1]
+    --queue-capacity <N>   bound on queued jobs [default: 256]
+    --admission <MODE>     full-queue policy: reject | block [default: reject]
+    --no-timings           omit queued_ns/solve_ns from reply frames
+                           (byte-reproducible reply streams)
+    --help                 print this help
+
+The wire protocol is specified in docs/PROTOCOL.md.";
+
+struct Args {
+    socket: Option<String>,
+    tcp: Option<String>,
+    config: ServerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        socket: None,
+        tcp: None,
+        config: ServerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--socket" => args.socket = Some(value("--socket")?),
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--workers" => {
+                args.config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-capacity" => {
+                args.config.queue_capacity = value("--queue-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--queue-capacity: {e}"))?;
+            }
+            "--admission" => {
+                args.config.admission = match value("--admission")?.as_str() {
+                    "reject" => Admission::Reject,
+                    "block" => Admission::Block,
+                    other => return Err(format!("--admission: unknown mode {other:?}")),
+                };
+            }
+            "--no-timings" => args.config.record_timings = false,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.socket.is_some() && args.tcp.is_some() {
+        return Err("--socket and --tcp are mutually exclusive".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("splitd: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = Server::start(args.config);
+    let outcome = if let Some(path) = args.socket {
+        transport::serve_unix(Arc::new(server), path.as_ref()).map(|()| None)
+    } else if let Some(addr) = args.tcp {
+        transport::serve_tcp(Arc::new(server), &addr).map(|()| None)
+    } else {
+        transport::serve_stdio(&server).map(|summary| {
+            server.shutdown();
+            Some(summary)
+        })
+    };
+    match outcome {
+        Ok(Some(summary)) => {
+            eprintln!(
+                "splitd: served {} replies over {} input lines",
+                summary.replies_out, summary.lines_in
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(None) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("splitd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,796 @@
+//! A minimal, strict, serde-free JSON parser for the wire protocol.
+//!
+//! The repo renders JSON lines without serde (`splitting_api`'s
+//! `to_json_line` family); this module is the matching ingest half. It is
+//! deliberately strict — no trailing commas, no comments, no `NaN` /
+//! `Infinity` tokens, a hard nesting-depth cap — because every accepted
+//! frame must round-trip through the renderer byte-for-byte.
+//!
+//! Two entry points:
+//!
+//! * [`parse`] — full recursive parse into a [`Json`] tree;
+//! * [`scan_top_level`] — a cheap single-pass scanner that splits one
+//!   top-level object into `(key, raw-value-slice)` pairs without
+//!   building values. Ingest uses it to read the envelope fields
+//!   (`type`, `id`, `priority`) of a large request frame without paying
+//!   for the instance payload; workers and tests use the slices to
+//!   extract embedded payloads byte-exactly.
+
+use std::fmt;
+
+/// Maximum nesting depth accepted by the parser and the scanner. Frames
+/// in this protocol nest at most ~4 levels; the cap only guards stack
+/// safety against adversarial input.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (see [`Number`] for integer-exactness guarantees).
+    Number(Number),
+    /// A string, with escapes resolved.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source field order (duplicate keys are rejected at
+    /// parse time).
+    Object(Vec<(String, Json)>),
+}
+
+/// A JSON number. Unsigned and signed integers that fit in 64 bits are
+/// kept exact (the protocol's `seed` field spans all of `u64`); anything
+/// else falls back to `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer ≤ `u64::MAX`, exact.
+    Unsigned(u64),
+    /// A negative integer ≥ `i64::MIN`, exact.
+    Signed(i64),
+    /// Everything else (fractions, exponents, out-of-range integers).
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy for huge integers).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::Unsigned(u) => u as f64,
+            Number::Signed(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// The value as `u64`, if it is exactly a non-negative integer.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Number::Unsigned(u) => Some(u),
+            Number::Signed(_) => None,
+            Number::Float(f) if f >= 0.0 && f <= u64::MAX as f64 && f.fract() == 0.0 => {
+                Some(f as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `usize`, if it is exactly a non-negative integer in
+    /// range.
+    pub fn as_usize(self) -> Option<usize> {
+        self.as_u64().and_then(|u| usize::try_from(u).ok())
+    }
+
+    /// The value as `u32`, if it is exactly a non-negative integer in
+    /// range.
+    pub fn as_u32(self) -> Option<u32> {
+        self.as_u64().and_then(|u| u32::try_from(u).ok())
+    }
+}
+
+impl Json {
+    /// The string contents, when this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, when this value is one.
+    pub fn as_number(&self) -> Option<Number> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The bool, when this value is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this value is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The fields, when this value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field by key, when this value is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// A short name for the value's type (for error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Number(_) => "number",
+            Json::String(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+}
+
+/// A parse failure, with the byte offset it was detected at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, reason: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            reason: reason.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!(
+                "expected '{}', found {}",
+                b as char,
+                self.found_desc()
+            ))
+        }
+    }
+
+    fn found_desc(&self) -> String {
+        match self.peek() {
+            Some(b) if b.is_ascii_graphic() => format!("'{}'", b as char),
+            Some(b) => format!("byte 0x{b:02x}"),
+            None => "end of input".into(),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return self.err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-') | Some(b'0'..=b'9') => Ok(Json::Number(self.number()?)),
+            _ => self.err(format!("expected a value, found {}", self.found_desc())),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{text}'"))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return self.err(format!("duplicate key \"{key}\""));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return self.err(format!("expected ',' or '}}', found {}", self.found_desc())),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return self.err(format!("expected ',' or ']', found {}", self.found_desc())),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // surrogate pairs: a high surrogate must be
+                            // followed by \uXXXX with a low surrogate
+                            if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() != Some(b'\\') {
+                                    return self.err("unpaired surrogate");
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return self.err("unpaired surrogate");
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                match char::from_u32(c) {
+                                    Some(c) => out.push(c),
+                                    None => return self.err("invalid surrogate pair"),
+                                }
+                            } else {
+                                match char::from_u32(cp) {
+                                    Some(c) => out.push(c),
+                                    None => return self.err("invalid \\u escape"),
+                                }
+                            }
+                        }
+                        _ => return self.err(format!("invalid escape '\\{}'", esc as char)),
+                    }
+                }
+                0x00..=0x1f => return self.err("unescaped control character in string"),
+                _ => {
+                    // multi-byte UTF-8: the input is already a valid &str,
+                    // so reassemble the char from its leading byte
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    self.pos = start + len;
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .expect("input is valid UTF-8");
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return self.err("truncated \\u escape");
+            };
+            let digit = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return self.err("invalid \\u escape digit"),
+            };
+            cp = cp * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Number, ParseError> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        // integer part: one zero, or a nonzero digit followed by digits
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return self.err("malformed number"),
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err("malformed number: digits required after '.'");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return self.err("malformed number: digits required in exponent");
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if integral {
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Number::Signed(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Number::Unsigned(u));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Number::Float(f)),
+            _ => self.err("number out of range"),
+        }
+    }
+}
+
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// [`ParseError`] with the byte offset of the first problem.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after the value");
+    }
+    Ok(v)
+}
+
+// ----------------------------------------------------------- skip scanner
+
+/// Splits one top-level JSON object into `(key, raw-value)` pairs without
+/// building any values — nested payloads are brace-matched and returned
+/// as input slices. This is the cheap path ingest takes to read a frame's
+/// envelope (a few small fields) without parsing a multi-megabyte
+/// instance, and the byte-exact path tests take to extract embedded
+/// sub-objects.
+///
+/// The scanner validates structure (string escapes, balanced nesting,
+/// comma placement, depth) but not the grammar inside skipped values —
+/// anything the server goes on to use is re-parsed strictly with
+/// [`parse`].
+///
+/// # Errors
+///
+/// [`ParseError`] when the input is not a single top-level object.
+pub fn scan_top_level(input: &str) -> Result<Vec<(&str, &str)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields: Vec<(&str, &str)> = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key_start = p.pos;
+            skip_string(&mut p)?;
+            // raw key contents, escapes unresolved — protocol keys are
+            // plain ASCII identifiers, so escaped keys simply fail the
+            // exact-match lookups downstream (reported as unknown fields)
+            let key = &input[key_start + 1..p.pos - 1];
+            if fields.iter().any(|(k, _)| *k == key) {
+                return p.err(format!("duplicate key \"{key}\""));
+            }
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value_start = p.pos;
+            skip_value(&mut p, 0)?;
+            let raw = &input[value_start..p.pos];
+            fields.push((key, raw));
+            p.skip_ws();
+            match p.peek() {
+                Some(b',') => p.pos += 1,
+                Some(b'}') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => {
+                    return p.err(format!("expected ',' or '}}', found {}", p.found_desc()));
+                }
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return p.err("trailing characters after the object");
+    }
+    Ok(fields)
+}
+
+fn skip_string(p: &mut Parser<'_>) -> Result<(), ParseError> {
+    p.expect(b'"')?;
+    loop {
+        match p.peek() {
+            None => return p.err("unterminated string"),
+            Some(b'"') => {
+                p.pos += 1;
+                return Ok(());
+            }
+            Some(b'\\') => {
+                p.pos += 1;
+                if p.peek().is_none() {
+                    return p.err("unterminated escape");
+                }
+                p.pos += 1;
+            }
+            Some(_) => p.pos += 1,
+        }
+    }
+}
+
+fn skip_value(p: &mut Parser<'_>, depth: usize) -> Result<(), ParseError> {
+    if depth > MAX_DEPTH {
+        return p.err(format!("nesting deeper than {MAX_DEPTH}"));
+    }
+    p.skip_ws();
+    match p.peek() {
+        Some(b'"') => skip_string(p),
+        Some(b'{') => {
+            p.pos += 1;
+            p.skip_ws();
+            if p.peek() == Some(b'}') {
+                p.pos += 1;
+                return Ok(());
+            }
+            loop {
+                p.skip_ws();
+                skip_string(p)?;
+                p.skip_ws();
+                p.expect(b':')?;
+                skip_value(p, depth + 1)?;
+                p.skip_ws();
+                match p.peek() {
+                    Some(b',') => p.pos += 1,
+                    Some(b'}') => {
+                        p.pos += 1;
+                        return Ok(());
+                    }
+                    _ => return p.err(format!("expected ',' or '}}', found {}", p.found_desc())),
+                }
+            }
+        }
+        Some(b'[') => {
+            p.pos += 1;
+            p.skip_ws();
+            if p.peek() == Some(b']') {
+                p.pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_value(p, depth + 1)?;
+                p.skip_ws();
+                match p.peek() {
+                    Some(b',') => p.pos += 1,
+                    Some(b']') => {
+                        p.pos += 1;
+                        return Ok(());
+                    }
+                    _ => return p.err(format!("expected ',' or ']', found {}", p.found_desc())),
+                }
+            }
+        }
+        Some(_) => {
+            // literal or number: consume until a structural delimiter
+            let start = p.pos;
+            while let Some(b) = p.peek() {
+                if matches!(b, b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r') {
+                    break;
+                }
+                p.pos += 1;
+            }
+            if p.pos == start {
+                return p.err("expected a value");
+            }
+            Ok(())
+        }
+        None => p.err("expected a value, found end of input"),
+    }
+}
+
+/// Parses a JSON array of `[u, v]` integer pairs directly into endpoint
+/// tuples — the hot path for instance edge lists, which dominate request
+/// frames by bytes. Strict: every element must be a two-element array of
+/// non-negative integers.
+///
+/// # Errors
+///
+/// [`ParseError`] on anything that is not exactly a pair list.
+pub fn parse_edge_pairs(input: &str) -> Result<Vec<(usize, usize)>, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let mut out = Vec::new();
+    p.skip_ws();
+    p.expect(b'[')?;
+    p.skip_ws();
+    if p.peek() == Some(b']') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            p.expect(b'[')?;
+            p.skip_ws();
+            let u = pair_int(&mut p)?;
+            p.skip_ws();
+            p.expect(b',')?;
+            p.skip_ws();
+            let v = pair_int(&mut p)?;
+            p.skip_ws();
+            p.expect(b']')?;
+            out.push((u, v));
+            p.skip_ws();
+            match p.peek() {
+                Some(b',') => p.pos += 1,
+                Some(b']') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return p.err(format!("expected ',' or ']', found {}", p.found_desc())),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after the edge list");
+    }
+    Ok(out)
+}
+
+fn pair_int(p: &mut Parser<'_>) -> Result<usize, ParseError> {
+    let n = p.number()?;
+    match n.as_usize() {
+        Some(u) => Ok(u),
+        None => p.err("edge endpoints must be non-negative integers"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("42").unwrap(), Json::Number(Number::Unsigned(42)));
+        assert_eq!(parse("-7").unwrap(), Json::Number(Number::Signed(-7)));
+        assert_eq!(parse("1.5e3").unwrap(), Json::Number(Number::Float(1500.0)));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::String("a\nb".into()));
+    }
+
+    #[test]
+    fn u64_seeds_stay_exact() {
+        let v = parse(&u64::MAX.to_string()).unwrap();
+        assert_eq!(v.as_number().unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn objects_keep_order_and_reject_duplicates() {
+        let v = parse(r#"{"b":1,"a":[2,3],"c":{"d":null}}"#).unwrap();
+        let fields = v.as_object().unwrap();
+        assert_eq!(fields[0].0, "b");
+        assert_eq!(fields[1].0, "a");
+        assert_eq!(v.get("c").unwrap().get("d"), Some(&Json::Null));
+        assert!(parse(r#"{"a":1,"a":2}"#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "nul",
+            "NaN",
+            "Infinity",
+            "01",
+            "1.",
+            "+1",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "{\"a\":1}x",
+            "\u{1}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_cap_holds() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err());
+        assert!(scan_top_level(&format!("{{\"a\":{deep}}}")).is_err());
+    }
+
+    #[test]
+    fn unicode_and_surrogates() {
+        assert_eq!(parse("\"\\u00e9\"").unwrap(), Json::String("é".into()));
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::String("😀".into())
+        );
+        assert!(parse("\"\\ud83d\"").is_err());
+        assert_eq!(parse("\"héllo\"").unwrap(), Json::String("héllo".into()));
+    }
+
+    #[test]
+    fn scanner_returns_raw_slices() {
+        let line = r#"{"v":1,"type":"request","instance":{"kind":"host","edges":[[0,1]]}}"#;
+        let fields = scan_top_level(line).unwrap();
+        assert_eq!(fields.len(), 3);
+        assert_eq!(fields[0], ("v", "1"));
+        assert_eq!(fields[1], ("type", "\"request\""));
+        assert_eq!(
+            fields[2],
+            ("instance", r#"{"kind":"host","edges":[[0,1]]}"#)
+        );
+    }
+
+    #[test]
+    fn scanner_rejects_garbage() {
+        for bad in ["", "[]", "{\"a\" 1}", "{\"a\":1} trailing", "{\"a\":{}"] {
+            assert!(scan_top_level(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn edge_pairs_fast_path() {
+        assert_eq!(parse_edge_pairs("[]").unwrap(), vec![]);
+        assert_eq!(
+            parse_edge_pairs("[[0,1],[2, 3]]").unwrap(),
+            vec![(0, 1), (2, 3)]
+        );
+        for bad in [
+            "[[0]]",
+            "[[0,1,2]]",
+            "[[0,-1]]",
+            "[[0,1.5]]",
+            "[0,1]",
+            "[[0,1]],",
+        ] {
+            assert!(parse_edge_pairs(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # splitting-server — splitting-as-a-service (`splitd`)
+//!
+//! A long-lived job-queue service over the `splitting-api` boundary.
+//! Clients speak a newline-delimited JSON wire protocol (specified in
+//! `docs/PROTOCOL.md` and pinned by a doc-sync test); every request runs
+//! through one global bounded [`queue::JobQueue`] feeding a fixed pool
+//! of persistent workers — never a thread per request — and replies
+//! stream back **in submission order**, each tagged with the client's
+//! request id.
+//!
+//! The service adds scheduling, admission control, and framing around
+//! the API; it never changes results: the solution payload embedded in a
+//! reply frame is byte-for-byte the
+//! [`Solution::to_json_line`](splitting_api::Solution::to_json_line) a
+//! direct single-threaded [`Session::solve`](splitting_api::Session)
+//! call produces (asserted across the whole scenario corpus by the
+//! conformance harness's `server` group).
+//!
+//! Layering:
+//!
+//! * [`json`] — strict, dependency-free JSON parsing and skip-scanning;
+//! * [`wire`] — frame schemas, the request codec, reply assembly;
+//! * [`queue`] — the bounded three-lane priority queue;
+//! * [`server`] — worker pool, connections, ordered reporting;
+//! * [`transport`] — stdio / Unix-socket / TCP byte-stream pumps.
+//!
+//! # Example
+//!
+//! ```
+//! use splitting_server::{Server, ServerConfig, Priority};
+//! use splitting_api::{Problem, Request};
+//! use splitgraph::generators;
+//!
+//! let server = Server::start(ServerConfig::default());
+//! let (mut tx, mut rx) = server.connect().split();
+//! tx.submit_request(
+//!     "job-1",
+//!     Priority::Normal,
+//!     Request::new(Problem::Mis { base_degree: Some(8) }, generators::cycle(8).unwrap()),
+//! );
+//! tx.finish();
+//! let frame = rx.recv().expect("one reply per request");
+//! assert!(frame.contains("\"type\":\"solution\""));
+//! assert!(frame.contains("\"id\":\"job-1\""));
+//! server.shutdown();
+//! ```
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod queue;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use server::{
+    Admission, Connection, FrameReceiver, Polled, Server, ServerConfig, Submitted, Submitter,
+};
+pub use wire::{Priority, Reply, StatsSnapshot, Timing, PROTOCOL_VERSION};

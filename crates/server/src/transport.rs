@@ -1,0 +1,228 @@
+//! Byte-stream transports for the wire protocol: stdio, Unix sockets,
+//! and TCP.
+//!
+//! A transport is thin by design: it pumps lines from a reader into a
+//! [`Submitter`] on one thread and drains the
+//! [`FrameReceiver`](crate::FrameReceiver) into a writer on another.
+//! All scheduling lives in the shared [`Server`]
+//! pool, so a transport never spawns per-request threads — only the two
+//! per-*connection* pump threads.
+
+use crate::server::{Server, Submitted, Submitter};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::Arc;
+use std::thread;
+
+/// What one served connection did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSummary {
+    /// Non-blank input lines consumed.
+    pub lines_in: u64,
+    /// Reply frames written.
+    pub replies_out: u64,
+}
+
+fn pump_lines(submitter: &mut Submitter, mut input: impl BufRead) -> io::Result<u64> {
+    let mut lines = 0;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        // read raw bytes: a line of invalid UTF-8 must become a typed
+        // error frame, not a torn-down connection
+        if input.read_until(b'\n', &mut buf)? == 0 {
+            break;
+        }
+        match submitter.submit_bytes(&buf) {
+            Submitted::Skipped => {}
+            Submitted::Shutdown => {
+                lines += 1;
+                break;
+            }
+            Submitted::Queued | Submitted::Replied => lines += 1,
+        }
+    }
+    Ok(lines)
+}
+
+/// Serves one already-open byte stream: reads newline-delimited frames
+/// from `input` until EOF or a `shutdown` frame, writes reply frames to
+/// `output` in submission order, and returns once every admitted
+/// request has been answered.
+///
+/// # Errors
+///
+/// Propagates I/O errors from either side; the ingest side always
+/// signals completion first so the reporting side cannot hang.
+pub fn serve_stream(
+    server: &Server,
+    input: impl BufRead + Send,
+    mut output: impl Write,
+) -> io::Result<ServeSummary> {
+    let (mut submitter, receiver) = server.connect().split();
+    thread::scope(|scope| {
+        let reader = scope.spawn(move || {
+            let result = pump_lines(&mut submitter, input);
+            // even on a read error, close out the reporting stream so
+            // the writer below terminates
+            submitter.finish();
+            result
+        });
+        let mut replies_out = 0;
+        for frame in receiver {
+            output.write_all(frame.as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+            replies_out += 1;
+        }
+        let lines_in = reader.join().expect("ingest thread panicked")?;
+        Ok(ServeSummary {
+            lines_in,
+            replies_out,
+        })
+    })
+}
+
+/// Serves standard input/output — the `splitd` default. Returns at EOF
+/// or on a `shutdown` frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from either pipe.
+pub fn serve_stdio(server: &Server) -> io::Result<ServeSummary> {
+    // Stdin's own lock is not Send; a BufReader over the handle is
+    let stdin = BufReader::new(io::stdin());
+    let stdout = io::stdout().lock();
+    serve_stream(server, stdin, BufWriter::new(stdout))
+}
+
+fn spawn_connection<S>(server: Arc<Server>, stream: S)
+where
+    S: io::Read + io::Write + Send + Sync + 'static,
+    for<'a> &'a S: io::Read + io::Write,
+{
+    thread::spawn(move || {
+        let reader = BufReader::new(&stream);
+        let writer = BufWriter::new(&stream);
+        if let Err(e) = serve_stream(&server, reader, writer) {
+            eprintln!("splitd: connection error: {e}");
+        }
+    });
+}
+
+/// Accept loop over a Unix-domain socket at `path` (pre-existing files
+/// are replaced). Each accepted connection gets its own pump threads;
+/// all requests share the server's worker pool. Runs until accept
+/// fails.
+///
+/// # Errors
+///
+/// Propagates bind/accept errors.
+pub fn serve_unix(server: Arc<Server>, path: &Path) -> io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    eprintln!("splitd: listening on unix socket {}", path.display());
+    for stream in listener.incoming() {
+        spawn_connection(Arc::clone(&server), stream?);
+    }
+    Ok(())
+}
+
+/// Accept loop over TCP at `addr` (e.g. `127.0.0.1:7317`). Runs until
+/// accept fails.
+///
+/// # Errors
+///
+/// Propagates bind/accept errors.
+pub fn serve_tcp(server: Arc<Server>, addr: &str) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("splitd: listening on tcp {}", listener.local_addr()?);
+    for stream in listener.incoming() {
+        spawn_connection(Arc::clone(&server), stream?);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use crate::wire::split_reply;
+
+    fn quiet_server() -> Server {
+        Server::start(ServerConfig {
+            record_timings: false,
+            ..ServerConfig::default()
+        })
+    }
+
+    #[test]
+    fn stream_transport_round_trips_lines() {
+        let server = quiet_server();
+        let input = concat!(
+            r#"{"v":1,"type":"request","id":"a","problem":{"name":"mis","base_degree":8},"instance":{"kind":"host","nodes":3,"edges":[[0,1],[1,2],[2,0]]}}"#,
+            "\n",
+            "\n",
+            r#"{"v":1,"type":"ping"}"#,
+            "\n",
+            r#"{"v":1,"type":"shutdown"}"#,
+            "\n",
+            r#"{"v":1,"type":"request","id":"after-shutdown"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let summary = serve_stream(&server, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.lines_in, 3, "shutdown stops ingest");
+        assert_eq!(summary.replies_out, 2);
+        let text = String::from_utf8(out).unwrap();
+        let frames: Vec<&str> = text.lines().collect();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(split_reply(frames[0]).unwrap().frame_type, "solution");
+        assert_eq!(split_reply(frames[1]).unwrap().frame_type, "heartbeat");
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_transport_serves_concurrent_clients() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+
+        let server = Arc::new(quiet_server());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        {
+            let server = Arc::clone(&server);
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    spawn_connection(Arc::clone(&server), stream.unwrap());
+                }
+            });
+        }
+        let clients: Vec<_> = (0..3)
+            .map(|c| {
+                thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let line = format!(
+                        r#"{{"v":1,"type":"request","id":"c{c}","problem":{{"name":"mis","base_degree":8}},"instance":{{"kind":"host","nodes":3,"edges":[[0,1],[1,2],[2,0]]}}}}"#
+                    );
+                    stream.write_all(line.as_bytes()).unwrap();
+                    stream.write_all(b"\n").unwrap();
+                    stream
+                        .write_all(br#"{"v":1,"type":"shutdown"}"#)
+                        .unwrap();
+                    stream.write_all(b"\n").unwrap();
+                    let mut reply = String::new();
+                    BufReader::new(&stream).read_line(&mut reply).unwrap();
+                    let parsed = split_reply(reply.trim_end()).unwrap();
+                    assert_eq!(parsed.frame_type, "solution");
+                    assert_eq!(parsed.id, format!("c{c}"));
+                })
+            })
+            .collect();
+        for client in clients {
+            client.join().unwrap();
+        }
+    }
+}

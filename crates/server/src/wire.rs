@@ -1,0 +1,1076 @@
+//! The JSON-line wire codec: frame schemas, the request parser, the
+//! client-side request renderer, and the reply-frame assemblers.
+//!
+//! The protocol is specified in `docs/PROTOCOL.md`; a doc-sync test
+//! (`tests/protocol_doc.rs`) pins every worked example there to the real
+//! output of this module, so the spec cannot drift from the code.
+//!
+//! Wire failures are reported through the same closed
+//! [`ApiError`] taxonomy the in-process boundary uses: malformed frames
+//! map to `invalid-request`, admission refusals to `overloaded`. The
+//! embedded solution payload of a reply frame is byte-for-byte
+//! [`Solution::to_json_line`](splitting_api::Solution::to_json_line) —
+//! the server adds an envelope, never re-renders.
+
+use crate::json::{self, Json, Number};
+use degree_split::Engine;
+use splitgraph::{BipartiteGraph, Graph, MultiGraph};
+use splitting_api::render::JsonObject;
+use splitting_api::{ApiError, Instance, Pipeline, Problem, Request};
+use splitting_reductions::EdgeSplitEngine;
+
+/// The wire protocol version this build speaks. Every frame carries
+/// `"v":1`; other versions are rejected with a typed error.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard cap on the `id` field, in bytes.
+pub const MAX_ID_BYTES: usize = 128;
+
+/// Scheduling priority of a request. Workers always drain `high` before
+/// `normal` before `low`; within one lane, requests run in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Served before everything else.
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Served only when the other lanes are empty.
+    Low,
+}
+
+impl Priority {
+    /// Number of priority lanes.
+    pub const COUNT: usize = 3;
+
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
+        }
+    }
+
+    /// The queue lane index (0 = most urgent).
+    pub fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// The envelope of a request frame: everything admission control needs,
+/// extracted without parsing the (potentially large) problem/instance
+/// payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Client-chosen request id, echoed on the reply frame.
+    pub id: String,
+    /// Scheduling priority.
+    pub priority: Priority,
+}
+
+/// One scanned client frame, classified by `type`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientFrame {
+    /// A `request` frame (body not yet parsed — workers do that).
+    Request(Envelope),
+    /// A `ping` frame; the server replies with a heartbeat.
+    Ping {
+        /// Echoed id ("" when the ping carried none).
+        id: String,
+    },
+    /// A `shutdown` frame; the server drains and closes the stream.
+    Shutdown,
+}
+
+fn invalid(field: &'static str, reason: impl Into<String>) -> ApiError {
+    ApiError::InvalidRequest {
+        field,
+        reason: reason.into(),
+    }
+}
+
+const REQUEST_KEYS: &[&str] = &[
+    "v",
+    "type",
+    "id",
+    "priority",
+    "problem",
+    "instance",
+    "determinism",
+    "seed",
+    "force_pipeline",
+    "max_rounds",
+    "attempts",
+];
+const PING_KEYS: &[&str] = &["v", "type", "id"];
+const SHUTDOWN_KEYS: &[&str] = &["v", "type"];
+
+fn check_version(raw: Option<&&str>) -> Result<(), ApiError> {
+    match raw {
+        Some(raw) => {
+            let v = json::parse(raw)
+                .ok()
+                .and_then(|j| j.as_number())
+                .and_then(Number::as_u64);
+            if v == Some(PROTOCOL_VERSION) {
+                Ok(())
+            } else {
+                Err(invalid(
+                    "v",
+                    format!("unsupported protocol version {raw}; this server speaks v{PROTOCOL_VERSION}"),
+                ))
+            }
+        }
+        None => Err(invalid(
+            "v",
+            format!("missing protocol version; send \"v\":{PROTOCOL_VERSION}"),
+        )),
+    }
+}
+
+fn parse_id(raw: Option<&&str>) -> Result<String, ApiError> {
+    let Some(raw) = raw else {
+        return Err(invalid(
+            "id",
+            "request frames must carry a client-chosen id",
+        ));
+    };
+    let id = json::parse(raw)
+        .ok()
+        .and_then(|j| j.as_str().map(str::to_owned))
+        .ok_or_else(|| invalid("id", "id must be a JSON string"))?;
+    if id.is_empty() {
+        return Err(invalid("id", "id must be non-empty"));
+    }
+    if id.len() > MAX_ID_BYTES {
+        return Err(invalid(
+            "id",
+            format!("id exceeds {MAX_ID_BYTES} bytes ({} given)", id.len()),
+        ));
+    }
+    Ok(id)
+}
+
+fn parse_priority(raw: Option<&&str>) -> Result<Priority, ApiError> {
+    match raw {
+        None => Ok(Priority::Normal),
+        Some(raw) => {
+            let s = json::parse(raw)
+                .ok()
+                .and_then(|j| j.as_str().map(str::to_owned))
+                .ok_or_else(|| invalid("priority", "priority must be a JSON string"))?;
+            Priority::parse(&s).ok_or_else(|| {
+                invalid(
+                    "priority",
+                    format!("unknown priority \"{s}\"; use high, normal, or low"),
+                )
+            })
+        }
+    }
+}
+
+/// Classifies one line and validates its envelope (`v`, `type`, `id`,
+/// `priority`, and key-set strictness) **without** parsing the problem or
+/// instance payloads — those are brace-skipped, so admission control on
+/// a megabyte-scale frame costs a single scan. The deferred payload is
+/// parsed strictly by the worker ([`parse_request`]); a body error then
+/// comes back as a typed error frame under this envelope's id.
+///
+/// # Errors
+///
+/// [`ApiError::InvalidRequest`] for anything that is not a structurally
+/// valid v1 client frame.
+pub fn scan_envelope(line: &str) -> Result<ClientFrame, ApiError> {
+    let fields = json::scan_top_level(line)
+        .map_err(|e| invalid("frame", format!("not a JSON object: {e}")))?;
+    let get = |key: &str| fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v);
+    check_version(get("v"))?;
+    let ty = match get("type") {
+        Some(raw) => json::parse(raw)
+            .ok()
+            .and_then(|j| j.as_str().map(str::to_owned))
+            .ok_or_else(|| invalid("type", "type must be a JSON string"))?,
+        None => return Err(invalid("type", "missing frame type")),
+    };
+    let allowed: &[&str] = match ty.as_str() {
+        "request" => REQUEST_KEYS,
+        "ping" => PING_KEYS,
+        "shutdown" => SHUTDOWN_KEYS,
+        other => {
+            return Err(invalid(
+                "type",
+                format!("unknown frame type \"{other}\"; use request, ping, or shutdown"),
+            ))
+        }
+    };
+    for (key, _) in &fields {
+        if !allowed.contains(key) {
+            return Err(invalid(
+                "frame",
+                format!("unknown field \"{key}\" on a {ty} frame"),
+            ));
+        }
+    }
+    match ty.as_str() {
+        "request" => {
+            let id = parse_id(get("id"))?;
+            let priority = parse_priority(get("priority"))?;
+            if get("problem").is_none() {
+                return Err(invalid("problem", "request frames must carry a problem"));
+            }
+            if get("instance").is_none() {
+                return Err(invalid("instance", "request frames must carry an instance"));
+            }
+            Ok(ClientFrame::Request(Envelope { id, priority }))
+        }
+        "ping" => {
+            let id = match get("id") {
+                Some(_) => parse_id(get("id"))?,
+                None => String::new(),
+            };
+            Ok(ClientFrame::Ping { id })
+        }
+        _ => Ok(ClientFrame::Shutdown),
+    }
+}
+
+// ------------------------------------------------------- request parsing
+
+fn field_str(fields: &[(&str, &str)], key: &'static str) -> Result<Option<String>, ApiError> {
+    match fields.iter().find(|(k, _)| *k == key) {
+        None => Ok(None),
+        Some((_, raw)) => json::parse(raw)
+            .ok()
+            .and_then(|j| j.as_str().map(str::to_owned))
+            .map(Some)
+            .ok_or_else(|| invalid(key, "must be a JSON string")),
+    }
+}
+
+fn field_number(fields: &[(&str, &str)], key: &'static str) -> Result<Option<Number>, ApiError> {
+    match fields.iter().find(|(k, _)| *k == key) {
+        None => Ok(None),
+        Some((_, raw)) => json::parse(raw)
+            .ok()
+            .and_then(|j| j.as_number())
+            .map(Some)
+            .ok_or_else(|| invalid(key, "must be a JSON number")),
+    }
+}
+
+fn obj_str(obj: &Json, key: &'static str, ctx: &'static str) -> Result<Option<String>, ApiError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_str().map(|s| Some(s.to_owned())).ok_or_else(|| {
+            invalid(
+                ctx,
+                format!("{key} must be a string, got {}", v.type_name()),
+            )
+        }),
+    }
+}
+
+fn obj_number(
+    obj: &Json,
+    key: &'static str,
+    ctx: &'static str,
+) -> Result<Option<Number>, ApiError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_number().map(Some).ok_or_else(|| {
+            invalid(
+                ctx,
+                format!("{key} must be a number, got {}", v.type_name()),
+            )
+        }),
+    }
+}
+
+fn obj_usize(obj: &Json, key: &'static str, ctx: &'static str) -> Result<Option<usize>, ApiError> {
+    match obj_number(obj, key, ctx)? {
+        None => Ok(None),
+        Some(n) => n
+            .as_usize()
+            .map(Some)
+            .ok_or_else(|| invalid(ctx, format!("{key} must be a non-negative integer"))),
+    }
+}
+
+fn check_keys(obj: &Json, allowed: &[&str], ctx: &'static str) -> Result<(), ApiError> {
+    for (key, _) in obj.as_object().expect("checked object") {
+        if !allowed.iter().any(|a| a == key) {
+            return Err(invalid(ctx, format!("unknown field \"{key}\"")));
+        }
+    }
+    Ok(())
+}
+
+fn parse_problem(raw: &str) -> Result<Problem, ApiError> {
+    let obj = json::parse(raw).map_err(|e| invalid("problem", e.to_string()))?;
+    if obj.as_object().is_none() {
+        return Err(invalid("problem", "must be a JSON object"));
+    }
+    let name = obj_str(&obj, "name", "problem")?
+        .ok_or_else(|| invalid("problem", "missing problem name"))?;
+    match name.as_str() {
+        "weak-splitting" => {
+            check_keys(&obj, &["name", "thm12_constant"], "problem")?;
+            let c = obj_number(&obj, "thm12_constant", "problem")?.map_or(3.0, Number::as_f64);
+            Ok(Problem::WeakSplitting { thm12_constant: c })
+        }
+        "weak-multicolor" => {
+            check_keys(&obj, &["name"], "problem")?;
+            Ok(Problem::WeakMulticolor)
+        }
+        "multicolor-splitting" => {
+            check_keys(&obj, &["name", "colors", "lambda"], "problem")?;
+            let colors = obj_number(&obj, "colors", "problem")?
+                .and_then(Number::as_u32)
+                .ok_or_else(|| invalid("problem", "colors must be an integer palette bound"))?;
+            let lambda = obj_number(&obj, "lambda", "problem")?
+                .ok_or_else(|| invalid("problem", "missing per-color load cap lambda"))?
+                .as_f64();
+            Ok(Problem::MulticolorSplitting { colors, lambda })
+        }
+        "uniform-splitting" => {
+            check_keys(&obj, &["name", "eps", "min_degree"], "problem")?;
+            Ok(Problem::UniformSplitting {
+                eps: obj_number(&obj, "eps", "problem")?.map(Number::as_f64),
+                min_degree: obj_usize(&obj, "min_degree", "problem")?,
+            })
+        }
+        "degree-splitting" => {
+            check_keys(&obj, &["name", "eps", "engine"], "problem")?;
+            let eps = obj_number(&obj, "eps", "problem")?
+                .ok_or_else(|| invalid("problem", "missing contract accuracy eps"))?
+                .as_f64();
+            let engine = match obj_str(&obj, "engine", "problem")?.as_deref() {
+                None | Some("eulerian-oracle") => Engine::EulerianOracle,
+                Some("walk") => Engine::Walk,
+                Some(other) => {
+                    return Err(invalid(
+                        "problem",
+                        format!("unknown engine \"{other}\"; use eulerian-oracle or walk"),
+                    ))
+                }
+            };
+            Ok(Problem::DegreeSplitting { eps, engine })
+        }
+        "sinkless-orientation" => {
+            check_keys(&obj, &["name"], "problem")?;
+            Ok(Problem::SinklessOrientation)
+        }
+        "delta-coloring" => {
+            check_keys(&obj, &["name", "base_degree", "max_eps"], "problem")?;
+            Ok(Problem::DeltaColoring {
+                base_degree: obj_usize(&obj, "base_degree", "problem")?,
+                max_eps: obj_number(&obj, "max_eps", "problem")?.map(Number::as_f64),
+            })
+        }
+        "edge-coloring" => {
+            check_keys(&obj, &["name", "base_degree", "engine"], "problem")?;
+            let engine = match obj_str(&obj, "engine", "problem")?.as_deref() {
+                None | Some("eulerian") => EdgeSplitEngine::Eulerian,
+                Some("walk") => EdgeSplitEngine::Walk,
+                Some(other) => {
+                    return Err(invalid(
+                        "problem",
+                        format!("unknown engine \"{other}\"; use eulerian or walk"),
+                    ))
+                }
+            };
+            Ok(Problem::EdgeColoring {
+                base_degree: obj_usize(&obj, "base_degree", "problem")?,
+                engine,
+            })
+        }
+        "mis" => {
+            check_keys(&obj, &["name", "base_degree"], "problem")?;
+            Ok(Problem::Mis {
+                base_degree: obj_usize(&obj, "base_degree", "problem")?,
+            })
+        }
+        other => Err(invalid("problem", format!("unknown problem \"{other}\""))),
+    }
+}
+
+fn parse_instance(raw: &str) -> Result<Instance, ApiError> {
+    let fields = json::scan_top_level(raw)
+        .map_err(|e| invalid("instance", format!("not a JSON object: {e}")))?;
+    let get = |key: &str| fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+    let kind = match get("kind") {
+        Some(raw) => json::parse(raw)
+            .ok()
+            .and_then(|j| j.as_str().map(str::to_owned))
+            .ok_or_else(|| invalid("instance", "kind must be a JSON string"))?,
+        None => return Err(invalid("instance", "missing instance kind")),
+    };
+    let small_usize = |key: &'static str| -> Result<Option<usize>, ApiError> {
+        match get(key) {
+            None => Ok(None),
+            Some(raw) => json::parse(raw)
+                .ok()
+                .and_then(|j| j.as_number())
+                .and_then(Number::as_usize)
+                .map(Some)
+                .ok_or_else(|| {
+                    invalid("instance", format!("{key} must be a non-negative integer"))
+                }),
+        }
+    };
+    let edges = || -> Result<Vec<(usize, usize)>, ApiError> {
+        match get("edges") {
+            Some(raw) => {
+                json::parse_edge_pairs(raw).map_err(|e| invalid("instance", format!("edges: {e}")))
+            }
+            None => Err(invalid("instance", "missing edges array")),
+        }
+    };
+    let check_keys = |allowed: &[&str]| -> Result<(), ApiError> {
+        for (key, _) in &fields {
+            if !allowed.contains(key) {
+                return Err(invalid(
+                    "instance",
+                    format!("unknown field \"{key}\" on a {kind} instance"),
+                ));
+            }
+        }
+        Ok(())
+    };
+    match kind.as_str() {
+        "bipartite" => {
+            check_keys(&["kind", "left", "right", "edges"])?;
+            let left = small_usize("left")?
+                .ok_or_else(|| invalid("instance", "missing left (constraint count)"))?;
+            let right = small_usize("right")?
+                .ok_or_else(|| invalid("instance", "missing right (variable count)"))?;
+            let b = BipartiteGraph::from_edges_bulk(left, right, &edges()?)
+                .map_err(|e| invalid("instance", e.to_string()))?;
+            Ok(Instance::Bipartite(b))
+        }
+        "host" => {
+            check_keys(&["kind", "nodes", "edges"])?;
+            let n =
+                small_usize("nodes")?.ok_or_else(|| invalid("instance", "missing node count"))?;
+            let g = Graph::from_edges_bulk(n, &edges()?)
+                .map_err(|e| invalid("instance", e.to_string()))?;
+            Ok(Instance::Host(g))
+        }
+        "multigraph" => {
+            check_keys(&["kind", "nodes", "edges"])?;
+            let n =
+                small_usize("nodes")?.ok_or_else(|| invalid("instance", "missing node count"))?;
+            let endpoints = edges()?;
+            // from_endpoints panics on out-of-range ids; validate first so
+            // malformed frames stay typed errors
+            for &(a, b) in &endpoints {
+                if a >= n || b >= n {
+                    return Err(invalid(
+                        "instance",
+                        format!("edge endpoint ({a}, {b}) out of range for {n} nodes"),
+                    ));
+                }
+            }
+            Ok(Instance::Multi(MultiGraph::from_endpoints(n, endpoints)))
+        }
+        other => Err(invalid(
+            "instance",
+            format!("unknown instance kind \"{other}\"; use bipartite, host, or multigraph"),
+        )),
+    }
+}
+
+/// Fully parses a `request` frame into its envelope and the typed
+/// [`Request`] the in-process API solves. Strict: unknown fields anywhere
+/// in the frame, the problem object, or the instance object are typed
+/// errors (typos must not silently become defaults).
+///
+/// # Errors
+///
+/// [`ApiError::InvalidRequest`] describing the first offending field.
+pub fn parse_request(line: &str) -> Result<(Envelope, Request), ApiError> {
+    let envelope = match scan_envelope(line)? {
+        ClientFrame::Request(envelope) => envelope,
+        other => {
+            return Err(invalid(
+                "type",
+                format!("expected a request frame, got {other:?}"),
+            ))
+        }
+    };
+    let fields = json::scan_top_level(line).expect("validated by scan_envelope");
+    let get = |key: &str| fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+    let problem = parse_problem(get("problem").expect("checked by scan_envelope"))?;
+    let instance = parse_instance(get("instance").expect("checked by scan_envelope"))?;
+    let mut request = Request::new(problem, instance);
+    match field_str(&fields, "determinism")?.as_deref() {
+        None => {}
+        Some("deterministic") => request = request.deterministic(),
+        Some("randomized") => request = request.randomized(),
+        Some(other) => {
+            return Err(invalid(
+                "determinism",
+                format!("unknown policy \"{other}\"; use deterministic or randomized"),
+            ))
+        }
+    }
+    if let Some(n) = field_number(&fields, "seed")? {
+        let seed = n
+            .as_u64()
+            .ok_or_else(|| invalid("seed", "must be an unsigned 64-bit integer"))?;
+        request = request.seed(seed);
+    }
+    if let Some(name) = field_str(&fields, "force_pipeline")? {
+        let pipeline = [
+            Pipeline::Theorem27,
+            Pipeline::Theorem25,
+            Pipeline::ZeroRound,
+            Pipeline::Theorem12,
+        ]
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| {
+            invalid(
+                "force_pipeline",
+                format!(
+                    "unknown pipeline \"{name}\"; use theorem27, theorem25, zero-round, or theorem12"
+                ),
+            )
+        })?;
+        request = request.force_pipeline(pipeline);
+    }
+    if let Some(n) = field_number(&fields, "max_rounds")? {
+        request = request.max_rounds(n.as_f64());
+    }
+    if let Some(n) = field_number(&fields, "attempts")? {
+        let attempts = n
+            .as_usize()
+            .ok_or_else(|| invalid("attempts", "must be a non-negative integer"))?;
+        request = request.attempts(attempts);
+    }
+    Ok((envelope, request))
+}
+
+// ------------------------------------------------------ request rendering
+
+fn render_edges(out: &mut String, edges: impl Iterator<Item = (usize, usize)>) {
+    out.push('[');
+    let mut first = true;
+    for (u, v) in edges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('[');
+        out.push_str(&u.to_string());
+        out.push(',');
+        out.push_str(&v.to_string());
+        out.push(']');
+    }
+    out.push(']');
+}
+
+fn render_instance(instance: &Instance) -> String {
+    let mut edges_buf = String::new();
+    let mut obj = JsonObject::new();
+    match instance {
+        Instance::Bipartite(b) => {
+            render_edges(&mut edges_buf, b.edges());
+            obj.string("kind", "bipartite")
+                .uint("left", b.left_count() as u64)
+                .uint("right", b.right_count() as u64)
+                .raw("edges", &edges_buf);
+        }
+        Instance::Host(g) => {
+            render_edges(&mut edges_buf, g.edges());
+            obj.string("kind", "host")
+                .uint("nodes", g.node_count() as u64)
+                .raw("edges", &edges_buf);
+        }
+        Instance::Multi(g) => {
+            render_edges(&mut edges_buf, (0..g.edge_count()).map(|e| g.endpoints(e)));
+            obj.string("kind", "multigraph")
+                .uint("nodes", g.node_count() as u64)
+                .raw("edges", &edges_buf);
+        }
+    }
+    obj.finish()
+}
+
+fn render_problem(problem: &Problem) -> String {
+    let mut obj = JsonObject::new();
+    obj.string("name", problem.name());
+    match *problem {
+        Problem::WeakSplitting { thm12_constant } => {
+            obj.float("thm12_constant", thm12_constant);
+        }
+        Problem::WeakMulticolor | Problem::SinklessOrientation => {}
+        Problem::MulticolorSplitting { colors, lambda } => {
+            obj.uint("colors", u64::from(colors))
+                .float("lambda", lambda);
+        }
+        Problem::UniformSplitting { eps, min_degree } => {
+            if let Some(eps) = eps {
+                obj.float("eps", eps);
+            }
+            if let Some(d) = min_degree {
+                obj.uint("min_degree", d as u64);
+            }
+        }
+        Problem::DegreeSplitting { eps, engine } => {
+            obj.float("eps", eps).string(
+                "engine",
+                match engine {
+                    Engine::EulerianOracle => "eulerian-oracle",
+                    Engine::Walk => "walk",
+                },
+            );
+        }
+        Problem::DeltaColoring {
+            base_degree,
+            max_eps,
+        } => {
+            if let Some(b) = base_degree {
+                obj.uint("base_degree", b as u64);
+            }
+            if let Some(e) = max_eps {
+                obj.float("max_eps", e);
+            }
+        }
+        Problem::EdgeColoring {
+            base_degree,
+            engine,
+        } => {
+            if let Some(b) = base_degree {
+                obj.uint("base_degree", b as u64);
+            }
+            obj.string(
+                "engine",
+                match engine {
+                    EdgeSplitEngine::Eulerian => "eulerian",
+                    EdgeSplitEngine::Walk => "walk",
+                },
+            );
+        }
+        Problem::Mis { base_degree } => {
+            if let Some(b) = base_degree {
+                obj.uint("base_degree", b as u64);
+            }
+        }
+    }
+    obj.finish()
+}
+
+/// Renders a [`Request`] as a canonical v1 `request` frame — the
+/// client-side encoder. [`parse_request`] inverts it exactly
+/// (round-trip-tested), so in-process callers can go over the wire
+/// without hand-writing JSON.
+pub fn render_request(id: &str, priority: Priority, request: &Request) -> String {
+    let problem = render_problem(request.problem());
+    let instance = render_instance(request.instance());
+    let mut obj = JsonObject::new();
+    obj.uint("v", PROTOCOL_VERSION)
+        .string("type", "request")
+        .string("id", id)
+        .string("priority", priority.name())
+        .raw("problem", &problem)
+        .raw("instance", &instance)
+        .string("determinism", request.determinism().name())
+        .uint("seed", request.master_seed());
+    if let Some(p) = request.pipeline_override() {
+        obj.string("force_pipeline", p.name());
+    }
+    if let Some(r) = request.budget().max_rounds {
+        obj.float("max_rounds", r);
+    }
+    if let Some(a) = request.budget().attempts {
+        obj.uint("attempts", a as u64);
+    }
+    obj.finish()
+}
+
+/// Renders a `ping` frame.
+pub fn render_ping(id: &str) -> String {
+    let mut obj = JsonObject::new();
+    obj.uint("v", PROTOCOL_VERSION).string("type", "ping");
+    if !id.is_empty() {
+        obj.string("id", id);
+    }
+    obj.finish()
+}
+
+/// Renders a `shutdown` frame.
+pub fn render_shutdown() -> String {
+    let mut obj = JsonObject::new();
+    obj.uint("v", PROTOCOL_VERSION).string("type", "shutdown");
+    obj.finish()
+}
+
+// -------------------------------------------------------- reply assembly
+
+/// Per-request service timings attached to reply frames (omitted when the
+/// server runs with timings disabled, e.g. for byte-reproducible streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    /// Nanoseconds between admission and a worker picking the job up.
+    pub queued_ns: u64,
+    /// Nanoseconds the worker spent parsing + solving + rendering.
+    pub solve_ns: u64,
+}
+
+fn reply_frame(
+    frame_type: &str,
+    id: &str,
+    seq: u64,
+    timing: Option<Timing>,
+    payload_key: &str,
+    payload: &str,
+) -> String {
+    let mut obj = JsonObject::new();
+    obj.uint("v", PROTOCOL_VERSION)
+        .string("type", frame_type)
+        .string("id", id)
+        .uint("seq", seq);
+    if let Some(t) = timing {
+        obj.uint("queued_ns", t.queued_ns)
+            .uint("solve_ns", t.solve_ns);
+    }
+    // the payload is always the LAST field so tests and clients can
+    // extract it byte-exactly with `embedded_payload`
+    obj.raw(payload_key, payload);
+    obj.finish()
+}
+
+/// Assembles a `solution` reply frame around a rendered
+/// [`Solution::to_json_line`](splitting_api::Solution::to_json_line)
+/// payload (embedded verbatim).
+pub fn solution_frame(id: &str, seq: u64, timing: Option<Timing>, payload: &str) -> String {
+    reply_frame("solution", id, seq, timing, "solution", payload)
+}
+
+/// Assembles an `error` reply frame around a rendered
+/// [`ApiError::to_json_line`] payload (embedded verbatim).
+pub fn error_frame(id: &str, seq: u64, timing: Option<Timing>, payload: &str) -> String {
+    reply_frame("error", id, seq, timing, "error", payload)
+}
+
+/// A point-in-time service snapshot, reported on heartbeat frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Requests solved (or typed-failed) and reported.
+    pub served: u64,
+    /// Requests refused admission.
+    pub rejected: u64,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: usize,
+    /// Deepest the queue has been since startup.
+    pub queue_high_water: usize,
+    /// Jobs being solved right now.
+    pub inflight: usize,
+    /// Persistent worker count.
+    pub workers: usize,
+    /// Configured queue capacity.
+    pub queue_capacity: usize,
+}
+
+/// Assembles a `heartbeat` reply frame.
+pub fn heartbeat_frame(id: &str, seq: u64, stats: StatsSnapshot) -> String {
+    let mut obj = JsonObject::new();
+    obj.uint("v", PROTOCOL_VERSION)
+        .string("type", "heartbeat")
+        .string("id", id)
+        .uint("seq", seq)
+        .uint("served", stats.served)
+        .uint("rejected", stats.rejected)
+        .uint("queue_depth", stats.queue_depth as u64)
+        .uint("queue_high_water", stats.queue_high_water as u64)
+        .uint("inflight", stats.inflight as u64)
+        .uint("workers", stats.workers as u64)
+        .uint("queue_capacity", stats.queue_capacity as u64);
+    obj.finish()
+}
+
+/// Renders the reserved wire-level panic report (see `docs/PROTOCOL.md`):
+/// not part of the [`ApiError`] taxonomy because it certifies a server
+/// bug, not a request failure.
+pub fn internal_panic_payload(detail: &str) -> String {
+    let mut obj = JsonObject::new();
+    obj.string("event", "error")
+        .string("kind", "internal-panic")
+        .string("detail", detail);
+    obj.finish()
+}
+
+/// A reply frame split back into its parts — the client-side decoder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply<'a> {
+    /// `"solution"`, `"error"`, or `"heartbeat"`.
+    pub frame_type: String,
+    /// The echoed request id.
+    pub id: String,
+    /// Per-connection reporting sequence number.
+    pub seq: u64,
+    /// Optional service timings (absent when the server disables them).
+    pub timing: Option<Timing>,
+    /// The **byte-exact slice** of the embedded `solution`/`error`
+    /// object; `None` for heartbeats. This is how the conformance
+    /// harness asserts that server output equals direct `Session::solve`
+    /// rendering byte for byte.
+    pub payload: Option<&'a str>,
+}
+
+/// Splits a reply frame into its envelope and embedded payload slice.
+/// Returns `None` when `frame` is not a well-formed v1 reply frame.
+pub fn split_reply(frame: &str) -> Option<Reply<'_>> {
+    let fields = json::scan_top_level(frame).ok()?;
+    let get = |key: &str| fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+    let v = json::parse(get("v")?).ok()?.as_number()?.as_u64()?;
+    if v != PROTOCOL_VERSION {
+        return None;
+    }
+    let frame_type = json::parse(get("type")?).ok()?.as_str()?.to_owned();
+    let id = json::parse(get("id")?).ok()?.as_str()?.to_owned();
+    let seq = json::parse(get("seq")?).ok()?.as_number()?.as_u64()?;
+    let field_u64 =
+        |key: &str| -> Option<u64> { json::parse(get(key)?).ok()?.as_number()?.as_u64() };
+    let timing = match (field_u64("queued_ns"), field_u64("solve_ns")) {
+        (Some(queued_ns), Some(solve_ns)) => Some(Timing {
+            queued_ns,
+            solve_ns,
+        }),
+        _ => None,
+    };
+    let payload = match frame_type.as_str() {
+        "solution" => Some(get("solution")?),
+        "error" => Some(get("error")?),
+        "heartbeat" => None,
+        _ => return None,
+    };
+    Some(Reply {
+        frame_type,
+        id,
+        seq,
+        timing,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use splitgraph::generators;
+
+    #[test]
+    fn envelope_scan_classifies_frames() {
+        let line = r#"{"v":1,"type":"request","id":"r1","priority":"high","problem":{"name":"mis"},"instance":{"kind":"host","nodes":1,"edges":[]}}"#;
+        assert_eq!(
+            scan_envelope(line).unwrap(),
+            ClientFrame::Request(Envelope {
+                id: "r1".into(),
+                priority: Priority::High
+            })
+        );
+        assert_eq!(
+            scan_envelope(r#"{"v":1,"type":"ping"}"#).unwrap(),
+            ClientFrame::Ping { id: String::new() }
+        );
+        assert_eq!(
+            scan_envelope(r#"{"v":1,"type":"shutdown"}"#).unwrap(),
+            ClientFrame::Shutdown
+        );
+    }
+
+    #[test]
+    fn envelope_scan_rejects_bad_frames() {
+        for (line, field) in [
+            ("not json", "frame"),
+            ("[1,2]", "frame"),
+            (r#"{"type":"request"}"#, "v"),
+            (r#"{"v":2,"type":"request"}"#, "v"),
+            (r#"{"v":1}"#, "type"),
+            (r#"{"v":1,"type":"nope"}"#, "type"),
+            (r#"{"v":1,"type":"request"}"#, "id"),
+            (r#"{"v":1,"type":"request","id":""}"#, "id"),
+            (r#"{"v":1,"type":"request","id":"x","bogus":1}"#, "frame"),
+            (
+                r#"{"v":1,"type":"request","id":"x","priority":"urgent"}"#,
+                "priority",
+            ),
+            (r#"{"v":1,"type":"request","id":"x"}"#, "problem"),
+            (r#"{"v":1,"type":"shutdown","id":"x"}"#, "frame"),
+        ] {
+            match scan_envelope(line) {
+                Err(ApiError::InvalidRequest { field: f, .. }) => {
+                    assert_eq!(f, field, "line {line}")
+                }
+                other => panic!("{line}: expected invalid-request on {field}, got {other:?}"),
+            }
+        }
+    }
+
+    fn roundtrip(request: Request) {
+        let line = render_request("rt", Priority::Low, &request);
+        let (envelope, parsed) = parse_request(&line).expect(&line);
+        assert_eq!(envelope.id, "rt");
+        assert_eq!(envelope.priority, Priority::Low);
+        assert_eq!(&parsed, &request, "wire round-trip changed the request");
+    }
+
+    #[test]
+    fn every_problem_variant_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let b = generators::random_biregular(8, 8, 4, &mut rng).unwrap();
+        let g = generators::cycle(6).unwrap();
+        let m = MultiGraph::from_endpoints(3, vec![(0, 1), (0, 1), (1, 2)]);
+        roundtrip(Request::new(Problem::weak_splitting(), b.clone()).seed(7));
+        roundtrip(
+            Request::new(
+                Problem::WeakSplitting {
+                    thm12_constant: 1.5,
+                },
+                b.clone(),
+            )
+            .deterministic()
+            .force_pipeline(Pipeline::Theorem25)
+            .max_rounds(1e6)
+            .attempts(3),
+        );
+        roundtrip(Request::new(Problem::WeakMulticolor, b.clone()));
+        roundtrip(Request::new(
+            Problem::MulticolorSplitting {
+                colors: 6,
+                lambda: 0.6,
+            },
+            b.clone(),
+        ));
+        roundtrip(Request::new(
+            Problem::UniformSplitting {
+                eps: Some(0.25),
+                min_degree: Some(4),
+            },
+            g.clone(),
+        ));
+        roundtrip(Request::new(
+            Problem::UniformSplitting {
+                eps: None,
+                min_degree: None,
+            },
+            g.clone(),
+        ));
+        roundtrip(Request::new(
+            Problem::DegreeSplitting {
+                eps: 0.25,
+                engine: Engine::Walk,
+            },
+            m.clone(),
+        ));
+        roundtrip(Request::new(Problem::SinklessOrientation, g.clone()));
+        roundtrip(Request::new(
+            Problem::DeltaColoring {
+                base_degree: Some(8),
+                max_eps: Some(0.2),
+            },
+            g.clone(),
+        ));
+        roundtrip(Request::new(
+            Problem::EdgeColoring {
+                base_degree: None,
+                engine: EdgeSplitEngine::Walk,
+            },
+            g.clone(),
+        ));
+        roundtrip(Request::new(Problem::Mis { base_degree: None }, g).seed(u64::MAX));
+    }
+
+    #[test]
+    fn unknown_problem_and_instance_fields_are_typed_errors() {
+        let bad_problem = r#"{"v":1,"type":"request","id":"x","problem":{"name":"mis","basedegree":4},"instance":{"kind":"host","nodes":1,"edges":[]}}"#;
+        assert_eq!(
+            parse_request(bad_problem).unwrap_err().kind(),
+            "invalid-request"
+        );
+        let bad_instance = r#"{"v":1,"type":"request","id":"x","problem":{"name":"mis"},"instance":{"kind":"host","nodes":1,"edges":[],"n":1}}"#;
+        assert_eq!(
+            parse_request(bad_instance).unwrap_err().kind(),
+            "invalid-request"
+        );
+        let bad_edge = r#"{"v":1,"type":"request","id":"x","problem":{"name":"mis"},"instance":{"kind":"multigraph","nodes":2,"edges":[[0,5]]}}"#;
+        let err = parse_request(bad_edge).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn reply_frames_embed_payload_last() {
+        let frame = solution_frame("r9", 4, None, r#"{"event":"solution","x":1}"#);
+        assert_eq!(
+            frame,
+            r#"{"v":1,"type":"solution","id":"r9","seq":4,"solution":{"event":"solution","x":1}}"#
+        );
+        let timed = error_frame(
+            "r9",
+            5,
+            Some(Timing {
+                queued_ns: 10,
+                solve_ns: 20,
+            }),
+            r#"{"event":"error"}"#,
+        );
+        assert_eq!(
+            timed,
+            r#"{"v":1,"type":"error","id":"r9","seq":5,"queued_ns":10,"solve_ns":20,"error":{"event":"error"}}"#
+        );
+    }
+
+    #[test]
+    fn split_reply_recovers_envelope_and_exact_payload() {
+        let payload = r#"{"event":"solution","rounds":0}"#;
+        let frame = solution_frame(
+            "abc",
+            17,
+            Some(Timing {
+                queued_ns: 3,
+                solve_ns: 9,
+            }),
+            payload,
+        );
+        let reply = split_reply(&frame).unwrap();
+        assert_eq!(reply.frame_type, "solution");
+        assert_eq!(reply.id, "abc");
+        assert_eq!(reply.seq, 17);
+        assert_eq!(
+            reply.timing,
+            Some(Timing {
+                queued_ns: 3,
+                solve_ns: 9
+            })
+        );
+        assert_eq!(reply.payload, Some(payload));
+
+        let hb = heartbeat_frame("", 0, StatsSnapshot::default());
+        let reply = split_reply(&hb).unwrap();
+        assert_eq!(reply.frame_type, "heartbeat");
+        assert_eq!(reply.payload, None);
+
+        assert!(split_reply("not json").is_none());
+        assert!(
+            split_reply(r#"{"v":2,"type":"solution","id":"x","seq":0,"solution":{}}"#).is_none()
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Doc-sync: every worked example in `docs/PROTOCOL.md` is replayed
+//! through a real (timings-disabled) server and the committed response
+//! must match byte for byte. The spec cannot drift from the code.
+
+use splitting_server::{transport, Server, ServerConfig};
+use std::path::Path;
+
+struct Example {
+    name: String,
+    request: String,
+    response: String,
+}
+
+/// Extracts `<!-- doc-sync: request NAME -->` / `response NAME` marker
+/// pairs, each followed by a fenced json block.
+fn parse_examples(doc: &str) -> Vec<Example> {
+    let mut blocks: Vec<(String, String, String)> = Vec::new(); // (kind, name, line)
+    let mut lines = doc.lines().peekable();
+    while let Some(line) = lines.next() {
+        let Some(marker) = line
+            .trim()
+            .strip_prefix("<!-- doc-sync: ")
+            .and_then(|s| s.strip_suffix(" -->"))
+        else {
+            continue;
+        };
+        let (kind, name) = marker
+            .split_once(' ')
+            .unwrap_or_else(|| panic!("malformed doc-sync marker: {line}"));
+        assert!(
+            matches!(kind, "request" | "response"),
+            "unknown doc-sync marker kind in: {line}"
+        );
+        assert_eq!(
+            lines.next().map(str::trim),
+            Some("```json"),
+            "doc-sync marker {name} must be followed by a ```json block"
+        );
+        let payload = lines
+            .next()
+            .unwrap_or_else(|| panic!("{name}: missing example line"));
+        assert_eq!(
+            lines.next().map(str::trim),
+            Some("```"),
+            "doc-sync example {name} must be a single line"
+        );
+        blocks.push((kind.to_owned(), name.to_owned(), payload.to_owned()));
+    }
+    // pair up request/response by name, preserving document order
+    let mut examples = Vec::new();
+    for (kind, name, line) in &blocks {
+        if kind != "request" {
+            continue;
+        }
+        let response = blocks
+            .iter()
+            .find(|(k, n, _)| k == "response" && n == name)
+            .unwrap_or_else(|| panic!("request {name} has no response block"))
+            .2
+            .clone();
+        examples.push(Example {
+            name: name.clone(),
+            request: line.clone(),
+            response,
+        });
+    }
+    examples
+}
+
+#[test]
+fn protocol_examples_replay_byte_identically() {
+    let doc_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/PROTOCOL.md");
+    let doc = std::fs::read_to_string(&doc_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", doc_path.display()));
+    let examples = parse_examples(&doc);
+    assert_eq!(
+        examples.len(),
+        9,
+        "docs/PROTOCOL.md must carry one worked example per Problem variant"
+    );
+
+    // replay all requests in document order over one connection, exactly
+    // like the generator (`examples/protocol_examples.rs`) produced them
+    let server = Server::start(ServerConfig {
+        record_timings: false,
+        ..ServerConfig::default()
+    });
+    let mut input = String::new();
+    for e in &examples {
+        input.push_str(&e.request);
+        input.push('\n');
+    }
+    let mut out = Vec::new();
+    transport::serve_stream(&server, input.as_bytes(), &mut out).unwrap();
+    let got = String::from_utf8(out).unwrap();
+    let replies: Vec<&str> = got.lines().collect();
+    assert_eq!(replies.len(), examples.len());
+    for (reply, example) in replies.iter().zip(&examples) {
+        assert_eq!(
+            *reply, example.response,
+            "documented response for `{}` has drifted from real output — \
+             regenerate with `cargo run -p splitting-server --example protocol_examples`",
+            example.name
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn documented_error_kind_table_matches_the_taxonomy() {
+    let doc_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/PROTOCOL.md");
+    let doc = std::fs::read_to_string(doc_path).unwrap();
+    // every kind the taxonomy can produce must appear in the spec
+    for kind in [
+        "invalid-request",
+        "unsupported-regime",
+        "randomized-failure",
+        "certification-unavailable",
+        "certificate-violation",
+        "budget-exceeded",
+        "overloaded",
+        "internal-panic",
+    ] {
+        assert!(
+            doc.contains(&format!("`{kind}`")),
+            "docs/PROTOCOL.md does not document error kind {kind}"
+        );
+    }
+}
