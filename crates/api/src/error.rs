@@ -72,6 +72,20 @@ pub enum ApiError {
         queue_depth: usize,
         /// The configured queue capacity.
         capacity: usize,
+        /// Server hint: wait at least this long before retrying. Clients
+        /// should treat it as the base of an exponential backoff with
+        /// jitter (see `examples/backoff_client.rs` in the server crate).
+        retry_after_ms: u64,
+    },
+    /// The request's `deadline_ms` budget elapsed before a solution was
+    /// produced. `stage` says how far it got: `"queued"` (expired while
+    /// waiting for a worker — never executed) or `"solving"` (a worker
+    /// abandoned the solve at a cancellation checkpoint).
+    DeadlineExceeded {
+        /// Where the deadline was detected.
+        stage: &'static str,
+        /// The request's configured budget, ms.
+        deadline_ms: u64,
     },
 }
 
@@ -86,6 +100,7 @@ impl ApiError {
             ApiError::CertificateViolation { .. } => "certificate-violation",
             ApiError::BudgetExceeded { .. } => "budget-exceeded",
             ApiError::Overloaded { .. } => "overloaded",
+            ApiError::DeadlineExceeded { .. } => "deadline-exceeded",
         }
     }
 
@@ -95,6 +110,11 @@ impl ApiError {
         let mut obj = JsonObject::new();
         obj.string("event", "error");
         obj.string("kind", self.kind());
+        // machine-readable retry hint before the free-form detail, so
+        // clients can back off without parsing prose
+        if let ApiError::Overloaded { retry_after_ms, .. } = self {
+            obj.uint("retry_after_ms", *retry_after_ms);
+        }
         obj.string("detail", &self.to_string());
         obj.finish()
     }
@@ -134,11 +154,15 @@ impl fmt::Display for ApiError {
             ApiError::Overloaded {
                 queue_depth,
                 capacity,
+                retry_after_ms,
             } => {
                 write!(
                     f,
-                    "overloaded: job queue at {queue_depth}/{capacity}; retry after backoff"
+                    "overloaded: job queue at {queue_depth}/{capacity}; retry after {retry_after_ms} ms"
                 )
+            }
+            ApiError::DeadlineExceeded { stage, deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms exceeded while {stage}")
             }
         }
     }
@@ -204,12 +228,27 @@ mod tests {
         let e = ApiError::Overloaded {
             queue_depth: 128,
             capacity: 128,
+            retry_after_ms: 25,
         };
         assert_eq!(e.kind(), "overloaded");
         assert!(e.to_string().contains("128/128"));
         assert!(e
             .to_json_line()
-            .starts_with("{\"event\":\"error\",\"kind\":\"overloaded\""));
+            .starts_with("{\"event\":\"error\",\"kind\":\"overloaded\",\"retry_after_ms\":25"));
+    }
+
+    #[test]
+    fn deadline_exceeded_is_typed_and_names_its_stage() {
+        let e = ApiError::DeadlineExceeded {
+            stage: "queued",
+            deadline_ms: 40,
+        };
+        assert_eq!(e.kind(), "deadline-exceeded");
+        assert!(e.to_string().contains("40 ms"));
+        assert!(e.to_string().contains("queued"));
+        assert!(e
+            .to_json_line()
+            .starts_with("{\"event\":\"error\",\"kind\":\"deadline-exceeded\""));
     }
 
     #[test]

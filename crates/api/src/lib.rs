@@ -67,3 +67,8 @@ pub use solution::{Certificate, CertificateKind, Provenance, Solution};
 // provenance records; re-export so API callers need not depend on the
 // core crate for them
 pub use splitting_core::{Pipeline, RegimeParams};
+
+// cancellation handles surface in `Session::solve_with_cancel`;
+// re-export so API callers (notably the `splitd` workers) need not
+// depend on the runtime crate for them
+pub use local_runtime::{CancelToken, Cancelled};

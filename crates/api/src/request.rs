@@ -49,6 +49,13 @@ pub struct Budget {
     /// default-budget requests stay bit-identical to the legacy
     /// entrypoints.
     pub attempts: Option<usize>,
+    /// Wall-clock deadline for producing a solution, milliseconds from
+    /// the moment solving (or queueing, on the service path) starts.
+    /// Enforced cooperatively: the executors and fixers abandon the
+    /// solve at their next cancellation checkpoint and the request
+    /// fails with [`ApiError::DeadlineExceeded`](crate::ApiError).
+    /// `None` = no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 /// A fully-specified unit of work: problem + instance + policy.
@@ -155,6 +162,16 @@ impl Request {
         self
     }
 
+    /// Sets a wall-clock deadline (milliseconds) for producing a
+    /// solution. Over-deadline solves are abandoned at the next
+    /// cooperative cancellation checkpoint with a typed
+    /// `deadline-exceeded` error.
+    #[must_use]
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.budget.deadline_ms = Some(ms);
+        self
+    }
+
     /// The problem to solve.
     pub fn problem(&self) -> &Problem {
         &self.problem
@@ -222,15 +239,32 @@ mod tests {
             .seed(42)
             .force_pipeline(Pipeline::Theorem27)
             .max_rounds(100.0)
-            .attempts(3);
+            .attempts(3)
+            .deadline_ms(750);
         assert_eq!(r.determinism(), Determinism::Deterministic);
         assert_eq!(r.master_seed(), 42);
         assert_eq!(r.pipeline_override(), Some(Pipeline::Theorem27));
         assert_eq!(r.budget().max_rounds, Some(100.0));
         assert_eq!(r.budget().attempts, Some(3));
+        assert_eq!(r.budget().deadline_ms, Some(750));
         let shown = r.to_string();
         assert!(shown.contains("mis"), "{shown}");
         assert!(shown.contains("forced: theorem27"), "{shown}");
+    }
+
+    #[test]
+    fn into_instance_clones_when_the_instance_is_still_shared() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let r = Request::new(Problem::Mis { base_degree: None }, g);
+        // batch/queue fan-out holds sibling clones of the same request,
+        // so the Arc'd instance is shared at extraction time
+        let sibling = r.clone();
+        let recovered = r.into_instance();
+        assert_eq!(&recovered, sibling.instance());
+        // and once exclusive again, extraction still works (no clone)
+        drop(recovered);
+        let exclusive = sibling.into_instance();
+        assert_eq!(exclusive.kind(), "host-graph");
     }
 
     #[test]

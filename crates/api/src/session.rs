@@ -6,7 +6,7 @@ use crate::problem::{Output, Problem};
 use crate::request::{Determinism, Request};
 use crate::solution::{Certificate, CertificateKind, Provenance, Solution};
 use degree_split::{DegreeSplitter, Engine, Flavor};
-use local_runtime::RoundLedger;
+use local_runtime::{CancelToken, RoundLedger};
 use splitgraph::checks;
 use splitgraph::math::{
     ceil_log2, weak_multicolor_degree_threshold, weak_multicolor_required_colors,
@@ -71,6 +71,42 @@ impl Session {
     /// exhausted randomized retries, uncertifiable derandomization,
     /// failed certificates, or busted round budgets.
     pub fn solve(&self, request: &Request) -> Result<Solution, ApiError> {
+        match request.budget().deadline_ms {
+            None => self.solve_uncancellable(request),
+            Some(ms) => {
+                let deadline = std::time::Instant::now() + std::time::Duration::from_millis(ms);
+                self.solve_with_cancel(request, &CancelToken::with_deadline(deadline))
+            }
+        }
+    }
+
+    /// Solves one request under an externally-owned cancellation token
+    /// (in addition to any `deadline_ms` budget already folded into
+    /// `token` by the caller). The solve is abandoned at the next
+    /// cooperative checkpoint once the token trips — this is the entry
+    /// the `splitd` workers use so an over-budget job releases its
+    /// worker back to the pool.
+    ///
+    /// # Errors
+    ///
+    /// Exactly like [`solve`](Session::solve), plus
+    /// [`ApiError::DeadlineExceeded`] (stage `"solving"`) when `token`
+    /// cancels the solve.
+    pub fn solve_with_cancel(
+        &self,
+        request: &Request,
+        token: &CancelToken,
+    ) -> Result<Solution, ApiError> {
+        match local_runtime::with_token(token, || self.solve_uncancellable(request)) {
+            Ok(result) => result,
+            Err(local_runtime::Cancelled) => Err(ApiError::DeadlineExceeded {
+                stage: "solving",
+                deadline_ms: request.budget().deadline_ms.unwrap_or(0),
+            }),
+        }
+    }
+
+    fn solve_uncancellable(&self, request: &Request) -> Result<Solution, ApiError> {
         let solution = dispatch(request)?;
         if !solution.certificate.holds() {
             return Err(solution.certificate.into_error());

@@ -47,11 +47,19 @@ pub enum Group {
     /// reply payload byte-compared against a direct `Session::solve`
     /// rendering — the bit-parity guarantee of `docs/PROTOCOL.md`.
     Server,
+    /// The service under seeded fault injection: the scenario's request
+    /// menu replayed through a chaos-armed server (worker panics,
+    /// stalls, torn frames, dropped connections), asserting that every
+    /// admitted request gets exactly one reply or a clean teardown,
+    /// surviving replies stay byte-identical to direct solves, reply
+    /// order is preserved, the fault schedule replays bit-identically
+    /// from its seed, and the pool survives to serve fresh work.
+    Chaos,
 }
 
 impl Group {
     /// Every group, in matrix-column order.
-    pub const ALL: [Group; 8] = [
+    pub const ALL: [Group; 9] = [
         Group::Solver,
         Group::Theorems,
         Group::Multicolor,
@@ -60,6 +68,7 @@ impl Group {
         Group::Metamorphic,
         Group::Api,
         Group::Server,
+        Group::Chaos,
     ];
 
     /// Stable display/selector name.
@@ -73,6 +82,7 @@ impl Group {
             Group::Metamorphic => "metamorphic",
             Group::Api => "api",
             Group::Server => "server",
+            Group::Chaos => "chaos",
         }
     }
 
@@ -203,9 +213,15 @@ impl<'a> Ctx<'a> {
 
 /// Runs the full corpus for a tier over every group.
 pub fn run_corpus(tier: Tier) -> ConformanceReport {
+    run_corpus_groups(tier, &Group::ALL)
+}
+
+/// Runs the full corpus for a tier over selected groups — the CLI's
+/// `--group` filter (e.g. a chaos-only CI sweep).
+pub fn run_corpus_groups(tier: Tier, groups: &[Group]) -> ConformanceReport {
     let scenarios = crate::scenario::corpus(tier)
         .iter()
-        .map(|s| run_scenario(s, &Group::ALL))
+        .map(|s| run_scenario(s, groups))
         .collect();
     ConformanceReport { tier, scenarios }
 }
@@ -234,6 +250,7 @@ pub fn run_cell(s: &Scenario, group: Group) -> CellReport {
         Group::Metamorphic => check_metamorphic(&mut ctx),
         Group::Api => check_api(&mut ctx),
         Group::Server => check_server(&mut ctx),
+        Group::Chaos => check_chaos(&mut ctx),
     }
     ctx.into_cell()
 }
@@ -1173,19 +1190,19 @@ fn check_api(ctx: &mut Ctx<'_>) {
 
 // ---------------------------------------------------------------- server
 
-fn check_server(ctx: &mut Ctx<'_>) {
-    use splitting_api::{Determinism, Problem, Request, Session};
-    use splitting_server::{wire, Priority, Server, ServerConfig, Submitted};
+/// The scenario's service-request menu, mirroring the api group's
+/// regime gating so every family exercises each applicable variant —
+/// including ones that resolve to typed error payloads. Shared between
+/// the `server` (fault-free parity) and `chaos` (fault-injected
+/// survival) groups.
+fn server_request_menu(s: &Scenario) -> Vec<(&'static str, splitting_api::Request)> {
+    use splitting_api::{Determinism, Problem, Request};
 
-    let s = ctx.scenario;
     let b = &s.bipartite;
     let g = s.host_graph();
     let small_host =
         g.node_count() > 0 && g.edge_count() > 0 && g.edge_count() <= 3_000 && g.max_degree() >= 2;
 
-    // the request menu mirrors the api group's regime gating, so every
-    // scenario family exercises the service on each applicable variant —
-    // including ones that resolve to typed error payloads
     let mut requests: Vec<(&'static str, Request)> = vec![
         (
             "weak-det",
@@ -1279,6 +1296,15 @@ fn check_server(ctx: &mut Ctx<'_>) {
             Request::new(Problem::SinklessOrientation, g.clone()).seed(s.seed),
         ));
     }
+    requests
+}
+
+fn check_server(ctx: &mut Ctx<'_>) {
+    use splitting_api::Session;
+    use splitting_server::{wire, Priority, Server, ServerConfig, Submitted};
+
+    let s = ctx.scenario;
+    let requests = server_request_menu(s);
 
     // ground truth: the direct in-process rendering, solution or typed
     // error — exactly the payload the wire must carry, byte for byte
@@ -1367,6 +1393,190 @@ fn check_server(ctx: &mut Ctx<'_>) {
         "submit_request frame stream diverges from the wire-path stream".into()
     });
     server.shutdown();
+}
+
+// ---------------------------------------------------------------- chaos
+
+/// One fault-injected pass of the scenario menu through a fresh server:
+/// returns the transport outcome, the raw bytes that reached the wire,
+/// and whether the pool still serves after the faults.
+fn chaos_pass(
+    requests: &[(&'static str, splitting_api::Request)],
+    chaos_seed: u64,
+) -> (
+    std::io::Result<splitting_server::transport::ServeSummary>,
+    Vec<u8>,
+    bool,
+) {
+    use splitting_api::{Problem, Request};
+    use splitting_server::{transport, wire, ChaosConfig, Priority, Server, ServerConfig};
+
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        record_timings: false,
+        chaos: Some(ChaosConfig {
+            seed: chaos_seed,
+            worker_panic: 0.2,
+            worker_stall: 0.1,
+            stall_ms: 1,
+            torn_frame: 0.1,
+            drop_connection: 0.05,
+        }),
+        ..ServerConfig::default()
+    });
+    let mut input = String::new();
+    for (name, request) in requests {
+        input.push_str(&wire::render_request(name, Priority::Normal, request));
+        input.push('\n');
+    }
+    let mut out = Vec::new();
+    let outcome = transport::serve_stream(&server, input.as_bytes(), &mut out);
+    // liveness probe: whatever the faults did to that connection, the
+    // pool must still answer fresh in-process work (the probe bypasses
+    // the transport, so the stream-writer faults cannot touch it; the
+    // worker faults key off (conn, seq), so a panic here is possible
+    // and still must yield exactly one frame)
+    let (mut tx, mut rx) = server.connect().split();
+    tx.submit_request(
+        "liveness",
+        Priority::Normal,
+        Request::new(
+            Problem::Mis {
+                base_degree: Some(8),
+            },
+            splitgraph::generators::cycle(6).expect("probe graph"),
+        ),
+    );
+    tx.finish();
+    let alive = rx
+        .recv()
+        .is_some_and(|frame| wire::split_reply(&frame).is_some_and(|r| r.id == "liveness"))
+        && rx.recv().is_none();
+    // bounded teardown is part of the liveness contract
+    let drained = server.drain();
+    server.shutdown();
+    (outcome, out, drained && alive)
+}
+
+fn check_chaos(ctx: &mut Ctx<'_>) {
+    use splitting_api::Session;
+    use splitting_server::wire;
+
+    let s = ctx.scenario;
+    let requests = server_request_menu(s);
+    let session = Session::with_threads(1);
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|(_, r)| {
+            session
+                .solve(r)
+                .map_or_else(|e| e.to_json_line(), |sol| sol.to_json_line())
+        })
+        .collect();
+
+    // CI sweeps extra schedules by exporting CONFORMANCE_CHAOS_SEED;
+    // unset, the schedule is a pure function of the scenario seed
+    let sweep = std::env::var("CONFORMANCE_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    let chaos_seed = s.seed ^ 0xc0a5_f00d ^ sweep.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let (outcome, bytes, alive) = chaos_pass(&requests, chaos_seed);
+
+    // invariant: the fault schedule is a pure function of the seed — a
+    // second pass over a fresh server reproduces the wire byte stream
+    // and the transport outcome exactly
+    let (outcome2, bytes2, alive2) = chaos_pass(&requests, chaos_seed);
+    ctx.check(
+        "chaos.schedule-replays-bit-identically",
+        bytes == bytes2
+            && outcome.is_ok() == outcome2.is_ok()
+            && outcome.as_ref().ok() == outcome2.as_ref().ok(),
+        || "same chaos seed over the same menu produced a different wire stream".into(),
+    );
+
+    // invariant: one reply per admitted request, or a clean teardown.
+    // A fault-free transport outcome must have answered everything; a
+    // failed one must be the injected stream fault, never a hang (the
+    // harness reaching this line at all pins the no-deadlock half).
+    let text = String::from_utf8_lossy(&bytes);
+    let complete_lines: Vec<&str> = if bytes.ends_with(b"\n") {
+        text.lines().collect()
+    } else {
+        // a torn frame leaves a trailing fragment: every line before it
+        // is complete
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.pop();
+        lines
+    };
+    match &outcome {
+        Ok(summary) => {
+            ctx.check(
+                "chaos.every-admitted-request-answered",
+                summary.replies_out == requests.len() as u64
+                    && complete_lines.len() == requests.len(),
+                || {
+                    format!(
+                        "clean run answered {} of {} requests",
+                        summary.replies_out,
+                        requests.len()
+                    )
+                },
+            );
+        }
+        Err(e) => {
+            ctx.check(
+                "chaos.teardown-is-the-injected-fault",
+                e.to_string().contains("chaos:"),
+                || format!("connection died of an uninjected fault: {e}"),
+            );
+        }
+    }
+
+    // invariants on every complete frame that survived: parses, stays
+    // in submission order, and — unless the worker panic fault replaced
+    // the solve — carries the byte-identical direct payload
+    let mut last_seq = None;
+    for frame in &complete_lines {
+        let Some(reply) = wire::split_reply(frame) else {
+            ctx.check("chaos.surviving-frame-parses", false, || {
+                format!("surviving frame is malformed: {frame}")
+            });
+            continue;
+        };
+        ctx.check(
+            "chaos.reply-order-preserved",
+            last_seq.is_none_or(|prev| reply.seq > prev),
+            || format!("seq {} arrived after {last_seq:?}", reply.seq),
+        );
+        last_seq = Some(reply.seq);
+        let i = reply.seq as usize;
+        let Some((name, _)) = requests.get(i) else {
+            ctx.check("chaos.reply-seq-in-range", false, || {
+                format!("reply seq {i} exceeds the {}-request menu", requests.len())
+            });
+            continue;
+        };
+        ctx.check("chaos.reply-id-matches-request", reply.id == *name, || {
+            format!("seq {i} reply id {} but request was {name}", reply.id)
+        });
+        let injected_panic = reply
+            .payload
+            .is_some_and(|p| p.contains("\"kind\":\"internal-panic\""));
+        if !injected_panic {
+            ctx.check(
+                "chaos.surviving-payload-byte-identical",
+                reply.payload == Some(expected[i].as_str()),
+                || format!("{name}: surviving reply diverges from direct Session::solve"),
+            );
+        }
+    }
+
+    // invariant: no leaked workers, no wedged pool — both passes ended
+    // with a live pool and a bounded drain
+    ctx.check("chaos.pool-survives-and-drains", alive && alive2, || {
+        "server failed the post-chaos liveness probe or drain bound".into()
+    });
 }
 
 // ----------------------------------------------------------- metamorphic

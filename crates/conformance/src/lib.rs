@@ -34,7 +34,9 @@ pub mod replay;
 pub mod report;
 pub mod scenario;
 
-pub use harness::{run_cell, run_corpus, run_scenario, ConformanceReport, Finding, Group};
+pub use harness::{
+    run_cell, run_corpus, run_corpus_groups, run_scenario, ConformanceReport, Finding, Group,
+};
 pub use replay::{repro_line, write_ledger, Selector, REPLAY_ENV};
 pub use report::{matrix, render_matrix, MatrixRow};
 pub use scenario::{corpus, Regime, Scenario, Tier, FAMILY_COUNT};

@@ -2,9 +2,13 @@
 //! group, prints the family × group matrix, and writes the failure-replay
 //! ledger. Exits non-zero when any check fails.
 //!
-//! Usage: `conformance [--quick | --full] [--ledger PATH]`
+//! Usage: `conformance [--quick | --full] [--group NAME ...] [--ledger PATH]`
+//!
+//! `--group` (repeatable) restricts the run to selected entrypoint
+//! groups — e.g. `--group chaos` for the CI fault-injection sweep,
+//! which additionally varies the schedule via `CONFORMANCE_CHAOS_SEED`.
 
-use conformance::{render_matrix, repro_line, run_corpus, write_ledger, Tier};
+use conformance::{render_matrix, repro_line, run_corpus_groups, write_ledger, Group, Tier};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -21,21 +25,51 @@ fn main() -> ExitCode {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("conformance-ledger.txt"));
+    let mut groups: Vec<Group> = Vec::new();
+    for (i, arg) in args.iter().enumerate() {
+        if arg != "--group" {
+            continue;
+        }
+        match args.get(i + 1).map(|name| (name, Group::parse(name))) {
+            Some((_, Some(g))) => {
+                if !groups.contains(&g) {
+                    groups.push(g);
+                }
+            }
+            Some((name, None)) => {
+                eprintln!(
+                    "conformance: unknown group {name:?} (expected one of: {})",
+                    Group::ALL.map(Group::name).join(", ")
+                );
+                return ExitCode::from(2);
+            }
+            None => {
+                eprintln!("conformance: --group needs a name");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if groups.is_empty() {
+        groups.extend(Group::ALL);
+    }
 
     let label = match tier {
         Tier::Quick => "quick",
         Tier::Full => "full",
     };
-    eprintln!("conformance: running the {label} tier…");
+    eprintln!(
+        "conformance: running the {label} tier ({} groups)…",
+        groups.len()
+    );
     let start = std::time::Instant::now();
-    let report = run_corpus(tier);
+    let report = run_corpus_groups(tier, &groups);
     let elapsed = start.elapsed();
 
     print!("{}", render_matrix(&report));
     println!(
         "\n{} scenarios × {} groups, {} checks in {elapsed:.1?}",
         report.scenarios.len(),
-        conformance::Group::ALL.len(),
+        groups.len(),
         report.total_checks(),
     );
 

@@ -22,6 +22,13 @@
 use crate::estimator::{ColoringEstimator, FixerState};
 use splitgraph::{BipartiteGraph, MultiColor};
 
+/// Commit-loop stride between cooperative cancellation checkpoints
+/// ([`local_runtime::checkpoint`]). Checkpoints never touch fixer
+/// state, so results stay bit-identical whether or not a
+/// [`local_runtime::CancelToken`] is installed; the stride keeps the
+/// thread-local read off the per-variable hot path.
+const CANCEL_STRIDE: usize = 4096;
+
 /// Outcome of a derandomized fixing pass.
 #[derive(Debug, Clone)]
 pub struct FixOutcome {
@@ -58,7 +65,10 @@ pub fn sequential_fix(b: &BipartiteGraph, est: ColoringEstimator, order: &[usize
     let mut state = FixerState::new(b, est);
     let initial_phi = state.total();
     let mut colors = vec![0 as MultiColor; nv];
-    for &v in order {
+    for (i, &v) in order.iter().enumerate() {
+        if i % CANCEL_STRIDE == 0 {
+            local_runtime::checkpoint();
+        }
         let x = state.best_color(v);
         state.fix(v, x);
         colors[v] = x;
@@ -80,6 +90,9 @@ pub fn sequential_fix_identity(b: &BipartiteGraph, est: ColoringEstimator) -> Fi
     let initial_phi = state.total();
     let mut colors = vec![0 as MultiColor; nv];
     for (v, slot) in colors.iter_mut().enumerate() {
+        if v % CANCEL_STRIDE == 0 {
+            local_runtime::checkpoint();
+        }
         let x = state.best_color(v);
         state.fix(v, x);
         *slot = x;
@@ -172,6 +185,7 @@ pub fn phased_fix(
     let mut rounds = 0usize;
     let mut choices: Vec<u32> = Vec::new();
     for class in 0..np {
+        local_runtime::checkpoint();
         // one phase: every variable of this class decides from the current
         // counts; commits are order-independent because the class is
         // constraint-disjoint (empty classes still cost their phase in the

@@ -1,0 +1,215 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`CancelToken`] carries a cancel flag and an optional deadline.
+//! Code that wants to be cancellable runs under [`with_token`] and
+//! sprinkles [`checkpoint`] calls at natural boundaries (executor
+//! round tops, fixer commit strides). When the active token is
+//! cancelled — explicitly or because its deadline passed — the next
+//! checkpoint unwinds back to `with_token`, which returns
+//! [`Cancelled`] instead of a result.
+//!
+//! Checkpoints are bit-neutral: they never touch the computation's
+//! state, so installing no token (the default) leaves every output
+//! byte-identical to a build without checkpoints. The unwind is a
+//! normal panic carrying a private sentinel; `with_token` catches only
+//! that sentinel and resumes any other panic untouched.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The error returned by [`with_token`] when the computation was
+/// abandoned at a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("computation cancelled at a checkpoint")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation handle: clone it freely, cancel it from any
+/// thread, and the computation running under [`with_token`] observes
+/// the request at its next [`checkpoint`].
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`cancel`](Self::cancel) is called.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that additionally trips once `deadline` has passed.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Requests cancellation; the running computation stops at its
+    /// next checkpoint.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been cancelled or its deadline passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::Acquire)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously active token even if `f` unwinds.
+struct Restore(Option<CancelToken>);
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| *a.borrow_mut() = self.0.take());
+    }
+}
+
+/// Runs `f` with `token` installed as the calling thread's active
+/// token. Checkpoints inside `f` (on this thread) observe the token;
+/// if one trips, `f` is abandoned and `Err(Cancelled)` is returned.
+/// Panics other than the cancellation sentinel propagate unchanged,
+/// and the previously active token (if any) is restored either way.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when the computation was abandoned at a
+/// checkpoint because `token` was cancelled or its deadline passed.
+pub fn with_token<R>(token: &CancelToken, f: impl FnOnce() -> R) -> Result<R, Cancelled> {
+    let previous = ACTIVE.with(|a| a.borrow_mut().replace(token.clone()));
+    let _restore = Restore(previous);
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(value) => Ok(value),
+        Err(payload) => match payload.downcast::<Cancelled>() {
+            Ok(_) => Err(Cancelled),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
+}
+
+/// Cancellation checkpoint: if the calling thread runs under
+/// [`with_token`] and that token is cancelled (or past its deadline),
+/// unwinds back to `with_token`. A no-op — one thread-local read —
+/// when no token is installed, so checkpoints are free to leave in
+/// hot loops and never perturb results.
+pub fn checkpoint() {
+    let tripped = ACTIVE.with(|a| a.borrow().as_ref().is_some_and(CancelToken::is_cancelled));
+    if tripped {
+        std::panic::panic_any(Cancelled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn checkpoint_is_a_no_op_without_a_token() {
+        checkpoint();
+        let out = with_token(&CancelToken::new(), || {
+            checkpoint();
+            7
+        });
+        assert_eq!(out, Ok(7));
+    }
+
+    #[test]
+    fn cancel_unwinds_at_the_next_checkpoint() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut reached = false;
+        let out = with_token(&token, || {
+            checkpoint();
+            reached = true;
+        });
+        assert_eq!(out, Err(Cancelled));
+        assert!(!reached, "checkpoint must fire before later statements");
+    }
+
+    #[test]
+    fn past_deadline_trips_without_an_explicit_cancel() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(token.is_cancelled());
+        let out = with_token(&token, || {
+            checkpoint();
+        });
+        assert_eq!(out, Err(Cancelled));
+    }
+
+    #[test]
+    fn cancellation_from_another_thread_is_observed() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            remote.cancel();
+        });
+        let out = with_token(&token, || loop {
+            checkpoint();
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        handle.join().expect("canceller joins");
+        assert_eq!(out, Err(Cancelled));
+    }
+
+    #[test]
+    fn previous_token_is_restored_after_nested_use() {
+        let outer = CancelToken::new();
+        let inner = CancelToken::new();
+        inner.cancel();
+        let out = with_token(&outer, || {
+            let nested = with_token(&inner, checkpoint);
+            assert_eq!(nested, Err(Cancelled));
+            // the outer token is live again and not cancelled
+            checkpoint();
+            "ok"
+        });
+        assert_eq!(out, Ok("ok"));
+    }
+
+    #[test]
+    fn foreign_panics_pass_through_unchanged() {
+        let token = CancelToken::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = with_token(&token, || panic!("boom"));
+        }));
+        let payload = caught.expect_err("panic propagates");
+        let text = payload.downcast_ref::<&str>().copied();
+        assert_eq!(text, Some("boom"));
+    }
+}

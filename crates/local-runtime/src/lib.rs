@@ -13,17 +13,22 @@
 //! * [`RoundLedger`] keeps measured and charged (cited-formula) round costs
 //!   separate and labelled;
 //! * [`NodeRngs`] derives reproducible independent randomness per node;
-//! * [`IdAssignment`] controls the unique-identifier space.
+//! * [`IdAssignment`] controls the unique-identifier space;
+//! * [`CancelToken`] + [`with_token`] + [`checkpoint`] provide
+//!   cooperative, deadline-aware cancellation of long solves without
+//!   perturbing results when unused.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cancel;
 mod ids;
 mod local;
 mod metrics;
 mod rngs;
 mod slocal;
 
+pub use cancel::{checkpoint, with_token, CancelToken, Cancelled};
 pub use ids::IdAssignment;
 pub use local::{run_local, run_local_parallel, LocalRun, NodeContext, NodeProgram, BROADCAST};
 pub use metrics::{CostKind, LedgerEntry, RoundLedger};

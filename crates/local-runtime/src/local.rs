@@ -288,6 +288,7 @@ pub fn run_local<P: NodeProgram>(
     let mut active: Vec<usize> = (0..n).filter(|&v| !programs[v].is_done()).collect();
     let mut rounds = 0usize;
     while !active.is_empty() && rounds < max_rounds {
+        crate::cancel::checkpoint();
         for &v in &active {
             let inbox = &inbox_data[starts[v]..starts[v + 1]];
             let out = programs[v].round(&contexts[v], inbox);
@@ -354,6 +355,7 @@ where
     let mut active: Vec<usize> = (0..n).filter(|&v| !programs[v].is_done()).collect();
     let mut rounds = 0usize;
     while !active.is_empty() && rounds < max_rounds {
+        crate::cancel::checkpoint();
         let t = threads.min(active.len());
         chunk_bufs.resize_with(t, Vec::new);
         let (topo_ref, contexts_ref) = (&topo, &contexts);

@@ -14,8 +14,46 @@
 
 use splitgraph::{generators, MultiGraph};
 use splitting_api::{Problem, Request};
-use splitting_server::{wire, Submitted};
+use splitting_server::{transport, wire, ChaosConfig, Submitted};
 use splitting_server::{Priority, Server, ServerConfig};
+
+/// The chaos schedule behind the survival transcript in
+/// `docs/PROTOCOL.md` § Robustness. The doc-sync test replays exactly
+/// this configuration, so keep it in lockstep with
+/// `crates/server/tests/protocol_doc.rs`.
+pub fn transcript_chaos_config() -> ChaosConfig {
+    ChaosConfig {
+        seed: 51,
+        worker_panic: 0.2,
+        worker_stall: 0.0,
+        stall_ms: 1,
+        torn_frame: 0.1,
+        drop_connection: 0.0,
+    }
+}
+
+/// The request lines behind the survival transcript — six cheap MIS
+/// requests, so the fault draws (keyed by sequence number) are the only
+/// thing that varies between replies.
+pub fn transcript_input() -> String {
+    let cyc6 = generators::cycle(6).unwrap();
+    let mut input = String::new();
+    for i in 0..6 {
+        let request = Request::new(
+            Problem::Mis {
+                base_degree: Some(8),
+            },
+            cyc6.clone(),
+        );
+        input.push_str(&wire::render_request(
+            &format!("c{i}"),
+            Priority::Normal,
+            &request,
+        ));
+        input.push('\n');
+    }
+    input
+}
 
 fn main() {
     let server = Server::start(ServerConfig {
@@ -137,8 +175,22 @@ fn main() {
                 Problem::Mis {
                     base_degree: Some(8),
                 },
-                cyc6,
+                cyc6.clone(),
             ),
+        ),
+        (
+            // a zero-millisecond budget is already expired when a worker
+            // picks the job up, so the reply is the typed
+            // `deadline-exceeded` error frame — deterministically
+            "deadline-exceeded",
+            "dl-1".into(),
+            Request::new(
+                Problem::Mis {
+                    base_degree: Some(8),
+                },
+                cyc6,
+            )
+            .deadline_ms(0),
         ),
     ];
 
@@ -160,4 +212,33 @@ fn main() {
         println!("```json\n{reply}\n```\n");
     }
     server.shutdown();
+
+    // The chaos-survival transcript: the same fixed fault schedule every
+    // time, so the surviving bytes below are reproducible on any build.
+    let chaos_server = Server::start(ServerConfig {
+        workers: 1,
+        record_timings: false,
+        chaos: Some(transcript_chaos_config()),
+        ..ServerConfig::default()
+    });
+    let input = transcript_input();
+    let mut out = Vec::new();
+    let outcome = transport::serve_stream(&chaos_server, input.as_bytes(), &mut out);
+    chaos_server.shutdown();
+    println!("### chaos-survival transcript\n");
+    println!("<!-- chaos-sync: input -->");
+    println!("```json\n{}```\n", input);
+    println!("<!-- chaos-sync: output -->");
+    print!("```text\n{}", String::from_utf8_lossy(&out));
+    if !out.ends_with(b"\n") {
+        println!();
+    }
+    println!("```\n");
+    match outcome {
+        Ok(summary) => println!(
+            "(stream completed: {} lines in, {} replies out)",
+            summary.lines_in, summary.replies_out
+        ),
+        Err(e) => println!("(stream torn down by the injected fault: {e})"),
+    }
 }

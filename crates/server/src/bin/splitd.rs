@@ -3,10 +3,17 @@
 //! Speaks the newline-delimited JSON protocol of `docs/PROTOCOL.md`
 //! over stdin/stdout (default), a Unix socket (`--socket`), or TCP
 //! (`--tcp`). See `README.md` § Service for a quickstart.
+//!
+//! On Unix, `SIGTERM`/`SIGINT` trigger a graceful drain: admission
+//! closes, queued and in-flight jobs get the configured drain deadline
+//! to finish (over-deadline solves are cancelled cooperatively), and
+//! the process exits 0 — a supervisor's stop never loses admitted work
+//! that fits the deadline, and never hangs on work that doesn't.
 
 use splitting_server::{transport, Admission, Server, ServerConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "\
 splitd — splitting-as-a-service job-queue daemon
@@ -24,7 +31,19 @@ OPTIONS:
     --admission <MODE>     full-queue policy: reject | block [default: reject]
     --no-timings           omit queued_ns/solve_ns from reply frames
                            (byte-reproducible reply streams)
+    --reply-buffer <N>     buffered reply frames per connection [default: 1024]
+    --write-timeout-ms <MS>
+                           grace for a slow reply consumer before its
+                           connection is evicted [default: 5000]
+    --drain-deadline-ms <MS>
+                           bound on graceful drain at shutdown/SIGTERM
+                           [default: 10000]
+    --retry-after-ms <MS>  backoff hint on overloaded rejections [default: 25]
     --help                 print this help
+
+SIGNALS (unix):
+    SIGTERM, SIGINT        drain gracefully (bounded by the drain
+                           deadline), then exit 0
 
 The wire protocol is specified in docs/PROTOCOL.md.";
 
@@ -65,6 +84,28 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--no-timings" => args.config.record_timings = false,
+            "--reply-buffer" => {
+                args.config.reply_buffer = value("--reply-buffer")?
+                    .parse()
+                    .map_err(|e| format!("--reply-buffer: {e}"))?;
+            }
+            "--write-timeout-ms" => {
+                let ms: u64 = value("--write-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--write-timeout-ms: {e}"))?;
+                args.config.write_timeout = Duration::from_millis(ms);
+            }
+            "--drain-deadline-ms" => {
+                let ms: u64 = value("--drain-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--drain-deadline-ms: {e}"))?;
+                args.config.drain_deadline = Duration::from_millis(ms);
+            }
+            "--retry-after-ms" => {
+                args.config.retry_after_ms = value("--retry-after-ms")?
+                    .parse()
+                    .map_err(|e| format!("--retry-after-ms: {e}"))?;
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -72,6 +113,63 @@ fn parse_args() -> Result<Args, String> {
         return Err("--socket and --tcp are mutually exclusive".into());
     }
     Ok(args)
+}
+
+/// Graceful-termination plumbing: registers `SIGTERM`/`SIGINT` handlers
+/// that set a flag, and a watcher thread that observes the flag, drains
+/// the server (bounded by its drain deadline), and exits 0.
+///
+/// Implemented against the raw libc `signal` entry point so the daemon
+/// stays dependency-free; this is the only unsafe in the binary and it
+/// reduces to installing a signal-safe flag write.
+#[cfg(unix)]
+mod signals {
+    use splitting_server::Server;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // async-signal-safe: a single atomic store
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handlers and spawns the watcher thread.
+    pub fn install(server: Arc<Server>) {
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+        std::thread::Builder::new()
+            .name("splitd-signal-watcher".into())
+            .spawn(move || {
+                while !SHUTDOWN.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                eprintln!("splitd: signal received, draining");
+                let drained = server.drain();
+                eprintln!(
+                    "splitd: {}",
+                    if drained {
+                        "drained cleanly"
+                    } else {
+                        "drain deadline hit, abandoning in-flight work"
+                    }
+                );
+                std::process::exit(0);
+            })
+            .expect("spawn signal watcher");
+    }
 }
 
 fn main() -> ExitCode {
@@ -86,14 +184,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let server = Server::start(args.config);
+    let server = Arc::new(Server::start(args.config));
+    #[cfg(unix)]
+    signals::install(Arc::clone(&server));
     let outcome = if let Some(path) = args.socket {
-        transport::serve_unix(Arc::new(server), path.as_ref()).map(|()| None)
+        transport::serve_unix(server, path.as_ref()).map(|()| None)
     } else if let Some(addr) = args.tcp {
-        transport::serve_tcp(Arc::new(server), &addr).map(|()| None)
+        transport::serve_tcp(server, &addr).map(|()| None)
     } else {
         transport::serve_stdio(&server).map(|summary| {
-            server.shutdown();
+            server.drain();
             Some(summary)
         })
     };

@@ -22,7 +22,17 @@
 //! * [`wire`] — frame schemas, the request codec, reply assembly;
 //! * [`queue`] — the bounded three-lane priority queue;
 //! * [`server`] — worker pool, connections, ordered reporting;
-//! * [`transport`] — stdio / Unix-socket / TCP byte-stream pumps.
+//! * [`transport`] — stdio / Unix-socket / TCP byte-stream pumps;
+//! * [`chaos`] — deterministic seeded fault injection (test/bench hook).
+//!
+//! Robustness: requests may carry a wall-clock `deadline_ms` budget,
+//! enforced in-queue (expired jobs become typed `deadline-exceeded`
+//! error frames without costing a solve) and in-solve (workers abandon
+//! over-budget solves at cooperative cancellation checkpoints and
+//! return to the pool). Slow reply consumers are evicted after a
+//! bounded write timeout — the connection drops, the server never
+//! wedges — and [`Server::shutdown`]/[`Server::drain`] are bounded by a
+//! drain deadline so the daemon always terminates.
 //!
 //! # Example
 //!
@@ -47,12 +57,14 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod json;
 pub mod queue;
 pub mod server;
 pub mod transport;
 pub mod wire;
 
+pub use chaos::ChaosConfig;
 pub use server::{
     Admission, Connection, FrameReceiver, Polled, Server, ServerConfig, Submitted, Submitter,
 };

@@ -17,16 +17,17 @@
 //! caught and reported as the reserved `internal-panic` error payload;
 //! they never tear down the pool or the connection.
 
+use crate::chaos::{self, ChaosConfig};
 use crate::queue::{JobQueue, PushError};
 use crate::wire::{self, ClientFrame, Envelope, Priority, StatsSnapshot, Timing};
-use splitting_api::{ApiError, Request, Session};
+use splitting_api::{ApiError, CancelToken, Request, Session};
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What to do when a request arrives while the queue is at capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,6 +58,26 @@ pub struct ServerConfig {
     /// Reject frames longer than this many bytes with a typed error
     /// (default 8 MiB).
     pub max_frame_bytes: usize,
+    /// Bound on buffered reply frames per connection (default 1024).
+    /// A consumer that falls further behind is given
+    /// [`write_timeout`](Self::write_timeout) to catch up, then evicted.
+    pub reply_buffer: usize,
+    /// How long a delivery may wait on a full per-connection reply
+    /// buffer before the connection is evicted (default 5 s). Eviction
+    /// drops the slow client's connection — never the server: the
+    /// worker returns to the pool immediately.
+    pub write_timeout: Duration,
+    /// Bound on [`Server::drain`]/[`Server::shutdown`] (default 10 s):
+    /// past it, in-flight solves are cancelled at their next
+    /// checkpoint so the daemon always terminates.
+    pub drain_deadline: Duration,
+    /// Backoff hint attached to `overloaded` rejections, milliseconds
+    /// (default 25). Clients should treat it as the base of an
+    /// exponential backoff with jitter.
+    pub retry_after_ms: u64,
+    /// Seeded fault injection (default `None` — no faults). A
+    /// test/bench-only hook; see [`crate::chaos`].
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +88,11 @@ impl Default for ServerConfig {
             admission: Admission::default(),
             record_timings: true,
             max_frame_bytes: 8 << 20,
+            reply_buffer: 1024,
+            write_timeout: Duration::from_secs(5),
+            drain_deadline: Duration::from_secs(10),
+            retry_after_ms: 25,
+            chaos: None,
         }
     }
 }
@@ -86,6 +112,9 @@ struct Job {
     id: String,
     payload: Payload,
     enqueued: Option<Instant>,
+    /// Absolute expiry and the client's original ms budget, when the
+    /// request carried a `deadline_ms`.
+    deadline: Option<(Instant, u64)>,
 }
 
 enum Report {
@@ -93,22 +122,53 @@ enum Report {
     Finished { total: u64 },
 }
 
+/// How long a blocked delivery parks between retries of a full
+/// per-connection reply buffer.
+const DELIVER_POLL: Duration = Duration::from_millis(1);
+
 struct Shared {
     queue: JobQueue<Job>,
-    registry: Mutex<HashMap<u64, Sender<Report>>>,
+    registry: Mutex<HashMap<u64, SyncSender<Report>>>,
     served: AtomicU64,
     rejected: AtomicU64,
+    evicted: AtomicU64,
     inflight: AtomicUsize,
     next_conn: AtomicU64,
+    /// One slot per worker: the cancellation token of the solve it is
+    /// running right now, so `drain` can abandon over-deadline work.
+    active: Vec<Mutex<Option<CancelToken>>>,
     config: ServerConfig,
 }
 
 impl Shared {
     fn deliver(&self, conn: u64, seq: u64, line: String) {
+        self.send_bounded(conn, Report::Frame { seq, line });
+    }
+
+    fn send_bounded(&self, conn: u64, mut report: Report) {
         let sender = self.registry.lock().unwrap().get(&conn).cloned();
-        if let Some(sender) = sender {
-            // a send failure means the receiver is gone; nothing to do
-            let _ = sender.send(Report::Frame { seq, line });
+        let Some(sender) = sender else { return };
+        let deadline = Instant::now() + self.config.write_timeout;
+        loop {
+            match sender.try_send(report) {
+                Ok(()) => return,
+                // the receiver is gone; nothing to do
+                Err(TrySendError::Disconnected(_)) => return,
+                Err(TrySendError::Full(r)) => {
+                    if Instant::now() >= deadline {
+                        // slow consumer: evict the connection rather
+                        // than wedging a worker — the server survives,
+                        // the laggard's stream is torn down (dropping
+                        // the registry entry drops the channel's only
+                        // sender, so a blocked receiver unparks)
+                        self.registry.lock().unwrap().remove(&conn);
+                        self.evicted.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    report = r;
+                    thread::sleep(DELIVER_POLL);
+                }
+            }
         }
     }
 
@@ -116,6 +176,7 @@ impl Shared {
         StatsSnapshot {
             served: self.served.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
             queue_depth: self.queue.depth(),
             queue_high_water: self.queue.high_water(),
             inflight: self.inflight.load(Ordering::Relaxed),
@@ -125,7 +186,7 @@ impl Shared {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, slot: usize) {
     let session = Session::with_threads(1);
     while let Some(job) = shared.queue.pop() {
         shared.inflight.fetch_add(1, Ordering::Relaxed);
@@ -133,19 +194,65 @@ fn worker_loop(shared: &Shared) {
             .enqueued
             .map(|t| t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
         let started = shared.config.record_timings.then(Instant::now);
-        let outcome = panic::catch_unwind(AssertUnwindSafe(|| match &job.payload {
-            Payload::Wire(line) => match wire::parse_request(line) {
-                Ok((_, request)) => session
-                    .solve(&request)
+        let timing = |started: Option<Instant>| match (queued_ns, started) {
+            (Some(queued_ns), Some(started)) => Some(Timing {
+                queued_ns,
+                solve_ns: started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            }),
+            _ => None,
+        };
+        // in-queue deadline enforcement: an expired job is answered with
+        // a typed error frame and never costs a solve — this worker is
+        // immediately free for the next job
+        if let Some((expiry, deadline_ms)) = job.deadline {
+            if Instant::now() >= expiry {
+                let payload = ApiError::DeadlineExceeded {
+                    stage: "queued",
+                    deadline_ms,
+                }
+                .to_json_line();
+                let frame = wire::error_frame(&job.id, job.seq, timing(started), &payload);
+                shared.deliver(job.conn, job.seq, frame);
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared.inflight.fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+        }
+        // seeded fault injection (no-ops when chaos is unarmed)
+        let mut inject_panic = false;
+        if let Some(c) = &shared.config.chaos {
+            if c.fires(c.worker_stall, chaos::SITE_WORKER_STALL, job.conn, job.seq) {
+                thread::sleep(Duration::from_millis(c.stall_ms));
+            }
+            inject_panic = c.fires(c.worker_panic, chaos::SITE_WORKER_PANIC, job.conn, job.seq);
+        }
+        // every solve runs under a cancellation token: the deadline arms
+        // it absolutely (counted from admission), and `Server::drain`
+        // can trip it to abandon work at the next checkpoint
+        let token = match job.deadline {
+            Some((expiry, _)) => CancelToken::with_deadline(expiry),
+            None => CancelToken::new(),
+        };
+        *shared.active[slot].lock().unwrap() = Some(token.clone());
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("chaos: injected worker panic");
+            }
+            let solve = |request: &Request| {
+                session
+                    .solve_with_cancel(request, &token)
                     .map(|s| s.to_json_line())
-                    .unwrap_or_else(|e| e.to_json_line()),
-                Err(e) => e.to_json_line(),
-            },
-            Payload::Parsed(request) => session
-                .solve(request)
-                .map(|s| s.to_json_line())
-                .unwrap_or_else(|e| e.to_json_line()),
+                    .unwrap_or_else(|e| e.to_json_line())
+            };
+            match &job.payload {
+                Payload::Wire(line) => match wire::parse_request(line) {
+                    Ok((_, request)) => solve(&request),
+                    Err(e) => e.to_json_line(),
+                },
+                Payload::Parsed(request) => solve(request),
+            }
         }));
+        *shared.active[slot].lock().unwrap() = None;
         let payload = outcome.unwrap_or_else(|cause| {
             let detail: &str = if let Some(s) = cause.downcast_ref::<&str>() {
                 s
@@ -156,17 +263,10 @@ fn worker_loop(shared: &Shared) {
             };
             wire::internal_panic_payload(detail)
         });
-        let timing = match (queued_ns, started) {
-            (Some(queued_ns), Some(started)) => Some(Timing {
-                queued_ns,
-                solve_ns: started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
-            }),
-            _ => None,
-        };
         let frame = if payload.starts_with("{\"event\":\"solution\"") {
-            wire::solution_frame(&job.id, job.seq, timing, &payload)
+            wire::solution_frame(&job.id, job.seq, timing(started), &payload)
         } else {
-            wire::error_frame(&job.id, job.seq, timing, &payload)
+            wire::error_frame(&job.id, job.seq, timing(started), &payload)
         };
         shared.deliver(job.conn, job.seq, frame);
         shared.served.fetch_add(1, Ordering::Relaxed);
@@ -189,8 +289,10 @@ impl Server {
             registry: Mutex::new(HashMap::new()),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
             inflight: AtomicUsize::new(0),
             next_conn: AtomicU64::new(0),
+            active: (0..workers).map(|_| Mutex::new(None)).collect(),
             config: ServerConfig { workers, ..config },
         });
         let handles = (0..workers)
@@ -198,7 +300,7 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("splitd-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn worker")
             })
             .collect();
@@ -216,17 +318,15 @@ impl Server {
     /// Opens a connection, returning its ingest and reporting halves.
     pub fn connect(&self) -> Connection {
         let conn = self.shared.next_conn.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = mpsc::channel();
-        self.shared
-            .registry
-            .lock()
-            .unwrap()
-            .insert(conn, tx.clone());
+        let (tx, rx) = mpsc::sync_channel(self.shared.config.reply_buffer.max(1));
+        // the registry entry is the channel's ONLY sender: removing it
+        // (eviction, or the receiver's own teardown) disconnects the
+        // channel, so a blocked `FrameReceiver::recv` always unparks
+        self.shared.registry.lock().unwrap().insert(conn, tx);
         Connection {
             submitter: Submitter {
                 shared: Arc::clone(&self.shared),
                 conn,
-                tx,
                 next_seq: 0,
             },
             receiver: FrameReceiver {
@@ -250,11 +350,49 @@ impl Server {
         &self.shared.config
     }
 
-    /// Closes the queue, drains outstanding jobs, and joins the workers.
-    pub fn shutdown(self) {
+    /// Closes the queue and waits — bounded by
+    /// [`ServerConfig::drain_deadline`] — for every queued and in-flight
+    /// job to finish. Past the deadline, in-flight solves are cancelled
+    /// at their next cooperative checkpoint (each reports a typed
+    /// `deadline-exceeded` reply) and given a short grace period.
+    /// Returns `true` when the server fully quiesced.
+    pub fn drain(&self) -> bool {
         self.shared.queue.close();
-        for handle in self.workers {
-            let _ = handle.join();
+        let deadline = Instant::now() + self.shared.config.drain_deadline;
+        loop {
+            if self.shared.queue.depth() == 0 && self.shared.inflight.load(Ordering::Relaxed) == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            thread::sleep(DELIVER_POLL);
+        }
+        // over the drain deadline: abandon in-flight work cooperatively
+        for slot in &self.shared.active {
+            if let Some(token) = slot.lock().unwrap().as_ref() {
+                token.cancel();
+            }
+        }
+        let grace = Instant::now() + self.shared.config.write_timeout;
+        while Instant::now() < grace {
+            if self.shared.queue.depth() == 0 && self.shared.inflight.load(Ordering::Relaxed) == 0 {
+                return true;
+            }
+            thread::sleep(DELIVER_POLL);
+        }
+        false
+    }
+
+    /// Drains (see [`drain`](Self::drain)) and joins the workers. If the
+    /// drain deadline expires with a worker still wedged between
+    /// checkpoints, the handles are dropped instead — the daemon's exit
+    /// is bounded; it never hangs on a stuck solve.
+    pub fn shutdown(self) {
+        if self.drain() {
+            for handle in self.workers {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -293,13 +431,15 @@ pub enum Submitted {
 pub struct Submitter {
     shared: Arc<Shared>,
     conn: u64,
-    tx: Sender<Report>,
     next_seq: u64,
 }
 
 impl Submitter {
     fn send_now(&self, seq: u64, line: String) {
-        let _ = self.tx.send(Report::Frame { seq, line });
+        // routed through the bounded delivery path: an ingest thread
+        // racing a slow consumer backs off and evicts exactly like a
+        // worker would, instead of wedging on its own reply buffer
+        self.shared.deliver(self.conn, seq, line);
     }
 
     fn reject(&self, id: &str, seq: u64, depth: usize) {
@@ -307,6 +447,7 @@ impl Submitter {
         let payload = ApiError::Overloaded {
             queue_depth: depth,
             capacity: self.shared.queue.capacity(),
+            retry_after_ms: self.shared.config.retry_after_ms,
         }
         .to_json_line();
         self.send_now(seq, wire::error_frame(id, seq, None, &payload));
@@ -319,6 +460,9 @@ impl Submitter {
             id: envelope.id,
             payload,
             enqueued: self.shared.config.record_timings.then(Instant::now),
+            deadline: envelope
+                .deadline_ms
+                .map(|ms| (Instant::now() + Duration::from_millis(ms), ms)),
         };
         match self.shared.config.admission {
             Admission::Reject => {
@@ -416,10 +560,12 @@ impl Submitter {
     pub fn submit_request(&mut self, id: &str, priority: Priority, request: Request) -> Submitted {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let deadline_ms = request.budget().deadline_ms;
         self.enqueue(
             Envelope {
                 id: id.to_owned(),
                 priority,
+                deadline_ms,
             },
             seq,
             Payload::Parsed(Box::new(request)),
@@ -429,10 +575,15 @@ impl Submitter {
 
     /// Signals end of input: the reporting half will finish after
     /// delivering every outstanding reply. Consumes the submitter.
+    /// Bounded like every delivery — a consumer too slow to accept even
+    /// the end-of-input marker is evicted, never waited on forever.
     pub fn finish(self) {
-        let _ = self.tx.send(Report::Finished {
-            total: self.next_seq,
-        });
+        self.shared.send_bounded(
+            self.conn,
+            Report::Finished {
+                total: self.next_seq,
+            },
+        );
     }
 }
 
@@ -727,6 +878,224 @@ mod tests {
         );
         tx.finish();
         assert!(rx.recv().unwrap().contains("\"type\":\"solution\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_yields_typed_frame_and_the_worker_stays_usable() {
+        let server = Server::start(quiet_config());
+        let (mut tx, mut rx) = server.connect().split();
+        let g = generators::cycle(8).unwrap();
+        // a zero-millisecond budget is expired by the time any worker
+        // picks the job up, so enforcement happens in-queue
+        let doomed = Request::new(
+            Problem::Mis {
+                base_degree: Some(8),
+            },
+            g.clone(),
+        )
+        .deadline_ms(0);
+        tx.submit_request("doomed", Priority::Normal, doomed);
+        tx.submit_request(
+            "alive",
+            Priority::Normal,
+            Request::new(
+                Problem::Mis {
+                    base_degree: Some(8),
+                },
+                g.clone(),
+            ),
+        );
+        tx.finish();
+        let first = rx.recv().unwrap();
+        let reply = split_reply(&first).unwrap();
+        assert_eq!(reply.id, "doomed");
+        assert_eq!(reply.frame_type, "error");
+        let payload = reply.payload.unwrap();
+        assert!(
+            payload.contains("\"kind\":\"deadline-exceeded\""),
+            "{first}"
+        );
+        assert!(payload.contains("queued"), "expired in-queue: {first}");
+        // the same (sole) worker then solves the next job normally
+        let second = rx.recv().unwrap();
+        let reply = split_reply(&second).unwrap();
+        assert_eq!(reply.id, "alive");
+        assert_eq!(reply.frame_type, "solution");
+        assert!(rx.recv().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_on_the_wire_path_is_enforced_too() {
+        let server = Server::start(quiet_config());
+        let (mut tx, mut rx) = server.connect().split();
+        let line = r#"{"v":1,"type":"request","id":"w","problem":{"name":"mis","base_degree":8},"deadline_ms":0,"instance":{"kind":"host","nodes":4,"edges":[[0,1],[1,2],[2,3],[3,0]]}}"#;
+        assert_eq!(tx.submit_line(line), Submitted::Queued);
+        tx.finish();
+        let frame = rx.recv().unwrap();
+        let reply = split_reply(&frame).unwrap();
+        assert_eq!(reply.frame_type, "error");
+        assert!(
+            reply
+                .payload
+                .unwrap()
+                .contains("\"kind\":\"deadline-exceeded\""),
+            "{frame}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_rejections_carry_a_retry_hint() {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            record_timings: false,
+            retry_after_ms: 40,
+            ..ServerConfig::default()
+        });
+        let (mut tx, mut rx) = server.connect().split();
+        let g = generators::cycle(4096).unwrap();
+        for i in 0..32 {
+            let req = Request::new(
+                Problem::Mis {
+                    base_degree: Some(8),
+                },
+                g.clone(),
+            )
+            .seed(i);
+            tx.submit_request(&format!("r{i}"), Priority::Normal, req);
+        }
+        tx.finish();
+        let mut saw_hint = false;
+        while let Some(frame) = rx.recv() {
+            let reply = split_reply(&frame).unwrap();
+            if reply.frame_type == "error" {
+                assert!(
+                    reply.payload.unwrap().contains("\"retry_after_ms\":40"),
+                    "{frame}"
+                );
+                saw_hint = true;
+            }
+        }
+        assert!(saw_hint, "a 32-burst into a 1-slot queue must overflow");
+        server.shutdown();
+    }
+
+    #[test]
+    fn slow_reply_consumers_are_evicted_and_the_server_survives() {
+        // reply buffer of 1 and a near-zero write timeout: the second
+        // completed reply cannot be buffered, so the connection must be
+        // evicted — and the server must keep serving fresh connections
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            record_timings: false,
+            reply_buffer: 1,
+            write_timeout: Duration::from_millis(50),
+            ..ServerConfig::default()
+        });
+        let (mut tx, rx) = server.connect().split();
+        let g = generators::cycle(8).unwrap();
+        for i in 0..4 {
+            let req = Request::new(
+                Problem::Mis {
+                    base_degree: Some(8),
+                },
+                g.clone(),
+            )
+            .seed(i);
+            tx.submit_request(&format!("r{i}"), Priority::Normal, req);
+        }
+        // never read `rx` until the workers have long since moved on
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.stats().evicted == 0 {
+            assert!(Instant::now() < deadline, "eviction never happened");
+            thread::sleep(Duration::from_millis(5));
+        }
+        tx.finish();
+        // the evicted connection yields whatever was buffered before the
+        // teardown, then terminates instead of hanging
+        let leftovers: Vec<String> = rx.collect();
+        assert!(leftovers.len() < 4, "eviction must drop some replies");
+        // a fresh connection is fully served
+        let (mut tx, mut rx) = server.connect().split();
+        tx.submit_request(
+            "fresh",
+            Priority::Normal,
+            Request::new(
+                Problem::Mis {
+                    base_degree: Some(8),
+                },
+                g.clone(),
+            ),
+        );
+        tx.finish();
+        let frame = rx.recv().unwrap();
+        assert!(frame.contains("\"type\":\"solution\""), "{frame}");
+        assert!(rx.recv().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn chaos_worker_panics_become_internal_panic_frames() {
+        // every job panics: the pool must survive and answer each
+        // admitted request with the reserved internal-panic payload
+        let server = Server::start(ServerConfig {
+            record_timings: false,
+            chaos: Some(ChaosConfig {
+                seed: 7,
+                worker_panic: 1.0,
+                ..ChaosConfig::default()
+            }),
+            ..ServerConfig::default()
+        });
+        let (mut tx, rx) = server.connect().split();
+        let g = generators::cycle(8).unwrap();
+        for i in 0..3 {
+            let req = Request::new(
+                Problem::Mis {
+                    base_degree: Some(8),
+                },
+                g.clone(),
+            )
+            .seed(i);
+            tx.submit_request(&format!("r{i}"), Priority::Normal, req);
+        }
+        tx.finish();
+        let frames: Vec<String> = rx.collect();
+        assert_eq!(frames.len(), 3, "one reply per admitted request");
+        for frame in &frames {
+            let reply = split_reply(frame).unwrap();
+            assert_eq!(reply.frame_type, "error");
+            assert!(
+                reply
+                    .payload
+                    .unwrap()
+                    .contains("\"kind\":\"internal-panic\""),
+                "{frame}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_reports_quiescence_and_shutdown_is_bounded() {
+        let server = Server::start(quiet_config());
+        let (mut tx, mut rx) = server.connect().split();
+        tx.submit_request(
+            "only",
+            Priority::Normal,
+            Request::new(
+                Problem::Mis {
+                    base_degree: Some(8),
+                },
+                generators::cycle(8).unwrap(),
+            ),
+        );
+        tx.finish();
+        assert!(rx.recv().unwrap().contains("\"type\":\"solution\""));
+        assert!(server.drain(), "an idle server drains immediately");
         server.shutdown();
     }
 }

@@ -81,6 +81,10 @@ pub struct Envelope {
     pub id: String,
     /// Scheduling priority.
     pub priority: Priority,
+    /// Optional wall-clock budget (ms, counted from admission). The
+    /// envelope scan surfaces it so the queue can expire jobs without
+    /// parsing their payloads.
+    pub deadline_ms: Option<u64>,
 }
 
 /// One scanned client frame, classified by `type`.
@@ -116,6 +120,7 @@ const REQUEST_KEYS: &[&str] = &[
     "force_pipeline",
     "max_rounds",
     "attempts",
+    "deadline_ms",
 ];
 const PING_KEYS: &[&str] = &["v", "type", "id"];
 const SHUTDOWN_KEYS: &[&str] = &["v", "type"];
@@ -230,13 +235,29 @@ pub fn scan_envelope(line: &str) -> Result<ClientFrame, ApiError> {
         "request" => {
             let id = parse_id(get("id"))?;
             let priority = parse_priority(get("priority"))?;
+            let deadline_ms = match get("deadline_ms") {
+                None => None,
+                Some(raw) => Some(
+                    json::parse(raw)
+                        .ok()
+                        .and_then(|j| j.as_number())
+                        .and_then(Number::as_u64)
+                        .ok_or_else(|| {
+                            invalid("deadline_ms", "must be an unsigned integer (milliseconds)")
+                        })?,
+                ),
+            };
             if get("problem").is_none() {
                 return Err(invalid("problem", "request frames must carry a problem"));
             }
             if get("instance").is_none() {
                 return Err(invalid("instance", "request frames must carry an instance"));
             }
-            Ok(ClientFrame::Request(Envelope { id, priority }))
+            Ok(ClientFrame::Request(Envelope {
+                id,
+                priority,
+                deadline_ms,
+            }))
         }
         "ping" => {
             let id = match get("id") {
@@ -563,6 +584,9 @@ pub fn parse_request(line: &str) -> Result<(Envelope, Request), ApiError> {
             .ok_or_else(|| invalid("attempts", "must be a non-negative integer"))?;
         request = request.attempts(attempts);
     }
+    if let Some(ms) = envelope.deadline_ms {
+        request = request.deadline_ms(ms);
+    }
     Ok((envelope, request))
 }
 
@@ -701,6 +725,9 @@ pub fn render_request(id: &str, priority: Priority, request: &Request) -> String
     if let Some(a) = request.budget().attempts {
         obj.uint("attempts", a as u64);
     }
+    if let Some(ms) = request.budget().deadline_ms {
+        obj.uint("deadline_ms", ms);
+    }
     obj.finish()
 }
 
@@ -776,6 +803,8 @@ pub struct StatsSnapshot {
     pub served: u64,
     /// Requests refused admission.
     pub rejected: u64,
+    /// Connections evicted for consuming replies too slowly.
+    pub evicted: u64,
     /// Jobs waiting in the queue right now.
     pub queue_depth: usize,
     /// Deepest the queue has been since startup.
@@ -797,6 +826,7 @@ pub fn heartbeat_frame(id: &str, seq: u64, stats: StatsSnapshot) -> String {
         .uint("seq", seq)
         .uint("served", stats.served)
         .uint("rejected", stats.rejected)
+        .uint("evicted", stats.evicted)
         .uint("queue_depth", stats.queue_depth as u64)
         .uint("queue_high_water", stats.queue_high_water as u64)
         .uint("inflight", stats.inflight as u64)
@@ -884,7 +914,8 @@ mod tests {
             scan_envelope(line).unwrap(),
             ClientFrame::Request(Envelope {
                 id: "r1".into(),
-                priority: Priority::High
+                priority: Priority::High,
+                deadline_ms: None
             })
         );
         assert_eq!(
@@ -914,6 +945,14 @@ mod tests {
                 "priority",
             ),
             (r#"{"v":1,"type":"request","id":"x"}"#, "problem"),
+            (
+                r#"{"v":1,"type":"request","id":"x","deadline_ms":"soon"}"#,
+                "deadline_ms",
+            ),
+            (
+                r#"{"v":1,"type":"request","id":"x","deadline_ms":-5}"#,
+                "deadline_ms",
+            ),
             (r#"{"v":1,"type":"shutdown","id":"x"}"#, "frame"),
         ] {
             match scan_envelope(line) {
@@ -950,7 +989,8 @@ mod tests {
             .deterministic()
             .force_pipeline(Pipeline::Theorem25)
             .max_rounds(1e6)
-            .attempts(3),
+            .attempts(3)
+            .deadline_ms(30_000),
         );
         roundtrip(Request::new(Problem::WeakMulticolor, b.clone()));
         roundtrip(Request::new(
@@ -997,6 +1037,17 @@ mod tests {
             g.clone(),
         ));
         roundtrip(Request::new(Problem::Mis { base_degree: None }, g).seed(u64::MAX));
+    }
+
+    #[test]
+    fn envelope_scan_surfaces_the_deadline_budget() {
+        let line = r#"{"v":1,"type":"request","id":"d1","deadline_ms":250,"problem":{"name":"mis"},"instance":{"kind":"host","nodes":1,"edges":[]}}"#;
+        match scan_envelope(line).unwrap() {
+            ClientFrame::Request(envelope) => assert_eq!(envelope.deadline_ms, Some(250)),
+            other => panic!("expected a request frame, got {other:?}"),
+        }
+        let (_, request) = parse_request(line).unwrap();
+        assert_eq!(request.budget().deadline_ms, Some(250));
     }
 
     #[test]

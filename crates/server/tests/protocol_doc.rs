@@ -75,8 +75,9 @@ fn protocol_examples_replay_byte_identically() {
     let examples = parse_examples(&doc);
     assert_eq!(
         examples.len(),
-        9,
-        "docs/PROTOCOL.md must carry one worked example per Problem variant"
+        10,
+        "docs/PROTOCOL.md must carry one worked example per Problem variant \
+         plus the deadline-exceeded robustness example"
     );
 
     // replay all requests in document order over one connection, exactly
@@ -106,6 +107,76 @@ fn protocol_examples_replay_byte_identically() {
     server.shutdown();
 }
 
+/// Extracts the multi-line fenced block following a
+/// `<!-- chaos-sync: NAME -->` marker.
+fn parse_chaos_block(doc: &str, name: &str) -> String {
+    let marker = format!("<!-- chaos-sync: {name} -->");
+    let mut lines = doc.lines();
+    lines
+        .by_ref()
+        .find(|l| l.trim() == marker)
+        .unwrap_or_else(|| panic!("docs/PROTOCOL.md is missing the {marker} marker"));
+    let fence = lines.next().map(str::trim);
+    assert!(
+        matches!(fence, Some("```json") | Some("```text")),
+        "{marker} must be followed by a fenced block, got {fence:?}"
+    );
+    let mut block = String::new();
+    for line in lines {
+        if line.trim() == "```" {
+            return block;
+        }
+        block.push_str(line);
+        block.push('\n');
+    }
+    panic!("{marker} block is unterminated");
+}
+
+#[test]
+fn chaos_survival_transcript_replays_byte_identically() {
+    let doc_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/PROTOCOL.md");
+    let doc = std::fs::read_to_string(&doc_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", doc_path.display()));
+    let input = parse_chaos_block(&doc, "input");
+    let documented = parse_chaos_block(&doc, "output");
+
+    // the exact fault schedule of `examples/protocol_examples.rs` —
+    // keep in lockstep with `transcript_chaos_config` there
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        record_timings: false,
+        chaos: Some(splitting_server::ChaosConfig {
+            seed: 51,
+            worker_panic: 0.2,
+            worker_stall: 0.0,
+            stall_ms: 1,
+            torn_frame: 0.1,
+            drop_connection: 0.0,
+        }),
+        ..ServerConfig::default()
+    });
+    let mut out = Vec::new();
+    let outcome = transport::serve_stream(&server, input.as_bytes(), &mut out);
+    server.shutdown();
+
+    // the transcript ends in a torn frame, so the generator appended a
+    // newline to close the fenced block — compare modulo that newline
+    let mut got = String::from_utf8(out).unwrap();
+    if !got.ends_with('\n') {
+        got.push('\n');
+    }
+    assert_eq!(
+        got, documented,
+        "the chaos-survival transcript has drifted from real output — \
+         regenerate with `cargo run -p splitting-server --example protocol_examples`"
+    );
+    let err = outcome.expect_err("the documented schedule tears frame 5");
+    assert!(
+        err.to_string().contains("chaos: injected torn frame"),
+        "unexpected teardown cause: {err}"
+    );
+}
+
 #[test]
 fn documented_error_kind_table_matches_the_taxonomy() {
     let doc_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/PROTOCOL.md");
@@ -119,6 +190,7 @@ fn documented_error_kind_table_matches_the_taxonomy() {
         "certificate-violation",
         "budget-exceeded",
         "overloaded",
+        "deadline-exceeded",
         "internal-panic",
     ] {
         assert!(
