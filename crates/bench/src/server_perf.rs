@@ -24,9 +24,13 @@
 //!   hidden: on multi-kilobyte instances the parse dominates a
 //!   zero-round solve.
 //!
-//! A final `zero_round_degraded` row reruns the zero-round workload
-//! under the seeded chaos layer (2% injected worker panics, 2% 1 ms
-//! stalls) so the fault path's throughput cost stays on the record.
+//! A `zero_round_degraded` row reruns the zero-round workload under
+//! the seeded chaos layer (2% injected worker panics, 2% 1 ms stalls)
+//! so the fault path's throughput cost stays on the record, and a
+//! `zero_round_journaled` row reruns it with a write-ahead journal
+//! under the default batch fsync policy, pricing the durability layer
+//! (per-admission append + per-completion append) against the clean
+//! in-proc figure.
 //!
 //! Results feed `BENCH_server.json`.
 
@@ -417,6 +421,7 @@ pub fn run_server_perf(quick: bool) -> (Vec<Table>, ServerReport) {
                 stall_ms: 1,
                 torn_frame: 0.0,
                 drop_connection: 0.0,
+                process_kill: 0.0,
             }),
             ..ServerConfig::default()
         });
@@ -442,6 +447,61 @@ pub fn run_server_perf(quick: bool) -> (Vec<Table>, ServerReport) {
             errors: outcome.errors,
         });
         server.shutdown();
+    }
+
+    // Journaled mode: the zero-round workload once more with the
+    // write-ahead journal enabled under its default batch fsync policy
+    // — the acceptance gate keeps this row within 20% of the clean
+    // in-proc figure, pinning the durability layer's per-request cost
+    // (a structural fingerprint plus two small serialized appends;
+    // payload interning keeps the full wire line off the steady-state
+    // path) where a regression is visible.
+    {
+        let (pool, total) = &pools[0];
+        let path = std::env::temp_dir().join(format!(
+            "splitd-bench-journal-{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let journal = std::sync::Arc::new(
+            splitting_server::Journal::open(&path, splitting_server::FsyncPolicy::Batch)
+                .expect("bench journal opens"),
+        );
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            admission: Admission::Block,
+            journal: Some(std::sync::Arc::clone(&journal)),
+            ..ServerConfig::default()
+        });
+        let outcome = drive(&server, pool, *total, "inproc", false);
+        assert_eq!(
+            outcome.replies, *total,
+            "journaled mode still answers every request"
+        );
+        let jstats = journal.stats();
+        assert_eq!(
+            (jstats.appended, jstats.completed),
+            (*total as u64, *total as u64),
+            "every request journaled and completed"
+        );
+        records.push(ServerRecord {
+            name: "zero_round_journaled",
+            transport: "inproc",
+            requests: *total,
+            workers: server.config().workers,
+            host_parallelism,
+            wall_ns: outcome.wall_ns,
+            wall_ns_direct: zero_direct_ns,
+            p50_ns: percentile(&outcome.latencies, 0.50),
+            p95_ns: percentile(&outcome.latencies, 0.95),
+            p99_ns: percentile(&outcome.latencies, 0.99),
+            queue_high_water: outcome.queue_high_water,
+            rejected: outcome.rejected,
+            errors: outcome.errors,
+        });
+        server.shutdown();
+        drop(journal);
+        let _ = std::fs::remove_file(&path);
     }
 
     let mut table = Table::new(

@@ -55,11 +55,19 @@ pub enum Group {
     /// order is preserved, the fault schedule replays bit-identically
     /// from its seed, and the pool survives to serve fresh work.
     Chaos,
+    /// Crash safety: the scenario menu driven through a journaled
+    /// server that is killed (`process_kill` chaos site) mid-stream,
+    /// asserting that no admitted request is lost, none is applied
+    /// twice, recovered solutions are byte-identical to the
+    /// uninterrupted run, keyed retries replay from the idempotency
+    /// cache instead of re-solving, and corrupt or torn journal images
+    /// recover cleanly to the last valid record.
+    Recovery,
 }
 
 impl Group {
     /// Every group, in matrix-column order.
-    pub const ALL: [Group; 9] = [
+    pub const ALL: [Group; 10] = [
         Group::Solver,
         Group::Theorems,
         Group::Multicolor,
@@ -69,6 +77,7 @@ impl Group {
         Group::Api,
         Group::Server,
         Group::Chaos,
+        Group::Recovery,
     ];
 
     /// Stable display/selector name.
@@ -83,6 +92,7 @@ impl Group {
             Group::Api => "api",
             Group::Server => "server",
             Group::Chaos => "chaos",
+            Group::Recovery => "recovery",
         }
     }
 
@@ -251,6 +261,7 @@ pub fn run_cell(s: &Scenario, group: Group) -> CellReport {
         Group::Api => check_api(&mut ctx),
         Group::Server => check_server(&mut ctx),
         Group::Chaos => check_chaos(&mut ctx),
+        Group::Recovery => check_recovery(&mut ctx),
     }
     ctx.into_cell()
 }
@@ -1421,6 +1432,7 @@ fn chaos_pass(
             stall_ms: 1,
             torn_frame: 0.1,
             drop_connection: 0.05,
+            process_kill: 0.0,
         }),
         ..ServerConfig::default()
     });
@@ -1577,6 +1589,384 @@ fn check_chaos(ctx: &mut Ctx<'_>) {
     ctx.check("chaos.pool-survives-and-drains", alive && alive2, || {
         "server failed the post-chaos liveness probe or drain bound".into()
     });
+}
+
+// -------------------------------------------------------------- recovery
+
+/// Drives the crash-safety contract end to end: a journaled,
+/// single-worker server is killed at a seed-chosen job mid-menu
+/// (the `process_kill` chaos site), a fresh server recovers from the
+/// same journal, and the client reconnects and retries every request
+/// under its original idempotency key. The kill position is made
+/// deterministic by probing the seeded schedule and picking the
+/// probability that fires exactly once, so every seed exercises a
+/// different crash point without any flakiness.
+fn check_recovery(ctx: &mut Ctx<'_>) {
+    use splitting_api::Session;
+    use splitting_server::{
+        journal, wire, Admission, ChaosConfig, FsyncPolicy, Journal, Priority, Server, ServerConfig,
+    };
+    use std::collections::HashSet;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let s = ctx.scenario;
+    let requests = server_request_menu(s);
+    let session = Session::with_threads(1);
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|(_, r)| {
+            session
+                .solve(r)
+                .map_or_else(|e| e.to_json_line(), |sol| sol.to_json_line())
+        })
+        .collect();
+
+    // CI sweeps extra crash schedules and fsync policies via env, like
+    // the chaos group; unset, both are pure functions of the scenario
+    let sweep = std::env::var("CONFORMANCE_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    let chaos_seed = s.seed ^ 0x5afe_c0de ^ sweep.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let policy = std::env::var("CONFORMANCE_FSYNC_POLICY")
+        .ok()
+        .and_then(|v| FsyncPolicy::parse(&v))
+        .unwrap_or(FsyncPolicy::Batch);
+
+    // place the kill deterministically: the site's draw is a pure
+    // function of (seed, conn, seq), so the probability just above the
+    // menu's smallest draw fires exactly once, at a seed-chosen job
+    let probe = ChaosConfig {
+        seed: chaos_seed,
+        ..ChaosConfig::default()
+    };
+    let rolls: Vec<f64> = (0..requests.len() as u64)
+        .map(|seq| probe.process_kill_roll(0, seq))
+        .collect();
+    let kill_seq = rolls
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("rolls are finite"))
+        .map(|(i, _)| i)
+        .expect("menu is non-empty");
+    let mut sorted = rolls.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("rolls are finite"));
+    let process_kill = if sorted.len() > 1 {
+        (sorted[0] + sorted[1]) / 2.0
+    } else {
+        sorted[0] + 1e-12
+    };
+
+    let path = std::env::temp_dir().join(format!(
+        "splitd-recovery-{}-{}-{}-{}.journal",
+        std::process::id(),
+        s.family.replace(['/', '#'], "-"),
+        s.seed,
+        sweep
+    ));
+    let _ = std::fs::remove_file(&path);
+    let keys: Vec<String> = requests
+        .iter()
+        .map(|(name, _)| format!("{name}#{}", s.seed))
+        .collect();
+
+    // ---- pass 1: the journaled server dies mid-stream ---------------
+    let journal1 = Arc::new(Journal::open(&path, policy).expect("fresh journal opens"));
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        record_timings: false,
+        admission: Admission::Block,
+        chaos: Some(ChaosConfig {
+            seed: chaos_seed,
+            process_kill,
+            ..ChaosConfig::default()
+        }),
+        journal: Some(Arc::clone(&journal1)),
+        ..ServerConfig::default()
+    });
+    let (mut tx, mut rx) = server.connect().split();
+    for ((name, request), key) in requests.iter().zip(&keys) {
+        let line = wire::render_request_with_key(name, Priority::Normal, Some(key), request);
+        let _ = tx.submit_line(&line);
+    }
+    tx.finish();
+    let mut delivered: Vec<String> = Vec::new();
+    while let Some(frame) = rx.recv() {
+        delivered.push(frame);
+    }
+    ctx.check("recovery.kill-fires", server.killed(), || {
+        format!(
+            "process_kill = {process_kill} never fired over {} jobs",
+            requests.len()
+        )
+    });
+    server.halt();
+    drop(journal1);
+
+    // ---- the journal image is the crash's ground truth --------------
+    let bytes = std::fs::read(&path).expect("journal image readable");
+    let scanned = journal::scan(&bytes).expect("own journal must scan clean");
+    let admitted: Vec<&journal::AdmittedRecord> = scanned
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            journal::Record::Admitted(rec) => Some(rec),
+            journal::Record::Payload { .. } | journal::Record::Completed { .. } => None,
+        })
+        .collect();
+    let completed_count = scanned
+        .records
+        .iter()
+        .filter(|r| matches!(r, journal::Record::Completed { .. }))
+        .count();
+    let pending = journal::incomplete(&scanned.records);
+    ctx.check(
+        "recovery.in-process-kill-leaves-no-torn-tail",
+        scanned.truncated == 0,
+        || format!("{} torn bytes after an in-process kill", scanned.truncated),
+    );
+    ctx.check(
+        "recovery.admission-order-preserved",
+        admitted
+            .iter()
+            .zip(&requests)
+            .all(|(rec, (name, _))| rec.id == *name),
+        || "journaled admission order diverges from submission order".into(),
+    );
+    ctx.check(
+        "recovery.completions-match-deliveries",
+        completed_count == delivered.len() && delivered.len() == kill_seq,
+        || {
+            format!(
+                "kill at job {kill_seq}: {} deliveries, {completed_count} completions",
+                delivered.len()
+            )
+        },
+    );
+    ctx.check(
+        "recovery.incomplete-is-exactly-the-lost-tail",
+        pending.len() == admitted.len() - delivered.len()
+            && pending.first().map(|r| r.id.as_str()) == requests.get(kill_seq).map(|(n, _)| *n),
+        || {
+            format!(
+                "{} admitted, {} delivered, but {} incomplete (first: {:?})",
+                admitted.len(),
+                delivered.len(),
+                pending.len(),
+                pending.first().map(|r| &r.id)
+            )
+        },
+    );
+    for (i, frame) in delivered.iter().enumerate() {
+        let ok = wire::split_reply(frame)
+            .is_some_and(|r| r.seq == i as u64 && r.payload == Some(expected[i].as_str()));
+        ctx.check("recovery.pre-kill-replies-byte-identical", ok, || {
+            format!("delivered frame {i} diverges from the direct rendering: {frame}")
+        });
+    }
+
+    // torn-tail property, directly on the image: any byte-length prefix
+    // recovers exactly the fully-written records — never an error, a
+    // panic, or a half-record
+    let mut framed_ends = Vec::new();
+    let mut pos = journal::HEADER_LEN;
+    for record in &scanned.records {
+        pos += journal::encode_record(record).len();
+        framed_ends.push(pos);
+    }
+    for cut in [
+        journal::HEADER_LEN,
+        (journal::HEADER_LEN + bytes.len()) / 2,
+        bytes.len().saturating_sub(1),
+    ] {
+        let want = framed_ends.iter().filter(|&&end| end <= cut).count();
+        let ok = match journal::scan(&bytes[..cut]) {
+            Ok(torn) => torn.records.len() == want && torn.records[..] == scanned.records[..want],
+            Err(_) => false,
+        };
+        ctx.check("recovery.torn-prefix-recovers-full-records", ok, || {
+            format!("cut at byte {cut}: did not recover exactly {want} records")
+        });
+    }
+    // a flipped byte inside a record truncates to the records before it
+    if bytes.len() > journal::HEADER_LEN + 1 {
+        let mut corrupt = bytes.clone();
+        let hit = journal::HEADER_LEN + (corrupt.len() - journal::HEADER_LEN) / 2;
+        corrupt[hit] ^= 0xff;
+        let ok = match journal::scan(&corrupt) {
+            Ok(out) => {
+                out.records.len() <= scanned.records.len()
+                    && out.records[..] == scanned.records[..out.records.len()]
+            }
+            Err(_) => false,
+        };
+        ctx.check("recovery.corrupt-record-truncates-cleanly", ok, || {
+            format!("flipping byte {hit} did not truncate to a valid record prefix")
+        });
+    }
+    // header damage is a typed refusal, never a guess
+    ctx.check(
+        "recovery.foreign-bytes-are-typed-bad-magic",
+        matches!(
+            journal::scan(b"NOT-A-JOURNAL-AT-ALL"),
+            Err(journal::JournalError::BadMagic(_))
+        ),
+        || "scan accepted a non-journal image".into(),
+    );
+    let mut future = bytes.clone();
+    future[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    ctx.check(
+        "recovery.version-mismatch-is-typed",
+        matches!(
+            journal::scan(&future),
+            Err(journal::JournalError::VersionMismatch {
+                found: u32::MAX,
+                ..
+            })
+        ),
+        || "scan accepted a future-format journal".into(),
+    );
+
+    // ---- pass 2: a fresh server restarts on the same journal --------
+    let journal2 = Arc::new(Journal::open(&path, policy).expect("journal reopens after kill"));
+    ctx.check(
+        "recovery.reopen-recovers-the-incomplete-tail",
+        journal2.stats().recovered == pending.len() as u64,
+        || {
+            format!(
+                "reopen recovered {} jobs, scan says {} were incomplete",
+                journal2.stats().recovered,
+                pending.len()
+            )
+        },
+    );
+    let recovered_keys: HashSet<String> = pending
+        .iter()
+        .filter_map(|r| r.idempotency_key.clone())
+        .collect();
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        record_timings: false,
+        admission: Admission::Block,
+        journal: Some(Arc::clone(&journal2)),
+        ..ServerConfig::default()
+    });
+    // recovered jobs re-solve in the background; their completions land
+    // in the journal, so poll its counters (bounded) instead of sleeping
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while journal2.stats().completed < pending.len() as u64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    ctx.check(
+        "recovery.recovered-jobs-complete",
+        journal2.stats().completed >= pending.len() as u64,
+        || {
+            format!(
+                "only {} of {} recovered jobs completed within the bound",
+                journal2.stats().completed,
+                pending.len()
+            )
+        },
+    );
+    let appended_before_retry = journal2.stats().appended;
+
+    // ---- pass 3: the client reconnects and retries everything -------
+    let (mut tx, rx) = server.connect().split();
+    for ((name, request), key) in requests.iter().zip(&keys) {
+        let line = wire::render_request_with_key(name, Priority::Normal, Some(key), request);
+        let _ = tx.submit_line(&line);
+    }
+    tx.finish();
+    let frames: Vec<String> = rx.collect();
+    ctx.check(
+        "recovery.every-retry-answered",
+        frames.len() == requests.len(),
+        || format!("{} retries but {} replies", requests.len(), frames.len()),
+    );
+    let mut replays = 0u64;
+    for (i, frame) in frames.iter().enumerate() {
+        let (name, _) = &requests[i];
+        let Some(reply) = wire::split_reply(frame) else {
+            ctx.check("recovery.retry-reply-parses", false, || {
+                format!("{name}: retry reply is malformed: {frame}")
+            });
+            continue;
+        };
+        ctx.check(
+            "recovery.retry-payload-byte-identical",
+            reply.id == *name && reply.payload == Some(expected[i].as_str()),
+            || format!("{name}: retry payload diverges from the uninterrupted rendering"),
+        );
+        if reply.replayed {
+            replays += 1;
+        }
+        let was_recovered = recovered_keys.contains(&keys[i]);
+        ctx.check(
+            "recovery.recovered-keys-replay-not-resolve",
+            reply.replayed == was_recovered,
+            || {
+                format!(
+                    "{name}: replayed = {} but recovered = {was_recovered}",
+                    reply.replayed
+                )
+            },
+        );
+    }
+    ctx.check(
+        "recovery.replays-skip-the-journal",
+        journal2.stats().appended == appended_before_retry + (requests.len() as u64 - replays),
+        || {
+            format!(
+                "{} admissions appended for {} fresh (non-replayed) retries",
+                journal2.stats().appended - appended_before_retry,
+                requests.len() as u64 - replays
+            )
+        },
+    );
+    let stats = server.stats();
+    ctx.check(
+        "recovery.stats-report-durability",
+        stats.replayed == replays
+            && stats.journal_recovered == pending.len() as u64
+            && stats.journal_bytes > 0,
+        || {
+            format!(
+                "stats {{ replayed: {}, journal_recovered: {}, journal_bytes: {} }} disagree with the run",
+                stats.replayed, stats.journal_recovered, stats.journal_bytes
+            )
+        },
+    );
+    server.drain();
+    server.shutdown();
+    drop(journal2);
+
+    // ---- end state: every admitted record completed exactly once ----
+    let final_bytes = std::fs::read(&path).expect("final journal image");
+    let final_scan = journal::scan(&final_bytes).expect("final journal scans");
+    let mut completed_ids: Vec<u64> = final_scan
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            journal::Record::Completed { record_id } => Some(*record_id),
+            journal::Record::Payload { .. } | journal::Record::Admitted(_) => None,
+        })
+        .collect();
+    let total = completed_ids.len();
+    completed_ids.sort_unstable();
+    completed_ids.dedup();
+    ctx.check(
+        "recovery.all-admitted-work-completes-exactly-once",
+        journal::incomplete(&final_scan.records).is_empty() && completed_ids.len() == total,
+        || {
+            format!(
+                "{} jobs still incomplete, {} duplicate completions",
+                journal::incomplete(&final_scan.records).len(),
+                total - completed_ids.len()
+            )
+        },
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 // ----------------------------------------------------------- metamorphic

@@ -10,6 +10,12 @@
 //! of requests overflows the 2-slot queue, the rejects come back typed,
 //! and every request eventually solves.
 //!
+//! The second act is the crash-retry loop (docs/PROTOCOL.md
+//! § Durability and idempotency): the client attaches an
+//! `idempotency_key`, "crashes" before recording the reply, reconnects,
+//! and retries the identical line — the server answers from its reply
+//! cache with the same payload bytes, flagged `"replayed":true`.
+//!
 //! ```text
 //! cargo run -p splitting-server --example backoff_client
 //! ```
@@ -148,5 +154,55 @@ fn main() {
         rejects, stats.rejected,
         "client saw every reject the server issued"
     );
+
+    // ---- reconnect and retry with an idempotency key ----------------
+    //
+    // A client that crashes after the server has committed its reply
+    // (but before durably recording it) must be able to retry without
+    // the work running twice. The key makes the retry safe: the server
+    // replays the cached reply frame with identical payload bytes.
+    let keyed = wire::render_request_with_key(
+        "keyed-1",
+        Priority::Normal,
+        Some("backoff-demo-key"),
+        &Request::new(
+            Problem::Mis {
+                base_degree: Some(8),
+            },
+            cyc6.clone(),
+        ),
+    );
+    let (mut tx, mut rx) = server.connect().split();
+    assert_eq!(tx.submit_line(&keyed), Submitted::Queued);
+    let first = rx.recv().expect("the keyed request solves");
+    let first_payload = wire::split_reply(&first)
+        .expect("well-formed reply frame")
+        .payload
+        .expect("solution frames carry a payload")
+        .to_owned();
+    // the "crash": the connection dies with the reply unrecorded
+    tx.finish();
+    drop(rx);
+
+    // the restarted client reconnects and retries the identical line
+    let (mut tx, mut rx) = server.connect().split();
+    assert_eq!(
+        tx.submit_line(&keyed),
+        Submitted::Replied,
+        "the retry is answered from the idempotency cache"
+    );
+    let retry = rx.recv().expect("one reply for the retry");
+    let reply = wire::split_reply(&retry).expect("well-formed reply frame");
+    assert!(reply.replayed, "the retry is flagged as a replay");
+    assert_eq!(
+        reply.payload.expect("replayed solutions carry a payload"),
+        first_payload,
+        "replayed payload is byte-identical to the original reply"
+    );
+    println!(
+        "retry of keyed-1 replayed from cache ({} payload bytes, byte-identical)",
+        first_payload.len()
+    );
+    tx.finish();
     server.shutdown();
 }

@@ -29,6 +29,7 @@ pub fn transcript_chaos_config() -> ChaosConfig {
         stall_ms: 1,
         torn_frame: 0.1,
         drop_connection: 0.0,
+        process_kill: 0.0,
     }
 }
 
@@ -194,23 +195,49 @@ fn main() {
         ),
     ];
 
+    // one request in flight at a time — lockstep keeps the idempotency
+    // pair below deterministic (the retry is only submitted once the
+    // first reply exists, so it always hits the cache), and the frames
+    // are byte-identical to what a streamed transport would carry
     let (mut tx, mut rx) = server.connect().split();
-    let mut lines = Vec::new();
-    for (name, id, request) in &examples {
-        let line = wire::render_request(id, Priority::Normal, request);
-        assert_eq!(tx.submit_line(&line), Submitted::Queued, "{name}");
-        lines.push((name, line));
-    }
-    tx.finish();
-
-    for (name, line) in lines {
-        let reply = rx.recv().expect("one reply per request");
+    let print_pair = |name: &str, line: &str, reply: &str| {
         println!("### `{name}`\n");
         println!("<!-- doc-sync: request {name} -->");
         println!("```json\n{line}\n```\n");
         println!("<!-- doc-sync: response {name} -->");
         println!("```json\n{reply}\n```\n");
+    };
+    for (name, id, request) in &examples {
+        let line = wire::render_request(id, Priority::Normal, request);
+        assert_eq!(tx.submit_line(&line), Submitted::Queued, "{name}");
+        let reply = rx.recv().expect("one reply per request");
+        print_pair(name, &line, &reply);
     }
+
+    // the duplicate-retry transcript behind § Durability and
+    // idempotency: the same keyed request twice over one connection;
+    // the retry is answered from the idempotency cache — same payload
+    // bytes, its own seq, flagged `"replayed":true`, no fresh solve
+    let keyed = wire::render_request_with_key(
+        "idem-1",
+        Priority::Normal,
+        Some("retry-demo-1"),
+        &Request::new(
+            Problem::Mis {
+                base_degree: Some(8),
+            },
+            generators::cycle(6).unwrap(),
+        ),
+    );
+    for (name, want) in [
+        ("idempotent-first", Submitted::Queued),
+        ("idempotent-retry", Submitted::Replied),
+    ] {
+        assert_eq!(tx.submit_line(&keyed), want, "{name}");
+        let reply = rx.recv().expect("one reply per submission");
+        print_pair(name, &keyed, &reply);
+    }
+    tx.finish();
     server.shutdown();
 
     // The chaos-survival transcript: the same fixed fault schedule every

@@ -10,7 +10,9 @@
 //! the process exits 0 — a supervisor's stop never loses admitted work
 //! that fits the deadline, and never hangs on work that doesn't.
 
-use splitting_server::{transport, Admission, Server, ServerConfig};
+use splitting_server::{
+    transport, Admission, FsyncPolicy, Journal, JournalError, Server, ServerConfig,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -41,15 +43,43 @@ OPTIONS:
     --retry-after-ms <MS>  backoff hint on overloaded rejections [default: 25]
     --help                 print this help
 
+DURABILITY:
+    --journal <PATH>       write-ahead journal: admitted requests are
+                           recorded before they are queued and marked
+                           complete when replied, so a crash or kill -9
+                           loses no admitted work. On startup the
+                           journal's incomplete tail is re-enqueued in
+                           admission order (a torn final record is
+                           truncated) before new requests are served.
+    --fsync-policy <P>     when journal appends reach stable storage:
+                           always | batch | never [default: batch]
+                           (requires --journal)
+
+EXIT CODES:
+    0   clean exit (EOF, shutdown frame, or graceful signal drain)
+    1   transport or I/O failure
+    2   usage error
+    3   journal corrupt or written by an incompatible format version —
+        the file is left untouched; inspect or move it, never silently
+        overwritten
+
 SIGNALS (unix):
     SIGTERM, SIGINT        drain gracefully (bounded by the drain
                            deadline), then exit 0
 
-The wire protocol is specified in docs/PROTOCOL.md.";
+The wire protocol is specified in docs/PROTOCOL.md
+(durability and idempotency under § Durability and idempotency).";
+
+/// Exit code for a journal `splitd` cannot read (bad magic or format
+/// version) — distinct from generic I/O failure so supervisors can tell
+/// "operator attention needed" from "retry".
+const EXIT_JOURNAL_CORRUPT: u8 = 3;
 
 struct Args {
     socket: Option<String>,
     tcp: Option<String>,
+    journal: Option<String>,
+    fsync_policy: Option<FsyncPolicy>,
     config: ServerConfig,
 }
 
@@ -57,6 +87,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         socket: None,
         tcp: None,
+        journal: None,
+        fsync_policy: None,
         config: ServerConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -106,11 +138,21 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--retry-after-ms: {e}"))?;
             }
+            "--journal" => args.journal = Some(value("--journal")?),
+            "--fsync-policy" => {
+                let raw = value("--fsync-policy")?;
+                args.fsync_policy = Some(FsyncPolicy::parse(&raw).ok_or_else(|| {
+                    format!("--fsync-policy: unknown policy {raw:?} (always | batch | never)")
+                })?);
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     if args.socket.is_some() && args.tcp.is_some() {
         return Err("--socket and --tcp are mutually exclusive".into());
+    }
+    if args.fsync_policy.is_some() && args.journal.is_none() {
+        return Err("--fsync-policy requires --journal".into());
     }
     Ok(args)
 }
@@ -173,7 +215,7 @@ mod signals {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(args) => args,
         Err(message) => {
             if message.is_empty() {
@@ -184,6 +226,31 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = &args.journal {
+        let policy = args.fsync_policy.unwrap_or(FsyncPolicy::Batch);
+        match Journal::open(path.as_ref(), policy) {
+            Ok(journal) => {
+                let stats = journal.stats();
+                if stats.recovered > 0 {
+                    eprintln!(
+                        "splitd: journal {path}: recovering {} incomplete job(s)",
+                        stats.recovered
+                    );
+                }
+                args.config.journal = Some(Arc::new(journal));
+            }
+            Err(e @ (JournalError::BadMagic(_) | JournalError::VersionMismatch { .. })) => {
+                // the file is real data this build cannot read: refuse
+                // loudly with the dedicated exit code, never overwrite
+                eprintln!("splitd: {e}");
+                return ExitCode::from(EXIT_JOURNAL_CORRUPT);
+            }
+            Err(JournalError::Io(e)) => {
+                eprintln!("splitd: journal {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let server = Arc::new(Server::start(args.config));
     #[cfg(unix)]
     signals::install(Arc::clone(&server));

@@ -27,6 +27,11 @@ pub(crate) const SITE_TORN_FRAME: u64 = 3;
 /// Injection site: the stream writer drops the connection before a
 /// reply frame.
 pub(crate) const SITE_DROP_CONNECTION: u64 = 4;
+/// Injection site: the whole process "dies" (`kill -9` simulation) —
+/// the worker halts the server after solving a job but **before** its
+/// reply is delivered or its journal completion is recorded, the exact
+/// window the recovery machinery must cover.
+pub(crate) const SITE_PROCESS_KILL: u64 = 5;
 
 /// A seeded fault-injection schedule. All probabilities are per-event
 /// (per job for the worker sites, per reply frame for the stream
@@ -50,6 +55,12 @@ pub struct ChaosConfig {
     /// Probability that the stream writer drops the connection cleanly
     /// before writing a reply frame.
     pub drop_connection: f64,
+    /// Probability (per job) that the process is "killed" after the
+    /// solve but before reply delivery and the journal completion mark
+    /// — the server [halts](crate::Server::halt) abruptly, simulating
+    /// `kill -9` at the worst possible instant. Used by the conformance
+    /// `recovery` group together with a journal.
+    pub process_kill: f64,
 }
 
 impl Default for ChaosConfig {
@@ -61,6 +72,7 @@ impl Default for ChaosConfig {
             stall_ms: 2,
             torn_frame: 0.0,
             drop_connection: 0.0,
+            process_kill: 0.0,
         }
     }
 }
@@ -77,6 +89,15 @@ impl ChaosConfig {
     /// Whether the fault with probability `p` fires at `(site, a, b)`.
     pub(crate) fn fires(&self, p: f64, site: u64, a: u64, b: u64) -> bool {
         p > 0.0 && self.roll(site, a, b) < p
+    }
+
+    /// The draw the `process_kill` site makes for job `(conn, seq)` —
+    /// the fault fires iff this is `< process_kill`. Exposed so a
+    /// harness can *choose* a probability that guarantees the kill
+    /// lands exactly once, at a seed-dependent position in its request
+    /// stream (the recovery conformance group does this).
+    pub fn process_kill_roll(&self, conn: u64, seq: u64) -> f64 {
+        self.roll(SITE_PROCESS_KILL, conn, seq)
     }
 }
 

@@ -21,6 +21,7 @@
 //! * [`json`] — strict, dependency-free JSON parsing and skip-scanning;
 //! * [`wire`] — frame schemas, the request codec, reply assembly;
 //! * [`queue`] — the bounded three-lane priority queue;
+//! * [`journal`] — crash-safe write-ahead journal (`splitd --journal`);
 //! * [`server`] — worker pool, connections, ordered reporting;
 //! * [`transport`] — stdio / Unix-socket / TCP byte-stream pumps;
 //! * [`chaos`] — deterministic seeded fault injection (test/bench hook).
@@ -33,6 +34,15 @@
 //! bounded write timeout — the connection drops, the server never
 //! wedges — and [`Server::shutdown`]/[`Server::drain`] are bounded by a
 //! drain deadline so the daemon always terminates.
+//!
+//! Durability: with `splitd --journal PATH`, every admitted request is
+//! recorded in a checksummed write-ahead [`journal`] before it is
+//! queued and marked complete when its reply is handed to delivery, so
+//! a `kill -9` loses zero admitted work — on restart the incomplete
+//! tail is re-enqueued in admission order and a torn final record is
+//! truncated. Requests may carry an `idempotency_key`: a retry of a
+//! completed key is answered from a bounded reply cache, byte-identical
+//! and flagged `"replayed":true`, instead of being solved twice.
 //!
 //! # Example
 //!
@@ -58,6 +68,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod journal;
 pub mod json;
 pub mod queue;
 pub mod server;
@@ -65,6 +76,7 @@ pub mod transport;
 pub mod wire;
 
 pub use chaos::ChaosConfig;
+pub use journal::{FsyncPolicy, Journal, JournalError, JournalStats};
 pub use server::{
     Admission, Connection, FrameReceiver, Polled, Server, ServerConfig, Submitted, Submitter,
 };

@@ -162,6 +162,27 @@ impl<T> JobQueue<T> {
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
+
+    /// Closes the queue **and** removes every job still waiting,
+    /// returning them in pop order (priority lanes, then arrival). The
+    /// crash-simulation path: a "killed" server abandons its backlog in
+    /// one step instead of letting workers drain it job by job; the
+    /// caller decides what dying means for the drained jobs (for the
+    /// journaled server: nothing — their admitted records stay
+    /// incomplete and a restart re-runs them).
+    pub fn close_and_drain(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        let mut drained = Vec::with_capacity(inner.len);
+        for lane in &mut inner.lanes {
+            drained.extend(lane.drain(..));
+        }
+        inner.len = 0;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        drained
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +229,21 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         producer.join().unwrap();
         assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_and_drain_empties_all_lanes_in_pop_order() {
+        let q = JobQueue::new(8);
+        q.try_push(Priority::Low, "l1").unwrap();
+        q.try_push(Priority::High, "h1").unwrap();
+        q.try_push(Priority::Normal, "n1").unwrap();
+        assert_eq!(q.close_and_drain(), ["h1", "n1", "l1"]);
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.pop(), None, "closed and empty");
+        assert!(matches!(
+            q.try_push(Priority::Normal, "late"),
+            Err(PushError::Closed("late"))
+        ));
     }
 
     #[test]

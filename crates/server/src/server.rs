@@ -18,12 +18,13 @@
 //! they never tear down the pool or the connection.
 
 use crate::chaos::{self, ChaosConfig};
+use crate::journal::Journal;
 use crate::queue::{JobQueue, PushError};
 use crate::wire::{self, ClientFrame, Envelope, Priority, StatsSnapshot, Timing};
 use splitting_api::{ApiError, CancelToken, Request, Session};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -78,6 +79,16 @@ pub struct ServerConfig {
     /// Seeded fault injection (default `None` — no faults). A
     /// test/bench-only hook; see [`crate::chaos`].
     pub chaos: Option<ChaosConfig>,
+    /// Write-ahead journal making admitted work durable (default `None`
+    /// — no journal). When set, every admission is journaled before it
+    /// is queued, completions are journaled when the reply is handed to
+    /// delivery, and [`Server::start`] re-enqueues whatever the journal
+    /// recovered. See [`crate::journal`].
+    pub journal: Option<Arc<Journal>>,
+    /// Bound on the idempotency reply cache (default 256 completed
+    /// keys). Only requests carrying an `idempotency_key` occupy a
+    /// slot; `0` disables the cache entirely.
+    pub idempotency_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +104,8 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(10),
             retry_after_ms: 25,
             chaos: None,
+            journal: None,
+            idempotency_capacity: 256,
         }
     }
 }
@@ -115,6 +128,12 @@ struct Job {
     /// Absolute expiry and the client's original ms budget, when the
     /// request carried a `deadline_ms`.
     deadline: Option<(Instant, u64)>,
+    /// Journal record id of this admission, when a journal is armed —
+    /// completion is marked against it once the reply is delivered.
+    journal_id: Option<u64>,
+    /// Client-supplied idempotency key; the delivered reply is cached
+    /// under it so a retry replays instead of re-solving.
+    idempotency_key: Option<String>,
 }
 
 enum Report {
@@ -126,14 +145,87 @@ enum Report {
 /// per-connection reply buffer.
 const DELIVER_POLL: Duration = Duration::from_millis(1);
 
+/// Reserved connection id for jobs re-enqueued from the journal at
+/// startup. It is never registered, so deliveries to it are silently
+/// dropped — recovery cares about the journal completion and the
+/// idempotency cache, not about streaming a reply to a connection that
+/// no longer exists. Client connection ids count up from 0 and cannot
+/// collide with it.
+const RECOVERY_CONN: u64 = u64::MAX;
+
+/// A delivered reply remembered under its idempotency key.
+#[derive(Clone)]
+struct CachedReply {
+    /// Whether the payload is a solution (vs a typed error).
+    solution: bool,
+    /// The reply payload, byte-for-byte as first delivered.
+    payload: String,
+}
+
+/// Bounded LRU of delivered replies keyed by client idempotency key.
+/// Linear-scan recency bookkeeping — the cache is small (hundreds of
+/// entries) and every touch already holds the mutex.
+struct IdempotencyCache {
+    capacity: usize,
+    order: VecDeque<String>,
+    replies: HashMap<String, CachedReply>,
+}
+
+impl IdempotencyCache {
+    fn new(capacity: usize) -> Self {
+        IdempotencyCache {
+            capacity,
+            order: VecDeque::new(),
+            replies: HashMap::new(),
+        }
+    }
+
+    fn touch(&mut self, key: &str) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos).expect("position is in range");
+            self.order.push_back(k);
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<CachedReply> {
+        let hit = self.replies.get(key).cloned()?;
+        self.touch(key);
+        Some(hit)
+    }
+
+    fn insert(&mut self, key: String, reply: CachedReply) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.replies.insert(key.clone(), reply).is_some() {
+            self.touch(&key);
+            return;
+        }
+        self.order.push_back(key);
+        if self.order.len() > self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.replies.remove(&evicted);
+            }
+        }
+    }
+}
+
 struct Shared {
     queue: JobQueue<Job>,
     registry: Mutex<HashMap<u64, SyncSender<Report>>>,
     served: AtomicU64,
     rejected: AtomicU64,
     evicted: AtomicU64,
+    replayed: AtomicU64,
     inflight: AtomicUsize,
     next_conn: AtomicU64,
+    /// Set when the seeded `process_kill` fault fires (or
+    /// [`Server::halt`] is called): the process is "dead" — ingest
+    /// stops admitting, workers stop solving and delivering, and
+    /// nothing further is journaled, exactly as a real `kill -9`
+    /// behaves.
+    killed: AtomicBool,
+    idempotency: Mutex<IdempotencyCache>,
     /// One slot per worker: the cancellation token of the solve it is
     /// running right now, so `drain` can abandon over-deadline work.
     active: Vec<Mutex<Option<CancelToken>>>,
@@ -141,6 +233,47 @@ struct Shared {
 }
 
 impl Shared {
+    fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
+    }
+
+    /// Simulates the process dying right now: no further admissions,
+    /// deliveries, solves, or journal appends. Queued jobs are drained
+    /// and dropped un-journaled-as-complete, so a restart recovers
+    /// them. Clearing the registry drops every reply channel's only
+    /// sender, so blocked receivers unpark and observe the "death"
+    /// instead of waiting for frames that will never come.
+    fn kill(&self) {
+        self.killed.store(true, Ordering::SeqCst);
+        // discard the backlog in one step; the dropped jobs' admitted
+        // records stay incomplete, which is what resurrects them
+        drop(self.queue.close_and_drain());
+        self.registry.lock().unwrap().clear();
+    }
+
+    /// Journals completion and populates the idempotency cache for a
+    /// job whose reply is about to be handed to delivery.
+    ///
+    /// This runs *before* [`Shared::deliver`], which gives keyed clients
+    /// a real ordering guarantee: once a reply frame has been observed,
+    /// a retry of the same key is answered from the cache. (A crash in
+    /// the sliver between completion and delivery loses only the frame,
+    /// never the answer — the client's keyed retry re-solves the same
+    /// deterministic request and gets byte-identical output.)
+    fn finish_job(&self, job: &Job, solution: bool, payload: String) {
+        if let (Some(journal), Some(record_id)) = (&self.config.journal, job.journal_id) {
+            // a failing completion append degrades durability (the job
+            // would be re-run after a crash), never availability
+            let _ = journal.mark_completed(record_id);
+        }
+        if let Some(key) = &job.idempotency_key {
+            self.idempotency
+                .lock()
+                .unwrap()
+                .insert(key.clone(), CachedReply { solution, payload });
+        }
+    }
+
     fn deliver(&self, conn: u64, seq: u64, line: String) {
         self.send_bounded(conn, Report::Frame { seq, line });
     }
@@ -173,6 +306,12 @@ impl Shared {
     }
 
     fn stats(&self) -> StatsSnapshot {
+        let journal = self
+            .config
+            .journal
+            .as_ref()
+            .map(|j| j.stats())
+            .unwrap_or_default();
         StatsSnapshot {
             served: self.served.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -182,6 +321,10 @@ impl Shared {
             inflight: self.inflight.load(Ordering::Relaxed),
             workers: self.config.workers,
             queue_capacity: self.queue.capacity(),
+            replayed: self.replayed.load(Ordering::Relaxed),
+            journal_appended: journal.appended,
+            journal_bytes: journal.bytes,
+            journal_recovered: journal.recovered,
         }
     }
 }
@@ -189,6 +332,12 @@ impl Shared {
 fn worker_loop(shared: &Shared, slot: usize) {
     let session = Session::with_threads(1);
     while let Some(job) = shared.queue.pop() {
+        if shared.is_killed() {
+            // the "dead" process does nothing with remaining queued
+            // work: drop it on the floor (draining so every worker
+            // terminates) — the journal resurrects it on restart
+            continue;
+        }
         shared.inflight.fetch_add(1, Ordering::Relaxed);
         let queued_ns = job
             .enqueued
@@ -212,6 +361,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
                 }
                 .to_json_line();
                 let frame = wire::error_frame(&job.id, job.seq, timing(started), &payload);
+                shared.finish_job(&job, false, payload);
                 shared.deliver(job.conn, job.seq, frame);
                 shared.served.fetch_add(1, Ordering::Relaxed);
                 shared.inflight.fetch_sub(1, Ordering::Relaxed);
@@ -253,6 +403,17 @@ fn worker_loop(shared: &Shared, slot: usize) {
             }
         }));
         *shared.active[slot].lock().unwrap() = None;
+        // seeded `kill -9` simulation: the process "dies" after the
+        // solve but before the reply is delivered or the completion is
+        // journaled — the exact window recovery must cover. The job's
+        // admitted record stays incomplete, so a restart re-runs it.
+        if let Some(c) = &shared.config.chaos {
+            if c.fires(c.process_kill, chaos::SITE_PROCESS_KILL, job.conn, job.seq) {
+                shared.kill();
+                shared.inflight.fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+        }
         let payload = outcome.unwrap_or_else(|cause| {
             let detail: &str = if let Some(s) = cause.downcast_ref::<&str>() {
                 s
@@ -263,11 +424,13 @@ fn worker_loop(shared: &Shared, slot: usize) {
             };
             wire::internal_panic_payload(detail)
         });
-        let frame = if payload.starts_with("{\"event\":\"solution\"") {
+        let solution = payload.starts_with("{\"event\":\"solution\"");
+        let frame = if solution {
             wire::solution_frame(&job.id, job.seq, timing(started), &payload)
         } else {
             wire::error_frame(&job.id, job.seq, timing(started), &payload)
         };
+        shared.finish_job(&job, solution, payload);
         shared.deliver(job.conn, job.seq, frame);
         shared.served.fetch_add(1, Ordering::Relaxed);
         shared.inflight.fetch_sub(1, Ordering::Relaxed);
@@ -281,17 +444,27 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts the worker pool.
+    /// Starts the worker pool. When the configuration carries a
+    /// journal, every job the journal recovered (admitted before a
+    /// crash, never completed) is re-enqueued immediately, in original
+    /// admission order, on an internal connection — its reply is not
+    /// streamed anywhere, but solving it journals the completion and
+    /// populates the idempotency cache, so a reconnecting client's
+    /// retry is answered `"replayed":true` from the recovered result.
     pub fn start(config: ServerConfig) -> Self {
         let workers = config.workers.max(1);
+        let idempotency = IdempotencyCache::new(config.idempotency_capacity);
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity),
             registry: Mutex::new(HashMap::new()),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
+            replayed: AtomicU64::new(0),
             inflight: AtomicUsize::new(0),
             next_conn: AtomicU64::new(0),
+            killed: AtomicBool::new(false),
+            idempotency: Mutex::new(idempotency),
             active: (0..workers).map(|_| Mutex::new(None)).collect(),
             config: ServerConfig { workers, ..config },
         });
@@ -304,9 +477,45 @@ impl Server {
                     .expect("spawn worker")
             })
             .collect();
-        Server {
+        let server = Server {
             shared,
             workers: handles,
+        };
+        server.reenqueue_recovered();
+        server
+    }
+
+    /// Drains the journal's recovered jobs into the queue on the
+    /// reserved internal connection. Deadlines are dropped — the
+    /// admission clock they were counted from died with the old
+    /// process — and the blocking push means a recovered backlog larger
+    /// than the queue simply feeds the (already running) workers at
+    /// their own pace.
+    fn reenqueue_recovered(&self) {
+        let Some(journal) = &self.shared.config.journal else {
+            return;
+        };
+        for (index, rec) in journal.take_recovered().into_iter().enumerate() {
+            let job = Job {
+                conn: RECOVERY_CONN,
+                seq: index as u64,
+                id: rec.record.id,
+                payload: Payload::Wire(rec.line),
+                enqueued: self.shared.config.record_timings.then(Instant::now),
+                deadline: None,
+                journal_id: Some(rec.record.record_id),
+                idempotency_key: rec.record.idempotency_key,
+            };
+            if self
+                .shared
+                .queue
+                .push_blocking(rec.record.priority, job)
+                .is_err()
+            {
+                // queue closed (halt/shutdown raced startup): leave the
+                // record incomplete for the next restart
+                return;
+            }
         }
     }
 
@@ -395,6 +604,27 @@ impl Server {
             }
         }
     }
+
+    /// Whether the server has "died" — the seeded `process_kill` fault
+    /// fired, or [`Server::halt`] was called. A killed server admits
+    /// nothing, delivers nothing, and journals nothing further; restart
+    /// it on the same journal to recover.
+    pub fn killed(&self) -> bool {
+        self.shared.is_killed()
+    }
+
+    /// Kills the server abruptly — the in-process analogue of `kill
+    /// -9`, used by the recovery conformance group and crash tests.
+    /// Queued and in-flight work is abandoned without replies or
+    /// journal completions (their admitted records stay incomplete, so
+    /// a restart on the same journal re-runs them); workers are joined
+    /// so the "dead" process holds no running threads.
+    pub fn halt(self) {
+        self.shared.kill();
+        for handle in self.workers {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// A client connection: ingest + reporting halves, split with
@@ -453,7 +683,51 @@ impl Submitter {
         self.send_now(seq, wire::error_frame(id, seq, None, &payload));
     }
 
-    fn enqueue(&self, envelope: Envelope, seq: u64, payload: Payload) {
+    fn enqueue(&self, envelope: Envelope, seq: u64, payload: Payload) -> Submitted {
+        if self.shared.is_killed() {
+            // a dead process answers nothing
+            return Submitted::Skipped;
+        }
+        // idempotent retry: a key whose reply was already delivered is
+        // answered from the cache — no admission, no journal append, no
+        // second solve
+        if let Some(key) = envelope.idempotency_key.as_deref() {
+            if let Some(hit) = self.shared.idempotency.lock().unwrap().get(key) {
+                self.shared.replayed.fetch_add(1, Ordering::Relaxed);
+                let frame = wire::replayed_frame(hit.solution, &envelope.id, seq, &hit.payload);
+                self.send_now(seq, frame);
+                return Submitted::Replied;
+            }
+        }
+        // write-ahead: the admission is journaled before the job can
+        // reach a worker. An append failure degrades durability (this
+        // job would not survive a crash), never availability. Parsed
+        // requests are fingerprinted structurally so the (much more
+        // expensive) canonical rendering happens only for payloads the
+        // journal has not interned yet; the envelope embedded in that
+        // rendering is a placeholder because recovery takes id,
+        // priority, and key from the admitted record, never the line.
+        let mut journal_id = None;
+        if let Some(journal) = &self.shared.config.journal {
+            journal_id = match &payload {
+                Payload::Wire(line) => journal.append_admitted(
+                    &envelope.id,
+                    envelope.priority,
+                    envelope.deadline_ms,
+                    envelope.idempotency_key.as_deref(),
+                    line,
+                ),
+                Payload::Parsed(request) => journal.append_admitted_interned(
+                    &envelope.id,
+                    envelope.priority,
+                    envelope.deadline_ms,
+                    envelope.idempotency_key.as_deref(),
+                    wire::request_fingerprint(request),
+                    || wire::render_request("interned", Priority::Normal, request),
+                ),
+            }
+            .ok();
+        }
         let job = Job {
             conn: self.conn,
             seq,
@@ -463,28 +737,43 @@ impl Submitter {
             deadline: envelope
                 .deadline_ms
                 .map(|ms| (Instant::now() + Duration::from_millis(ms), ms)),
+            journal_id,
+            idempotency_key: envelope.idempotency_key,
         };
-        match self.shared.config.admission {
-            Admission::Reject => {
-                if let Err(e) = self.shared.queue.try_push(envelope.priority, job) {
-                    let (job, depth) = match e {
-                        PushError::Full { job, depth } => (job, depth),
-                        PushError::Closed(job) => {
-                            let depth = self.shared.queue.depth();
-                            (job, depth)
-                        }
-                    };
-                    self.reject(&job.id, seq, depth);
-                }
-            }
-            Admission::Block => {
-                if let Err(job) = self.shared.queue.push_blocking(envelope.priority, job) {
-                    // queue closed mid-shutdown: report as a reject
+        let refused = match self.shared.config.admission {
+            Admission::Reject => match self.shared.queue.try_push(envelope.priority, job) {
+                Ok(()) => None,
+                Err(PushError::Full { job, depth }) => Some((job, depth)),
+                Err(PushError::Closed(job)) => {
                     let depth = self.shared.queue.depth();
-                    self.reject(&job.id, seq, depth);
+                    Some((job, depth))
                 }
-            }
+            },
+            Admission::Block => match self.shared.queue.push_blocking(envelope.priority, job) {
+                Ok(()) => None,
+                // queue closed mid-shutdown: report as a reject
+                Err(job) => {
+                    let depth = self.shared.queue.depth();
+                    Some((job, depth))
+                }
+            },
+        };
+        let Some((job, depth)) = refused else {
+            return Submitted::Queued;
+        };
+        if self.shared.is_killed() {
+            // the queue refused because the process "died" mid-push:
+            // stay silent and leave the journal record incomplete, so
+            // the restart recovers exactly this job
+            return Submitted::Skipped;
         }
+        // a definitive reject reaches the client, so the journal must
+        // not re-run the job after a crash: mark it completed
+        if let (Some(journal), Some(record_id)) = (&self.shared.config.journal, job.journal_id) {
+            let _ = journal.mark_completed(record_id);
+        }
+        self.reject(&job.id, seq, depth);
+        Submitted::Replied
     }
 
     /// Submits one raw input line, driving the full ingest path:
@@ -513,8 +802,7 @@ impl Submitter {
         }
         match wire::scan_envelope(trimmed) {
             Ok(ClientFrame::Request(envelope)) => {
-                self.enqueue(envelope, seq, Payload::Wire(trimmed.to_owned()));
-                Submitted::Queued
+                self.enqueue(envelope, seq, Payload::Wire(trimmed.to_owned()))
             }
             Ok(ClientFrame::Ping { id }) => {
                 let frame = wire::heartbeat_frame(&id, seq, self.shared.stats());
@@ -555,8 +843,11 @@ impl Submitter {
     }
 
     /// Submits an already-typed request, bypassing the wire codec — the
-    /// in-process fast path. Admission control and priority scheduling
-    /// apply exactly as for wire requests.
+    /// in-process fast path. Admission control, journaling, and
+    /// priority scheduling apply exactly as for wire requests. This
+    /// path never attaches an idempotency key; use
+    /// [`wire::render_request_with_key`] + [`Submitter::submit_line`]
+    /// for keyed submissions.
     pub fn submit_request(&mut self, id: &str, priority: Priority, request: Request) -> Submitted {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -566,11 +857,11 @@ impl Submitter {
                 id: id.to_owned(),
                 priority,
                 deadline_ms,
+                idempotency_key: None,
             },
             seq,
             Payload::Parsed(Box::new(request)),
-        );
-        Submitted::Queued
+        )
     }
 
     /// Signals end of input: the reporting half will finish after
@@ -1097,5 +1388,169 @@ mod tests {
         assert!(rx.recv().unwrap().contains("\"type\":\"solution\""));
         assert!(server.drain(), "an idle server drains immediately");
         server.shutdown();
+    }
+
+    fn temp_journal_path(tag: &str) -> std::path::PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "splitd-server-test-{}-{tag}-{}.journal",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn heartbeat_reports_journal_and_replay_counters() {
+        use crate::journal::{FsyncPolicy, Journal};
+
+        let path = temp_journal_path("heartbeat");
+        let _ = std::fs::remove_file(&path);
+        let journal = Arc::new(Journal::open(&path, FsyncPolicy::Never).unwrap());
+        let server = Server::start(ServerConfig {
+            journal: Some(Arc::clone(&journal)),
+            ..quiet_config()
+        });
+        let (mut tx, mut rx) = server.connect().split();
+        let line = wire::render_request_with_key(
+            "h1",
+            Priority::Normal,
+            Some("hb-key"),
+            &Request::new(
+                Problem::Mis {
+                    base_degree: Some(8),
+                },
+                generators::cycle(6).unwrap(),
+            ),
+        );
+        assert_eq!(tx.submit_line(&line), Submitted::Queued);
+        assert!(rx.recv().unwrap().contains("\"type\":\"solution\""));
+        assert_eq!(tx.submit_line(&line), Submitted::Replied, "cache hit");
+        assert!(rx.recv().unwrap().contains("\"replayed\":true"));
+
+        // the heartbeat frame carries the durability counters verbatim
+        assert_eq!(
+            tx.submit_line(r#"{"v":1,"type":"ping","id":"hb"}"#),
+            Submitted::Replied
+        );
+        let beat = rx.recv().unwrap();
+        for needle in [
+            "\"replayed\":1",
+            "\"journal_appended\":1",
+            "\"journal_recovered\":0",
+        ] {
+            assert!(beat.contains(needle), "heartbeat lacks {needle}: {beat}");
+        }
+        let bytes_field = format!("\"journal_bytes\":{}", journal.stats().bytes);
+        assert!(
+            journal.stats().bytes > 0,
+            "a journaled request leaves bytes on disk"
+        );
+        assert!(
+            beat.contains(&bytes_field),
+            "heartbeat lacks {bytes_field}: {beat}"
+        );
+
+        let stats = server.stats();
+        assert_eq!(
+            (
+                stats.replayed,
+                stats.journal_appended,
+                stats.journal_recovered,
+                stats.journal_bytes
+            ),
+            (1, 1, 0, journal.stats().bytes),
+            "StatsSnapshot matches the journal's own counters"
+        );
+        tx.finish();
+        assert!(rx.recv().is_none());
+        server.shutdown();
+        drop(journal);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn process_kill_recovery_replays_admitted_work_byte_identically() {
+        use crate::journal::{FsyncPolicy, Journal};
+
+        let path = temp_journal_path("kill-recover");
+        let _ = std::fs::remove_file(&path);
+        let request = Request::new(
+            Problem::Mis {
+                base_degree: Some(8),
+            },
+            generators::cycle(8).unwrap(),
+        )
+        .seed(3);
+        let line =
+            wire::render_request_with_key("job-1", Priority::Normal, Some("retry-key"), &request);
+        let direct = Session::with_threads(1)
+            .solve(&request)
+            .unwrap()
+            .to_json_line();
+
+        // pass 1: the kill site always fires, so the very first job is
+        // admitted (journaled) and solved but never delivered or marked
+        // complete — exactly a kill -9 between solve and reply
+        let journal = Arc::new(Journal::open(&path, FsyncPolicy::Always).unwrap());
+        let server = Server::start(ServerConfig {
+            journal: Some(Arc::clone(&journal)),
+            chaos: Some(ChaosConfig {
+                seed: 1,
+                process_kill: 1.0,
+                ..ChaosConfig::default()
+            }),
+            ..quiet_config()
+        });
+        let (mut tx, mut rx) = server.connect().split();
+        assert_eq!(tx.submit_line(&line), Submitted::Queued);
+        tx.finish();
+        assert!(
+            rx.recv().is_none(),
+            "the killed job's reply is never delivered"
+        );
+        assert!(server.killed(), "the kill site fired");
+        server.halt();
+        drop(journal);
+
+        // pass 2: restart recovers the admitted job and re-solves it
+        let journal = Arc::new(Journal::open(&path, FsyncPolicy::Always).unwrap());
+        assert_eq!(journal.stats().recovered, 1, "the lost job is recovered");
+        let server = Server::start(ServerConfig {
+            journal: Some(Arc::clone(&journal)),
+            ..quiet_config()
+        });
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while journal.stats().completed < 1 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(journal.stats().completed, 1, "the recovered job completes");
+        let appended_before_retry = journal.stats().appended;
+
+        // the reconnect retry answers from the idempotency cache: byte
+        // payload identical to a clean run, flagged replayed, and no
+        // fresh journal admission
+        let (mut tx, mut rx) = server.connect().split();
+        assert_eq!(tx.submit_line(&line), Submitted::Replied);
+        let frame = rx.recv().unwrap();
+        let reply = split_reply(&frame).expect(&frame);
+        assert!(reply.replayed, "the retry is flagged as a replay");
+        assert_eq!(reply.id, "job-1");
+        assert_eq!(
+            reply.payload,
+            Some(direct.as_str()),
+            "byte parity across the crash"
+        );
+        tx.finish();
+        assert!(rx.recv().is_none());
+        assert_eq!(
+            journal.stats().appended,
+            appended_before_retry,
+            "a replayed retry is never re-journaled"
+        );
+        let stats = server.stats();
+        assert_eq!((stats.replayed, stats.journal_recovered), (1, 1));
+        server.shutdown();
+        drop(journal);
+        let _ = std::fs::remove_file(&path);
     }
 }

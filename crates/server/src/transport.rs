@@ -148,6 +148,19 @@ pub fn serve_stream_with(
                 }
             }
         }
+        // the reply stream ending because the server "died" (seeded
+        // process kill / `Server::halt`) is a failed connection, not a
+        // short-but-clean one: surface a distinct error and fire the
+        // teardown so a socket's parked reader unblocks
+        if write_error.is_none() && server.killed() {
+            write_error = Some(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "chaos: injected process kill",
+            ));
+            if let Some(t) = teardown.take() {
+                t();
+            }
+        }
         let lines_in = reader.join().expect("ingest thread panicked");
         if let Some(e) = write_error {
             return Err(e);

@@ -85,6 +85,12 @@ pub struct Envelope {
     /// envelope scan surfaces it so the queue can expire jobs without
     /// parsing their payloads.
     pub deadline_ms: Option<u64>,
+    /// Optional client-supplied idempotency key. A request whose key
+    /// matches an already-completed one is answered from the reply
+    /// cache, flagged `"replayed":true`, instead of being solved twice
+    /// — the retry-after-reconnect contract (see `docs/PROTOCOL.md`
+    /// § Durability and idempotency). Absent key = no caching.
+    pub idempotency_key: Option<String>,
 }
 
 /// One scanned client frame, classified by `type`.
@@ -121,6 +127,7 @@ const REQUEST_KEYS: &[&str] = &[
     "max_rounds",
     "attempts",
     "deadline_ms",
+    "idempotency_key",
 ];
 const PING_KEYS: &[&str] = &["v", "type", "id"];
 const SHUTDOWN_KEYS: &[&str] = &["v", "type"];
@@ -247,6 +254,28 @@ pub fn scan_envelope(line: &str) -> Result<ClientFrame, ApiError> {
                         })?,
                 ),
             };
+            let idempotency_key = match get("idempotency_key") {
+                None => None,
+                Some(raw) => {
+                    let key = json::parse(raw)
+                        .ok()
+                        .and_then(|j| j.as_str().map(str::to_owned))
+                        .ok_or_else(|| invalid("idempotency_key", "must be a JSON string"))?;
+                    if key.is_empty() {
+                        return Err(invalid(
+                            "idempotency_key",
+                            "must be non-empty (omit the field for no idempotency)",
+                        ));
+                    }
+                    if key.len() > MAX_ID_BYTES {
+                        return Err(invalid(
+                            "idempotency_key",
+                            format!("exceeds {MAX_ID_BYTES} bytes ({} given)", key.len()),
+                        ));
+                    }
+                    Some(key)
+                }
+            };
             if get("problem").is_none() {
                 return Err(invalid("problem", "request frames must carry a problem"));
             }
@@ -257,6 +286,7 @@ pub fn scan_envelope(line: &str) -> Result<ClientFrame, ApiError> {
                 id,
                 priority,
                 deadline_ms,
+                idempotency_key,
             }))
         }
         "ping" => {
@@ -705,14 +735,29 @@ fn render_problem(problem: &Problem) -> String {
 /// (round-trip-tested), so in-process callers can go over the wire
 /// without hand-writing JSON.
 pub fn render_request(id: &str, priority: Priority, request: &Request) -> String {
+    render_request_with_key(id, priority, None, request)
+}
+
+/// [`render_request`] with an optional client-supplied idempotency key
+/// (rendered right after `priority`; `None` renders the exact same
+/// frame as the keyless variant).
+pub fn render_request_with_key(
+    id: &str,
+    priority: Priority,
+    idempotency_key: Option<&str>,
+    request: &Request,
+) -> String {
     let problem = render_problem(request.problem());
     let instance = render_instance(request.instance());
     let mut obj = JsonObject::new();
     obj.uint("v", PROTOCOL_VERSION)
         .string("type", "request")
         .string("id", id)
-        .string("priority", priority.name())
-        .raw("problem", &problem)
+        .string("priority", priority.name());
+    if let Some(key) = idempotency_key {
+        obj.string("idempotency_key", key);
+    }
+    obj.raw("problem", &problem)
         .raw("instance", &instance)
         .string("determinism", request.determinism().name())
         .uint("seed", request.master_seed());
@@ -729,6 +774,105 @@ pub fn render_request(id: &str, priority: Priority, request: &Request) -> String
         obj.uint("deadline_ms", ms);
     }
     obj.finish()
+}
+
+/// 128-bit structural fingerprint of a request's *content* — exactly
+/// the fields [`render_request`] serializes, minus the envelope (id,
+/// priority, idempotency key). Two requests with equal fingerprints
+/// render byte-identical canonical payloads, which is what lets the
+/// write-ahead journal intern one payload blob for many admissions
+/// without paying for a JSON rendering per admission (see
+/// [`crate::journal`]).
+///
+/// The hash is a fast non-cryptographic content address in its own
+/// domain ([`crate::journal::DOMAIN_REQUEST`]); the journal trusts its
+/// in-process writers, so the bar is accidental collisions, not
+/// adversarial ones.
+pub fn request_fingerprint(request: &Request) -> crate::journal::PayloadHash {
+    use crate::journal;
+    let mut h = journal::PayloadHasher::new(journal::DOMAIN_REQUEST);
+    // an edge fits one word in any graph that fits in memory; the
+    // packing cannot alias across edges because positions line up
+    let mut edge = |(u, v): (usize, usize)| {
+        debug_assert!(u >> 32 == 0 && v >> 32 == 0, "node id exceeds 32 bits");
+        h.word(((u as u64) << 32) | (v as u64 & 0xFFFF_FFFF));
+    };
+    match request.instance() {
+        Instance::Bipartite(b) => {
+            edge((b.left_count(), b.right_count()));
+            b.edges().for_each(&mut edge);
+        }
+        Instance::Host(g) => {
+            edge((1, g.node_count()));
+            g.edges().for_each(&mut edge);
+        }
+        Instance::Multi(g) => {
+            edge((2, g.node_count()));
+            (0..g.edge_count())
+                .map(|e| g.endpoints(e))
+                .for_each(&mut edge);
+        }
+    }
+    // every problem field the renderer serializes, with presence tags
+    // for the optional ones; the variant name separates the variants
+    let problem = request.problem();
+    h.bytes(problem.name().as_bytes());
+    let mut opt_word = |v: Option<u64>| match v {
+        Some(v) => {
+            h.word(1);
+            h.word(v);
+        }
+        None => h.word(0),
+    };
+    match *problem {
+        Problem::WeakSplitting { thm12_constant } => opt_word(Some(thm12_constant.to_bits())),
+        Problem::WeakMulticolor | Problem::SinklessOrientation => {}
+        Problem::MulticolorSplitting { colors, lambda } => {
+            opt_word(Some(u64::from(colors)));
+            opt_word(Some(lambda.to_bits()));
+        }
+        Problem::UniformSplitting { eps, min_degree } => {
+            opt_word(eps.map(f64::to_bits));
+            opt_word(min_degree.map(|d| d as u64));
+        }
+        Problem::DegreeSplitting { eps, engine } => {
+            opt_word(Some(eps.to_bits()));
+            opt_word(Some(engine as u64));
+        }
+        Problem::DeltaColoring {
+            base_degree,
+            max_eps,
+        } => {
+            opt_word(base_degree.map(|b| b as u64));
+            opt_word(max_eps.map(f64::to_bits));
+        }
+        Problem::EdgeColoring {
+            base_degree,
+            engine,
+        } => {
+            opt_word(base_degree.map(|b| b as u64));
+            opt_word(Some(engine as u64));
+        }
+        Problem::Mis { base_degree } => opt_word(base_degree.map(|b| b as u64)),
+    }
+    h.bytes(request.determinism().name().as_bytes());
+    h.word(request.master_seed());
+    match request.pipeline_override() {
+        Some(p) => h.bytes(p.name().as_bytes()),
+        None => h.word(0),
+    }
+    let budget = request.budget();
+    let mut opt_word = |v: Option<u64>| match v {
+        Some(v) => {
+            h.word(1);
+            h.word(v);
+        }
+        None => h.word(0),
+    };
+    opt_word(budget.max_rounds.map(f64::to_bits));
+    opt_word(budget.attempts.map(|a| a as u64));
+    opt_word(budget.deadline_ms);
+    h.finish()
 }
 
 /// Renders a `ping` frame.
@@ -765,6 +909,7 @@ fn reply_frame(
     id: &str,
     seq: u64,
     timing: Option<Timing>,
+    replayed: bool,
     payload_key: &str,
     payload: &str,
 ) -> String {
@@ -777,6 +922,9 @@ fn reply_frame(
         obj.uint("queued_ns", t.queued_ns)
             .uint("solve_ns", t.solve_ns);
     }
+    if replayed {
+        obj.bool("replayed", true);
+    }
     // the payload is always the LAST field so tests and clients can
     // extract it byte-exactly with `embedded_payload`
     obj.raw(payload_key, payload);
@@ -787,13 +935,23 @@ fn reply_frame(
 /// [`Solution::to_json_line`](splitting_api::Solution::to_json_line)
 /// payload (embedded verbatim).
 pub fn solution_frame(id: &str, seq: u64, timing: Option<Timing>, payload: &str) -> String {
-    reply_frame("solution", id, seq, timing, "solution", payload)
+    reply_frame("solution", id, seq, timing, false, "solution", payload)
 }
 
 /// Assembles an `error` reply frame around a rendered
 /// [`ApiError::to_json_line`] payload (embedded verbatim).
 pub fn error_frame(id: &str, seq: u64, timing: Option<Timing>, payload: &str) -> String {
-    reply_frame("error", id, seq, timing, "error", payload)
+    reply_frame("error", id, seq, timing, false, "error", payload)
+}
+
+/// Assembles a reply frame served from the idempotency cache: same
+/// shape as [`solution_frame`]/[`error_frame`] (the cached payload is
+/// embedded byte-for-byte, still the last field) plus a
+/// `"replayed":true` marker before the payload. Timings are omitted —
+/// nothing was queued or solved.
+pub fn replayed_frame(solution: bool, id: &str, seq: u64, payload: &str) -> String {
+    let key = if solution { "solution" } else { "error" };
+    reply_frame(key, id, seq, None, true, key, payload)
 }
 
 /// A point-in-time service snapshot, reported on heartbeat frames.
@@ -815,6 +973,15 @@ pub struct StatsSnapshot {
     pub workers: usize,
     /// Configured queue capacity.
     pub queue_capacity: usize,
+    /// Requests answered from the idempotency cache instead of solved.
+    pub replayed: u64,
+    /// Admissions appended to the journal since startup (0 when the
+    /// server runs without `--journal`).
+    pub journal_appended: u64,
+    /// Current journal file size in bytes (0 without a journal).
+    pub journal_bytes: u64,
+    /// Incomplete jobs recovered from the journal at startup.
+    pub journal_recovered: u64,
 }
 
 /// Assembles a `heartbeat` reply frame.
@@ -831,7 +998,11 @@ pub fn heartbeat_frame(id: &str, seq: u64, stats: StatsSnapshot) -> String {
         .uint("queue_high_water", stats.queue_high_water as u64)
         .uint("inflight", stats.inflight as u64)
         .uint("workers", stats.workers as u64)
-        .uint("queue_capacity", stats.queue_capacity as u64);
+        .uint("queue_capacity", stats.queue_capacity as u64)
+        .uint("replayed", stats.replayed)
+        .uint("journal_appended", stats.journal_appended)
+        .uint("journal_bytes", stats.journal_bytes)
+        .uint("journal_recovered", stats.journal_recovered);
     obj.finish()
 }
 
@@ -857,6 +1028,9 @@ pub struct Reply<'a> {
     pub seq: u64,
     /// Optional service timings (absent when the server disables them).
     pub timing: Option<Timing>,
+    /// `true` when the frame was served from the idempotency cache
+    /// instead of a fresh solve.
+    pub replayed: bool,
     /// The **byte-exact slice** of the embedded `solution`/`error`
     /// object; `None` for heartbeats. This is how the conformance
     /// harness asserts that server output equals direct `Session::solve`
@@ -885,6 +1059,13 @@ pub fn split_reply(frame: &str) -> Option<Reply<'_>> {
         }),
         _ => None,
     };
+    // heartbeats reuse `replayed` as a counter (total cache hits served),
+    // so the boolean reading applies only to solution/error frames
+    let replayed = frame_type != "heartbeat"
+        && match get("replayed") {
+            None => false,
+            Some(raw) => json::parse(raw).ok()?.as_bool()?,
+        };
     let payload = match frame_type.as_str() {
         "solution" => Some(get("solution")?),
         "error" => Some(get("error")?),
@@ -896,6 +1077,7 @@ pub fn split_reply(frame: &str) -> Option<Reply<'_>> {
         id,
         seq,
         timing,
+        replayed,
         payload,
     })
 }
@@ -915,7 +1097,8 @@ mod tests {
             ClientFrame::Request(Envelope {
                 id: "r1".into(),
                 priority: Priority::High,
-                deadline_ms: None
+                deadline_ms: None,
+                idempotency_key: None,
             })
         );
         assert_eq!(
@@ -952,6 +1135,14 @@ mod tests {
             (
                 r#"{"v":1,"type":"request","id":"x","deadline_ms":-5}"#,
                 "deadline_ms",
+            ),
+            (
+                r#"{"v":1,"type":"request","id":"x","idempotency_key":7}"#,
+                "idempotency_key",
+            ),
+            (
+                r#"{"v":1,"type":"request","id":"x","idempotency_key":""}"#,
+                "idempotency_key",
             ),
             (r#"{"v":1,"type":"shutdown","id":"x"}"#, "frame"),
         ] {
@@ -1039,6 +1230,140 @@ mod tests {
         roundtrip(Request::new(Problem::Mis { base_degree: None }, g).seed(u64::MAX));
     }
 
+    // The contract `request_fingerprint` must keep for journal payload
+    // interning: fingerprints agree exactly when the canonical
+    // renderings agree. Every variant pair here differs in one field
+    // the renderer serializes, so a fingerprint that skipped any field
+    // would collide two distinct payloads and fail this test.
+    #[test]
+    fn fingerprint_equality_tracks_canonical_rendering() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let b = generators::random_biregular(8, 8, 4, &mut rng).unwrap();
+        let b2 = generators::random_biregular(8, 8, 4, &mut rng).unwrap();
+        let g = generators::cycle(6).unwrap();
+        let m = MultiGraph::from_endpoints(3, vec![(0, 1), (0, 1), (1, 2)]);
+        let mis = |instance: Instance| Request::new(Problem::Mis { base_degree: None }, instance);
+        let variants: Vec<Request> = vec![
+            Request::new(Problem::weak_splitting(), b.clone()),
+            Request::new(Problem::weak_splitting(), b2.clone()),
+            Request::new(Problem::weak_splitting(), b.clone()).seed(7),
+            Request::new(
+                Problem::WeakSplitting {
+                    thm12_constant: 1.5,
+                },
+                b.clone(),
+            ),
+            Request::new(Problem::WeakMulticolor, b.clone()),
+            Request::new(
+                Problem::MulticolorSplitting {
+                    colors: 6,
+                    lambda: 0.6,
+                },
+                b.clone(),
+            ),
+            Request::new(
+                Problem::MulticolorSplitting {
+                    colors: 7,
+                    lambda: 0.6,
+                },
+                b.clone(),
+            ),
+            Request::new(
+                Problem::UniformSplitting {
+                    eps: None,
+                    min_degree: None,
+                },
+                g.clone(),
+            ),
+            Request::new(
+                Problem::UniformSplitting {
+                    eps: Some(0.25),
+                    min_degree: None,
+                },
+                g.clone(),
+            ),
+            Request::new(
+                Problem::UniformSplitting {
+                    eps: None,
+                    min_degree: Some(4),
+                },
+                g.clone(),
+            ),
+            Request::new(
+                Problem::DegreeSplitting {
+                    eps: 0.25,
+                    engine: Engine::Walk,
+                },
+                m.clone(),
+            ),
+            Request::new(
+                Problem::DegreeSplitting {
+                    eps: 0.25,
+                    engine: Engine::EulerianOracle,
+                },
+                m.clone(),
+            ),
+            Request::new(
+                Problem::EdgeColoring {
+                    base_degree: Some(4),
+                    engine: EdgeSplitEngine::Walk,
+                },
+                g.clone(),
+            ),
+            Request::new(
+                Problem::EdgeColoring {
+                    base_degree: Some(4),
+                    engine: EdgeSplitEngine::Eulerian,
+                },
+                g.clone(),
+            ),
+            Request::new(
+                Problem::DeltaColoring {
+                    base_degree: None,
+                    max_eps: Some(0.2),
+                },
+                g.clone(),
+            ),
+            mis(Instance::from(g.clone())),
+            mis(Instance::from(g.clone())).deterministic(),
+            mis(Instance::from(g.clone())).force_pipeline(Pipeline::Theorem25),
+            mis(Instance::from(g.clone())).max_rounds(1e6),
+            mis(Instance::from(g.clone())).attempts(3),
+            mis(Instance::from(g.clone())).deadline_ms(30_000),
+        ];
+        for (i, a) in variants.iter().enumerate() {
+            let line_a = render_request("interned", Priority::Normal, a);
+            for (j, bq) in variants.iter().enumerate() {
+                let line_b = render_request("interned", Priority::Normal, bq);
+                assert_eq!(
+                    request_fingerprint(a) == request_fingerprint(bq),
+                    line_a == line_b,
+                    "fingerprint/render disagreement between variants {i} and {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idempotency_keys_ride_the_envelope_not_the_request() {
+        let g = generators::cycle(6).unwrap();
+        let request = Request::new(Problem::Mis { base_degree: None }, g).seed(3);
+        let keyed = render_request_with_key("k1", Priority::Normal, Some("retry-abc"), &request);
+        assert!(
+            keyed.contains(r#""idempotency_key":"retry-abc""#),
+            "{keyed}"
+        );
+        let (envelope, parsed) = parse_request(&keyed).unwrap();
+        assert_eq!(envelope.idempotency_key.as_deref(), Some("retry-abc"));
+        // the key is transport metadata: the solved Request is identical
+        // to the keyless rendering's, so the solve (and its bytes)
+        // cannot depend on it
+        let plain = render_request("k1", Priority::Normal, &request);
+        let (plain_env, plain_parsed) = parse_request(&plain).unwrap();
+        assert_eq!(plain_env.idempotency_key, None);
+        assert_eq!(parsed, plain_parsed);
+    }
+
     #[test]
     fn envelope_scan_surfaces_the_deadline_budget() {
         let line = r#"{"v":1,"type":"request","id":"d1","deadline_ms":250,"problem":{"name":"mis"},"instance":{"kind":"host","nodes":1,"edges":[]}}"#;
@@ -1086,6 +1411,25 @@ mod tests {
         assert_eq!(
             timed,
             r#"{"v":1,"type":"error","id":"r9","seq":5,"queued_ns":10,"solve_ns":20,"error":{"event":"error"}}"#
+        );
+    }
+
+    #[test]
+    fn replayed_frames_keep_the_payload_last_and_flag_before_it() {
+        let payload = r#"{"event":"solution","x":1}"#;
+        let frame = replayed_frame(true, "r9", 4, payload);
+        assert_eq!(
+            frame,
+            r#"{"v":1,"type":"solution","id":"r9","seq":4,"replayed":true,"solution":{"event":"solution","x":1}}"#
+        );
+        let reply = split_reply(&frame).unwrap();
+        assert!(reply.replayed);
+        assert_eq!(reply.payload, Some(payload));
+        // fresh frames parse as not-replayed
+        assert!(
+            !split_reply(&solution_frame("r9", 4, None, payload))
+                .unwrap()
+                .replayed
         );
     }
 

@@ -2,7 +2,7 @@
 //! through a real (timings-disabled) server and the committed response
 //! must match byte for byte. The spec cannot drift from the code.
 
-use splitting_server::{transport, Server, ServerConfig};
+use splitting_server::{transport, wire, Server, ServerConfig, Submitted};
 use std::path::Path;
 
 struct Example {
@@ -75,35 +75,45 @@ fn protocol_examples_replay_byte_identically() {
     let examples = parse_examples(&doc);
     assert_eq!(
         examples.len(),
-        10,
-        "docs/PROTOCOL.md must carry one worked example per Problem variant \
-         plus the deadline-exceeded robustness example"
+        12,
+        "docs/PROTOCOL.md must carry one worked example per Problem variant, \
+         the deadline-exceeded robustness example, and the idempotent \
+         first/retry pair"
     );
 
-    // replay all requests in document order over one connection, exactly
-    // like the generator (`examples/protocol_examples.rs`) produced them
+    // replay all requests in document order over one connection, in
+    // lockstep (one in flight at a time) exactly like the generator
+    // (`examples/protocol_examples.rs`): lockstep makes the idempotent
+    // retry deterministic — its first submission has completed, so the
+    // retry always answers from the cache with `"replayed":true`
     let server = Server::start(ServerConfig {
         record_timings: false,
         ..ServerConfig::default()
     });
-    let mut input = String::new();
+    let (mut tx, mut rx) = server.connect().split();
     for e in &examples {
-        input.push_str(&e.request);
-        input.push('\n');
-    }
-    let mut out = Vec::new();
-    transport::serve_stream(&server, input.as_bytes(), &mut out).unwrap();
-    let got = String::from_utf8(out).unwrap();
-    let replies: Vec<&str> = got.lines().collect();
-    assert_eq!(replies.len(), examples.len());
-    for (reply, example) in replies.iter().zip(&examples) {
+        let submitted = tx.submit_line(&e.request);
+        assert!(
+            matches!(submitted, Submitted::Queued | Submitted::Replied),
+            "documented request `{}` was not accepted: {submitted:?}",
+            e.name
+        );
+        let reply = rx.recv().expect("one reply per documented request");
         assert_eq!(
-            *reply, example.response,
+            reply, e.response,
             "documented response for `{}` has drifted from real output — \
              regenerate with `cargo run -p splitting-server --example protocol_examples`",
-            example.name
+            e.name
         );
     }
+    // the retry pair must really have exercised the cache path
+    let replayed = examples
+        .iter()
+        .filter(|e| wire::split_reply(&e.response).is_some_and(|r| r.replayed))
+        .count();
+    assert_eq!(replayed, 1, "exactly the retry example is flagged replayed");
+    tx.finish();
+    assert!(rx.recv().is_none(), "no stray frames after the examples");
     server.shutdown();
 }
 
@@ -152,6 +162,7 @@ fn chaos_survival_transcript_replays_byte_identically() {
             stall_ms: 1,
             torn_frame: 0.1,
             drop_connection: 0.0,
+            process_kill: 0.0,
         }),
         ..ServerConfig::default()
     });
