@@ -111,6 +111,22 @@ impl Request {
         }
     }
 
+    /// Creates a request over an already-shared instance, with the same
+    /// default policy as [`Request::new`]. The instance is *not* copied:
+    /// the request holds the given [`Arc`], so callers that intern one
+    /// instance and fan many requests out over it (the `splitd` instance
+    /// -handle path) pay no per-request graph allocation.
+    pub fn from_shared(problem: Problem, instance: Arc<Instance>) -> Self {
+        Request {
+            problem,
+            instance,
+            determinism: Determinism::default(),
+            seed: DEFAULT_SEED,
+            pipeline_override: None,
+            budget: Budget::default(),
+        }
+    }
+
     /// Restricts solving to deterministic pipelines.
     #[must_use]
     pub fn deterministic(mut self) -> Self {

@@ -32,6 +32,17 @@
 //! (per-admission append + per-completion append) against the clean
 //! in-proc figure.
 //!
+//! Two rows price the parse-light ingest work:
+//!
+//! * **`zero_round_wire_handle`** — the zero-round workload over the
+//!   wire with every instance uploaded once and referenced by handle,
+//!   so requests are a few hundred bytes and solves share the interned
+//!   `Arc<Instance>`. The run asserts `parse_fallbacks == 0`.
+//! * **`wire_fast_parse`** — a codec microbench over the exact edge
+//!   array bytes the wire rows carry: `wall_ns` times the zero-copy
+//!   scanner, `wall_ns_direct` the strict parser, so on this one row
+//!   `vs_direct` reads as the scanner's speedup (> 1.0).
+//!
 //! Results feed `BENCH_server.json`.
 
 use crate::json::esc;
@@ -41,7 +52,7 @@ use rand::SeedableRng;
 use splitgraph::generators;
 use splitting_api::{Problem, Request, Session};
 use splitting_reductions as red;
-use splitting_server::{wire, Admission, Priority, Server, ServerConfig};
+use splitting_server::{json, wire, Admission, Priority, Server, ServerConfig};
 use std::time::Instant;
 
 /// One (workload, transport) measurement.
@@ -262,13 +273,24 @@ fn drive(
     transport: &str,
     allow_errors: bool,
 ) -> LoadOutcome {
-    let lines: Vec<String> = if transport == "wire" {
-        pool.requests
+    let lines: Vec<String> = match transport {
+        "wire" => pool
+            .requests
             .iter()
             .map(|(p, r)| wire::render_request(pool.name, *p, r))
-            .collect()
-    } else {
-        Vec::new()
+            .collect(),
+        // handle-form rendering assumes the caller already uploaded
+        // every pool instance (the handle is derived from content, so
+        // no upload round trip is needed here)
+        "wire-handle" => pool
+            .requests
+            .iter()
+            .map(|(p, r)| {
+                let handle = wire::render_handle(wire::instance_fingerprint(r.instance()));
+                wire::render_request_with_handle(pool.name, *p, &handle, r)
+            })
+            .collect(),
+        _ => Vec::new(),
     };
 
     let (tx, mut rx) = server.connect().split();
@@ -280,7 +302,7 @@ fn drive(
         while submitted < total && submitted - frames.len() < INFLIGHT_WINDOW {
             let i = submitted % pool.requests.len();
             let sub = tx.as_mut().expect("submitter live until total");
-            if transport == "wire" {
+            if !lines.is_empty() {
                 sub.submit_line(&lines[i]);
             } else {
                 let (priority, request) = &pool.requests[i];
@@ -380,6 +402,15 @@ pub fn run_server_perf(quick: bool) -> (Vec<Table>, ServerReport) {
             });
             let outcome = drive(&server, pool, *total, transport, false);
             assert_eq!(outcome.replies, *total, "one reply per request");
+            if transport == "wire" {
+                // the renderer emits canonical encodings, so every edge
+                // parse must ride the zero-copy fast path
+                assert_eq!(
+                    server.stats().parse_fallbacks,
+                    0,
+                    "canonical wire encodings fell back to the strict parser"
+                );
+            }
             records.push(ServerRecord {
                 name: pool.name,
                 transport: if transport == "wire" {
@@ -401,6 +432,128 @@ pub fn run_server_perf(quick: bool) -> (Vec<Table>, ServerReport) {
             });
             server.shutdown();
         }
+    }
+
+    // Handle mode: the zero-round workload over the wire with every
+    // instance uploaded once and the sustained stream referencing it by
+    // handle. Requests shrink from multi-kilobyte instance encodings to
+    // a few hundred bytes of envelope, and each solve shares the
+    // interned Arc<Instance> — this is the row that should close most
+    // of the wire-vs-inproc gap.
+    {
+        let (pool, total) = &pools[0];
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            admission: Admission::Block,
+            ..ServerConfig::default()
+        });
+        let (mut utx, mut urx) = server.connect().split();
+        for (_, r) in &pool.requests {
+            utx.submit_line(&wire::render_upload("upload", r.instance()));
+        }
+        utx.finish();
+        let mut uploads = 0;
+        while let Some(frame) = urx.recv() {
+            assert!(
+                frame.contains("\"type\":\"uploaded\""),
+                "upload refused: {frame}"
+            );
+            uploads += 1;
+        }
+        assert_eq!(uploads, pool.requests.len(), "every instance uploaded");
+        let outcome = drive(&server, pool, *total, "wire-handle", false);
+        assert_eq!(outcome.replies, *total, "one reply per handle request");
+        let stats = server.stats();
+        assert_eq!(
+            stats.parse_fallbacks, 0,
+            "handle-path envelopes must never hit the strict edge parser"
+        );
+        assert_eq!(
+            stats.handles_held as usize,
+            pool.requests.len(),
+            "interned instances survive the run"
+        );
+        records.push(ServerRecord {
+            name: "zero_round_wire_handle",
+            transport: "wire-handle",
+            requests: *total,
+            workers: server.config().workers,
+            host_parallelism,
+            wall_ns: outcome.wall_ns,
+            wall_ns_direct: zero_direct_ns,
+            p50_ns: percentile(&outcome.latencies, 0.50),
+            p95_ns: percentile(&outcome.latencies, 0.95),
+            p99_ns: percentile(&outcome.latencies, 0.99),
+            queue_high_water: outcome.queue_high_water,
+            rejected: outcome.rejected,
+            errors: outcome.errors,
+        });
+        server.shutdown();
+    }
+
+    // Codec microbench: the zero-copy edge scanner against the strict
+    // parser over the exact edge-array bytes the wire rows carry. No
+    // server in the loop — this row isolates the tentpole parse win, so
+    // its `vs_direct` is the scanner's speedup over the strict parser.
+    {
+        let (pool, _) = &pools[0];
+        let lines: Vec<String> = pool
+            .requests
+            .iter()
+            .map(|(p, r)| wire::render_request(pool.name, *p, r))
+            .collect();
+        let edges: Vec<&str> = lines
+            .iter()
+            .map(|line| {
+                let fields = json::scan_top_level(line).expect("canonical frame");
+                let instance = fields
+                    .iter()
+                    .find(|(k, _)| *k == "instance")
+                    .expect("frame carries an instance")
+                    .1;
+                json::scan_top_level(instance)
+                    .expect("canonical instance")
+                    .iter()
+                    .find(|(k, _)| *k == "edges")
+                    .expect("instance carries edges")
+                    .1
+            })
+            .collect();
+        let iters = if quick { 2_000 } else { 10_000 };
+        // warm both paths once, then time strict (baseline) and scanner
+        for e in &edges {
+            std::hint::black_box(json::parse_edge_pairs(e).expect("valid").len());
+            std::hint::black_box(json::scan_edge_pairs(e).expect("valid").0.len());
+        }
+        let t0 = Instant::now();
+        for i in 0..iters {
+            let e = edges[i % edges.len()];
+            std::hint::black_box(json::parse_edge_pairs(e).expect("valid").len());
+        }
+        let wall_ns_direct = t0.elapsed().as_nanos();
+        let t0 = Instant::now();
+        for i in 0..iters {
+            let e = edges[i % edges.len()];
+            let (pairs, fast) = json::scan_edge_pairs(e).expect("valid");
+            assert!(fast, "canonical edges must ride the fast path");
+            std::hint::black_box(pairs.len());
+        }
+        let wall_ns = t0.elapsed().as_nanos();
+        records.push(ServerRecord {
+            name: "wire_fast_parse",
+            transport: "codec",
+            requests: iters,
+            workers: 0,
+            host_parallelism,
+            wall_ns,
+            wall_ns_direct,
+            p50_ns: 0,
+            p95_ns: 0,
+            p99_ns: 0,
+            queue_high_water: 0,
+            rejected: 0,
+            errors: 0,
+        });
     }
 
     // Degraded mode: the zero-round workload again, but with the seeded

@@ -1403,6 +1403,118 @@ fn check_server(ctx: &mut Ctx<'_>) {
     ctx.check("server.inproc-equals-wire", inproc == frames, || {
         "submit_request frame stream diverges from the wire-path stream".into()
     });
+
+    // instance-handle path: upload every distinct instance once, solve
+    // the whole menu by handle, and require byte parity with the inline
+    // wire pass above
+    let (mut tx, mut rx) = server.connect().split();
+    let handles: Vec<String> = requests
+        .iter()
+        .map(|(_, r)| wire::render_handle(wire::instance_fingerprint(r.instance())))
+        .collect();
+    let mut uploaded: Vec<&str> = Vec::new();
+    for ((name, request), handle) in requests.iter().zip(&handles) {
+        let first = !uploaded.contains(&handle.as_str());
+        ctx.check(
+            "server.upload-admitted",
+            tx.submit_line(&wire::render_upload(name, request.instance())) == Submitted::Replied,
+            || format!("{name}: upload frame not answered inline"),
+        );
+        let Some(frame) = rx.recv() else {
+            ctx.check("server.upload-replied", false, || {
+                format!("{name}: no uploaded frame arrived")
+            });
+            continue;
+        };
+        let reply = wire::split_reply(&frame);
+        ctx.check(
+            "server.upload-names-content-handle",
+            reply
+                .as_ref()
+                .is_some_and(|r| r.frame_type == "uploaded" && frame.contains(handle.as_str())),
+            || format!("{name}: uploaded frame lacks handle {handle}: {frame}"),
+        );
+        if first {
+            uploaded.push(handle);
+        } else {
+            // duplicate-content upload is idempotent: same handle, no
+            // new table entry
+            ctx.check(
+                "server.upload-idempotent",
+                frame.contains(&format!("\"held\":{}", uploaded.len())),
+                || format!("{name}: re-upload grew the handle table: {frame}"),
+            );
+        }
+    }
+    for (i, ((name, request), handle)) in requests.iter().zip(&handles).enumerate() {
+        let line = wire::render_request_with_handle(name, Priority::Normal, handle, request);
+        ctx.check(
+            "server.handle-admitted",
+            tx.submit_line(&line) == Submitted::Queued,
+            || format!("{name}: handle-form request refused admission"),
+        );
+        let Some(frame) = rx.recv() else {
+            ctx.check("server.handle-replied", false, || {
+                format!("{name}: no reply to the handle-form request")
+            });
+            continue;
+        };
+        let reply = wire::split_reply(&frame);
+        ctx.check(
+            "server.handle-equals-inline",
+            reply.is_some_and(|r| r.payload.map(str::to_owned) == Some(expected[i].clone())),
+            || format!("{name}: handle-form payload diverges from the inline form"),
+        );
+    }
+    // release lifecycle: every handle releases exactly once; a second
+    // release and a post-release solve are typed errors; re-upload works
+    for (handle, (name, request)) in uploaded.iter().zip(&requests) {
+        tx.submit_line(&wire::render_release(name, handle));
+        let released = rx.recv().unwrap_or_default();
+        ctx.check(
+            "server.release-replied",
+            wire::split_reply(&released).is_some_and(|r| r.frame_type == "released"),
+            || format!("{name}: release not acknowledged: {released}"),
+        );
+        tx.submit_line(&wire::render_release(name, handle));
+        let again = rx.recv().unwrap_or_default();
+        ctx.check(
+            "server.double-release-is-typed-error",
+            again.contains("unknown instance handle"),
+            || format!("{name}: double release not a typed error: {again}"),
+        );
+        tx.submit_line(&wire::render_request_with_handle(
+            name,
+            Priority::Normal,
+            handle,
+            request,
+        ));
+        let stale = rx.recv().unwrap_or_default();
+        ctx.check(
+            "server.stale-handle-is-typed-error",
+            stale.contains("upload it first"),
+            || format!("{name}: post-release solve not a typed error: {stale}"),
+        );
+    }
+    tx.finish();
+    ctx.check("server.handle-stream-drained", rx.recv().is_none(), || {
+        "unexpected trailing frames on the handle connection".into()
+    });
+    // every rendering this pass produced is canonical, so nothing may
+    // have fallen off the zero-copy fast path onto the strict parser
+    let stats = server.stats();
+    ctx.check("server.fast-path", stats.parse_fallbacks == 0, || {
+        format!(
+            "{} canonical instance parses used the strict fallback",
+            stats.parse_fallbacks
+        )
+    });
+    ctx.check("server.handles-released", stats.handles_held == 0, || {
+        format!(
+            "{} handles still held after release pass",
+            stats.handles_held
+        )
+    });
     server.shutdown();
 }
 

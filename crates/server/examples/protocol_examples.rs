@@ -237,6 +237,35 @@ fn main() {
         let reply = rx.recv().expect("one reply per submission");
         print_pair(name, &keyed, &reply);
     }
+
+    // the instance-handle transcript behind § Instance handles: upload
+    // the 6-cycle once, solve the held instance twice under different
+    // seeds (no instance bytes on either request), then release it.
+    // Handles are content hashes, so these bytes are reproducible on
+    // any build.
+    let held = splitting_api::Instance::Host(generators::cycle(6).unwrap());
+    let handle = wire::render_handle(wire::instance_fingerprint(&held));
+    let upload = wire::render_upload("up-1", &held);
+    assert_eq!(tx.submit_line(&upload), Submitted::Replied, "upload");
+    let reply = rx.recv().expect("uploaded frame");
+    print_pair("upload-instance", &upload, &reply);
+    for (name, id, seed) in [("handle-mis-1", "h-1", 5u64), ("handle-mis-2", "h-2", 6)] {
+        let request = Request::new(
+            Problem::Mis {
+                base_degree: Some(8),
+            },
+            generators::cycle(6).unwrap(),
+        )
+        .seed(seed);
+        let line = wire::render_request_with_handle(id, Priority::Normal, &handle, &request);
+        assert_eq!(tx.submit_line(&line), Submitted::Queued, "{name}");
+        let reply = rx.recv().expect("one reply per handle request");
+        print_pair(name, &line, &reply);
+    }
+    let release = wire::render_release("rel-1", &handle);
+    assert_eq!(tx.submit_line(&release), Submitted::Replied, "release");
+    let reply = rx.recv().expect("released frame");
+    print_pair("release-instance", &release, &reply);
     tx.finish();
     server.shutdown();
 

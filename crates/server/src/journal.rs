@@ -85,6 +85,9 @@ pub const DOMAIN_LINE: u8 = 0;
 /// Domain tag for [`PayloadHasher`] over structural request fields
 /// (see `wire::request_fingerprint`).
 pub const DOMAIN_REQUEST: u8 = 1;
+/// Domain tag for [`PayloadHasher`] over structural instance content
+/// (see `wire::instance_fingerprint`) — the basis for instance handles.
+pub const DOMAIN_INSTANCE: u8 = 2;
 
 /// Two-lane incremental hash producing a [`PayloadHash`].
 ///

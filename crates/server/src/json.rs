@@ -69,7 +69,10 @@ impl Number {
         match self {
             Number::Unsigned(u) => Some(u),
             Number::Signed(_) => None,
-            Number::Float(f) if f >= 0.0 && f <= u64::MAX as f64 && f.fract() == 0.0 => {
+            // `u64::MAX as f64` rounds up to 2^64 exactly, so the bound
+            // must be strict: `f as u64` would silently saturate any
+            // float in [2^64 - 1, 2^64] to u64::MAX.
+            Number::Float(f) if f >= 0.0 && f < u64::MAX as f64 && f.fract() == 0.0 => {
                 Some(f as u64)
             }
             Number::Float(_) => None,
@@ -482,13 +485,97 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
 ///
 /// The scanner validates structure (string escapes, balanced nesting,
 /// comma placement, depth) but not the grammar inside skipped values —
-/// anything the server goes on to use is re-parsed strictly with
-/// [`parse`].
+/// number-only arrays in particular are skipped by a byte-class loop
+/// that checks bracket balance alone, so comma placement inside them is
+/// only judged when the value is used. Anything the server goes on to
+/// use is re-parsed strictly with [`parse`] or the edge parsers.
 ///
 /// # Errors
 ///
 /// [`ParseError`] when the input is not a single top-level object.
 pub fn scan_top_level(input: &str) -> Result<Vec<(&str, &str)>, ParseError> {
+    scan_top_level_impl(input, None)
+}
+
+/// [`scan_top_level`] fused with the zero-copy edge scanner: while
+/// skipping the value of a top-level `"edges"` key, the canonical
+/// `[[a,b],...]` fast grammar is parsed in the same traversal, so the
+/// hot instance-ingest path touches the edge bytes once instead of
+/// twice (skip, then re-scan). The second element is `Some(pairs)` when
+/// the fast grammar served the edge list; `None` means either there was
+/// no `edges` key or its spelling was exotic — the caller falls back to
+/// [`scan_edge_pairs`] on the returned raw slice, whose acceptance,
+/// rejection, and offsets are byte-identical by construction.
+///
+/// # Errors
+///
+/// Exactly the [`ParseError`]s of [`scan_top_level`].
+#[allow(clippy::type_complexity)]
+pub fn scan_object_with_edges(
+    input: &str,
+) -> Result<(Vec<(&str, &str)>, Option<Vec<(usize, usize)>>), ParseError> {
+    let mut captured = None;
+    let fields = scan_top_level_impl(input, Some(Capture::Edges(&mut captured)))?;
+    Ok((fields, captured))
+}
+
+/// One-pass scan of a request frame: the top-level fields, plus — when
+/// the `"instance"` value is an object the fused grammar fully served —
+/// that object's own fields and its parsed edge pairs. The ingest
+/// thread uses this so the per-frame envelope scan it must do anyway
+/// also harvests everything the worker would otherwise re-scan.
+#[derive(Debug)]
+pub struct FrameScan<'a> {
+    /// Top-level `(key, raw-value)` pairs, exactly as [`scan_top_level`].
+    pub fields: Vec<(&'a str, &'a str)>,
+    /// The `"instance"` object's own `(key, raw-value)` pairs, when the
+    /// fused scan served the whole object (canonical edge spelling, no
+    /// structural surprises). `None` means the worker falls back to its
+    /// own strict scan — behavior is byte-identical either way.
+    pub instance_fields: Option<Vec<(&'a str, &'a str)>>,
+    /// The instance's edge pairs; `Some` exactly when `instance_fields`
+    /// is `Some` (the fused scan is all-or-nothing).
+    pub edge_pairs: Option<Vec<(usize, usize)>>,
+}
+
+/// [`scan_top_level`] fused with instance-object and edge-list capture
+/// — see [`FrameScan`]. Accepts and rejects byte-identically to
+/// [`scan_top_level`]: capture is a side harvest, never a grammar
+/// change.
+///
+/// # Errors
+///
+/// Exactly the [`ParseError`]s of [`scan_top_level`].
+pub fn scan_frame(input: &str) -> Result<FrameScan<'_>, ParseError> {
+    let mut captured = None;
+    let fields = scan_top_level_impl(input, Some(Capture::Instance(&mut captured)))?;
+    let (instance_fields, edge_pairs) = match captured {
+        Some((fields, pairs)) => (Some(fields), Some(pairs)),
+        None => (None, None),
+    };
+    Ok(FrameScan {
+        fields,
+        instance_fields,
+        edge_pairs,
+    })
+}
+
+/// What a fused scan harvests while skipping values it would have to
+/// traverse anyway. `'m` borrows the caller's capture slot, `'a` the
+/// input text.
+enum Capture<'m, 'a> {
+    /// Parse a top-level `"edges"` array on the canonical fast grammar.
+    Edges(&'m mut Option<Vec<(usize, usize)>>),
+    /// Scan a top-level `"instance"` object's fields and parse its
+    /// `"edges"` on the canonical fast grammar, all-or-nothing.
+    #[allow(clippy::type_complexity)]
+    Instance(&'m mut Option<(Vec<(&'a str, &'a str)>, Vec<(usize, usize)>)>),
+}
+
+fn scan_top_level_impl<'a>(
+    input: &'a str,
+    mut capture: Option<Capture<'_, 'a>>,
+) -> Result<Vec<(&'a str, &'a str)>, ParseError> {
     let bytes = input.as_bytes();
     let mut p = Parser { bytes, pos: 0 };
     p.skip_ws();
@@ -513,7 +600,34 @@ pub fn scan_top_level(input: &str) -> Result<Vec<(&str, &str)>, ParseError> {
             p.expect(b':')?;
             p.skip_ws();
             let value_start = p.pos;
-            skip_value(&mut p, 0)?;
+            // fused capture: consume the target value while locating its
+            // end; a bail rewinds `pos` and the generic skip handles the
+            // value like any other
+            let mut skipped = false;
+            match &mut capture {
+                Some(Capture::Edges(cap)) if key == "edges" && p.peek() == Some(b'[') => {
+                    let mut end = p.pos;
+                    if let Some(pairs) = fast_pairs_core(bytes, &mut end) {
+                        **cap = Some(pairs);
+                        p.pos = end;
+                        skipped = true;
+                    }
+                }
+                Some(Capture::Instance(cap)) if key == "instance" && p.peek() == Some(b'{') => {
+                    let start = p.pos;
+                    match try_scan_object_with_edges(input, &mut p) {
+                        Some(inner) => {
+                            **cap = Some(inner);
+                            skipped = true;
+                        }
+                        None => p.pos = start,
+                    }
+                }
+                _ => {}
+            }
+            if !skipped {
+                skip_value(&mut p, 0)?;
+            }
             let raw = &input[value_start..p.pos];
             fields.push((key, raw));
             p.skip_ws();
@@ -557,6 +671,130 @@ fn skip_string(p: &mut Parser<'_>) -> Result<(), ParseError> {
     }
 }
 
+/// Byte classes for the numeric-array skip: 0 = body byte (digit,
+/// separator, sign, exponent marker, dot, JSON whitespace), 1 = `[`,
+/// 2 = `]`, 3 = anything else (string, object, literal — bail).
+static NUMERIC_CLASS: [u8; 256] = {
+    let mut table = [3u8; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        table[b] = match b as u8 {
+            b'[' => 1,
+            b']' => 2,
+            b'0'..=b'9'
+            | b','
+            | b'-'
+            | b'+'
+            | b'.'
+            | b'e'
+            | b'E'
+            | b' '
+            | b'\t'
+            | b'\n'
+            | b'\r' => 0,
+            _ => 3,
+        };
+        b += 1;
+    }
+    table
+};
+
+/// Attempts to skip an array whose bytes are all numbers, separators,
+/// nested brackets, or whitespace, in one tight byte-class loop (a
+/// single table lookup per byte, no bounds checks). Returns `false`
+/// (with `p.pos` clobbered — the caller rewinds) on any other byte, on
+/// nesting past [`MAX_DEPTH`], or on end of input, so exotic or
+/// malformed content falls back to [`skip_value`]'s general loop.
+fn skip_numeric_array(p: &mut Parser<'_>, depth: usize) -> bool {
+    let mut open = 1usize;
+    for (i, &b) in p.bytes[p.pos + 1..].iter().enumerate() {
+        match NUMERIC_CLASS[b as usize] {
+            0 => {}
+            1 => {
+                open += 1;
+                if depth + open > MAX_DEPTH {
+                    return false;
+                }
+            }
+            2 => {
+                open -= 1;
+                if open == 0 {
+                    p.pos += i + 2;
+                    return true;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Attempts to scan one object value (cursor on `{`) collecting its
+/// `(key, raw-value)` pairs and fast-parsing its `"edges"` array, in
+/// the same traversal that locates the object's end. Returns `None`
+/// (with `p.pos` clobbered — the caller rewinds) on any structural
+/// anomaly, duplicate key, exotic edge spelling, or missing edges key:
+/// the generic [`skip_value`] then handles the value, and whoever
+/// parses the slice later reproduces today's exact error or fallback.
+#[allow(clippy::type_complexity)]
+fn try_scan_object_with_edges<'a>(
+    input: &'a str,
+    p: &mut Parser<'a>,
+) -> Option<(Vec<(&'a str, &'a str)>, Vec<(usize, usize)>)> {
+    let bytes = p.bytes;
+    p.pos += 1;
+    let mut fields: Vec<(&'a str, &'a str)> = Vec::new();
+    let mut pairs: Option<Vec<(usize, usize)>> = None;
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+        return None; // an empty object has no edges to capture
+    }
+    loop {
+        p.skip_ws();
+        let key_start = p.pos;
+        if skip_string(p).is_err() {
+            return None;
+        }
+        let key = &input[key_start + 1..p.pos - 1];
+        if fields.iter().any(|(k, _)| *k == key) {
+            return None;
+        }
+        p.skip_ws();
+        if p.peek() != Some(b':') {
+            return None;
+        }
+        p.pos += 1;
+        p.skip_ws();
+        let value_start = p.pos;
+        if key == "edges" {
+            let mut end = p.pos;
+            match fast_pairs_core(bytes, &mut end) {
+                Some(got) => {
+                    pairs = Some(got);
+                    p.pos = end;
+                }
+                // exotic spelling: bail the whole capture so the strict
+                // fallback path (and its fallback counter) runs as today
+                None => return None,
+            }
+        } else if skip_value(p, 1).is_err() {
+            return None;
+        }
+        fields.push((key, &input[value_start..p.pos]));
+        p.skip_ws();
+        match p.peek() {
+            Some(b',') => p.pos += 1,
+            Some(b'}') => {
+                p.pos += 1;
+                break;
+            }
+            _ => return None,
+        }
+    }
+    Some((fields, pairs?))
+}
+
 fn skip_value(p: &mut Parser<'_>, depth: usize) -> Result<(), ParseError> {
     if depth > MAX_DEPTH {
         return p.err(format!("nesting deeper than {MAX_DEPTH}"));
@@ -589,6 +827,18 @@ fn skip_value(p: &mut Parser<'_>, depth: usize) -> Result<(), ParseError> {
             }
         }
         Some(b'[') => {
+            // fast path for number-only arrays — the shape of instance
+            // edge lists, which dominate request frames by bytes. A
+            // byte-class loop tracks only bracket depth; anything that
+            // is not a number/separator/whitespace byte (strings,
+            // objects, literals) rewinds and takes the general loop.
+            // Grammar inside either skip stays unvalidated, per this
+            // scanner's contract — downstream strict parses decide.
+            let start = p.pos;
+            if skip_numeric_array(p, depth) {
+                return Ok(());
+            }
+            p.pos = start;
             p.pos += 1;
             p.skip_ws();
             if p.peek() == Some(b']') {
@@ -684,9 +934,182 @@ fn pair_int(p: &mut Parser<'_>) -> Result<usize, ParseError> {
     }
 }
 
+// ------------------------------------------------------ zero-copy scanner
+
+/// Parses an edge list with a zero-copy fast path: one tight byte loop
+/// over the canonical shape `[[a,b],[c,d],...]` (plain decimal integers,
+/// optional JSON whitespace) writing straight into a preallocated vector
+/// — no `Json` tree, no per-number text slice. Anything outside that
+/// shape — leading zeros, signs, fractions, exponents, out-of-range
+/// endpoints, structural surprises — bails out and re-runs the strict
+/// [`parse_edge_pairs`], so acceptance, rejection, and error offsets are
+/// byte-identical to the strict parser by construction.
+///
+/// Returns the pairs plus `true` when the fast path served the input
+/// (`false` means the strict fallback ran; the server counts those).
+///
+/// # Errors
+///
+/// Exactly the [`ParseError`]s of [`parse_edge_pairs`].
+pub fn scan_edge_pairs(input: &str) -> Result<(Vec<(usize, usize)>, bool), ParseError> {
+    match fast_edge_pairs(input) {
+        Some(pairs) => Ok((pairs, true)),
+        None => parse_edge_pairs(input).map(|pairs| (pairs, false)),
+    }
+}
+
+/// The fast-path grammar: a strict subset of [`parse_edge_pairs`]'s.
+/// `None` means "not in the subset" — the caller re-parses strictly,
+/// which either accepts (float-typed integral endpoints like `2.0`) or
+/// produces the canonical error. Never accepts anything strict rejects.
+fn fast_edge_pairs(input: &str) -> Option<Vec<(usize, usize)>> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    fast_skip_ws(bytes, &mut pos);
+    let out = fast_pairs_core(bytes, &mut pos)?;
+    fast_skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return None;
+    }
+    Some(out)
+}
+
+#[inline]
+fn fast_skip_ws(bytes: &[u8], pos: &mut usize) {
+    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+/// Parses one `[[a,b],...]` array of canonical decimal pairs starting at
+/// `*pos` (which must point at the opening `[`), consuming exactly
+/// through the matching `]`. Shared by the standalone fast path and the
+/// fused object scan, so both accept the identical grammar subset.
+fn fast_pairs_core(bytes: &[u8], pos: &mut usize) -> Option<Vec<(usize, usize)>> {
+    #[inline]
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        fast_skip_ws(bytes, pos);
+    }
+    #[inline]
+    fn int(bytes: &[u8], pos: &mut usize) -> Option<usize> {
+        let first = *bytes.get(*pos)?;
+        if !first.is_ascii_digit() {
+            return None;
+        }
+        *pos += 1;
+        if first == b'0' {
+            // a second digit would be a leading zero, which the strict
+            // grammar rejects — bail so the error comes from there
+            if bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+                return None;
+            }
+            return Some(0);
+        }
+        let mut val = usize::from(first - b'0');
+        while let Some(&b) = bytes.get(*pos) {
+            if !b.is_ascii_digit() {
+                break;
+            }
+            val = val.checked_mul(10)?.checked_add(usize::from(b - b'0'))?;
+            *pos += 1;
+        }
+        Some(val)
+    }
+
+    let mut i = *pos;
+    if *bytes.get(i)? != b'[' {
+        return None;
+    }
+    i += 1;
+    // canonical renderings spend ≥ 6 bytes per pair (`[a,b],`), so this
+    // preallocation never reallocates on the hot path
+    let mut out = Vec::with_capacity((bytes.len() - i) / 6 + 1);
+    skip_ws(bytes, &mut i);
+    if bytes.get(i) == Some(&b']') {
+        i += 1;
+    } else {
+        loop {
+            skip_ws(bytes, &mut i);
+            if *bytes.get(i)? != b'[' {
+                return None;
+            }
+            i += 1;
+            skip_ws(bytes, &mut i);
+            let u = int(bytes, &mut i)?;
+            skip_ws(bytes, &mut i);
+            if *bytes.get(i)? != b',' {
+                return None;
+            }
+            i += 1;
+            skip_ws(bytes, &mut i);
+            let v = int(bytes, &mut i)?;
+            skip_ws(bytes, &mut i);
+            if *bytes.get(i)? != b']' {
+                return None;
+            }
+            i += 1;
+            out.push((u, v));
+            skip_ws(bytes, &mut i);
+            match *bytes.get(i)? {
+                b',' => i += 1,
+                b']' => {
+                    i += 1;
+                    break;
+                }
+                _ => return None,
+            }
+        }
+    }
+    *pos = i;
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fused_scans_agree_with_the_plain_scanner() {
+        let line = r#"{"v":1,"type":"request","id":"r","problem":{"name":"mis","base_degree":3},"instance":{"kind":"bipartite","left":3,"right":3,"edges":[[0,1],[2,0]]}}"#;
+        let scan = scan_frame(line).unwrap();
+        assert_eq!(scan.fields, scan_top_level(line).unwrap());
+        assert_eq!(scan.edge_pairs, Some(vec![(0, 1), (2, 0)]));
+        let instance = scan
+            .fields
+            .iter()
+            .find(|(k, _)| *k == "instance")
+            .unwrap()
+            .1;
+        assert_eq!(
+            scan.instance_fields,
+            Some(scan_top_level(instance).unwrap())
+        );
+
+        // the instance-level fused scan harvests the same pairs
+        let (fields, pairs) = scan_object_with_edges(instance).unwrap();
+        assert_eq!(fields, scan_top_level(instance).unwrap());
+        assert_eq!(pairs, Some(vec![(0, 1), (2, 0)]));
+
+        // exotic spelling: capture bails all-or-nothing, fields unchanged
+        let exotic = line.replace("[2,0]", "[2,0.0]");
+        let scan = scan_frame(&exotic).unwrap();
+        assert_eq!(scan.fields, scan_top_level(&exotic).unwrap());
+        assert!(scan.edge_pairs.is_none() && scan.instance_fields.is_none());
+
+        // a duplicate key inside the instance bails capture but scans
+        // (the plain scanner never dup-checks nested objects either)
+        let dup = r#"{"instance":{"edges":[[0,1]],"edges":[[0,2]]}}"#;
+        let scan = scan_frame(dup).unwrap();
+        assert_eq!(scan.fields, scan_top_level(dup).unwrap());
+        assert!(scan.edge_pairs.is_none());
+
+        // malformed input errors identically
+        let bad = r#"{"instance":{"kind":}}"#;
+        assert_eq!(
+            scan_frame(bad).unwrap_err(),
+            scan_top_level(bad).unwrap_err()
+        );
+    }
 
     #[test]
     fn parses_scalars() {
@@ -776,6 +1199,71 @@ mod tests {
     }
 
     #[test]
+    fn integer_accessors_hold_at_the_u64_boundary() {
+        // `u64::MAX as f64` rounds up to 2^64; both it and the issue's
+        // decimal form must be rejected, not saturated to u64::MAX
+        let two64 = u64::MAX as f64;
+        assert_eq!(Number::Float(two64).as_u64(), None);
+        assert_eq!(Number::Float(two64).as_usize(), None);
+        let n = parse("1.8446744073709552e19").unwrap().as_number().unwrap();
+        assert_eq!(n.as_u64(), None);
+        // u64::MAX itself is not f64-representable: its float spelling
+        // also rounds to 2^64 and must be rejected on the float path
+        let n = parse("18446744073709551615.0")
+            .unwrap()
+            .as_number()
+            .unwrap();
+        assert_eq!(n.as_u64(), None);
+        // ...while the integer spelling stays exact
+        let n = parse("18446744073709551615").unwrap().as_number().unwrap();
+        assert_eq!(n.as_u64(), Some(u64::MAX));
+        // MAX+1 overflows u64 and lands in the float branch → rejected
+        let n = parse("18446744073709551616").unwrap().as_number().unwrap();
+        assert_eq!(n.as_u64(), None);
+        // nearest representable float below 2^64 is 2^64 - 2048: in range
+        let below = 18_446_744_073_709_549_568.0_f64;
+        assert!(below < two64);
+        assert_eq!(
+            Number::Float(below).as_u64(),
+            Some(18_446_744_073_709_549_568)
+        );
+        // MAX-1 as integer stays exact
+        let n = parse("18446744073709551614").unwrap().as_number().unwrap();
+        assert_eq!(n.as_u64(), Some(u64::MAX - 1));
+        // non-integers and negatives never pass
+        assert_eq!(Number::Float(1.5).as_u64(), None);
+        assert_eq!(Number::Float(-1.0).as_u64(), None);
+        // as_u32 narrows with the same exactness
+        assert_eq!(
+            Number::Unsigned(u64::from(u32::MAX)).as_u32(),
+            Some(u32::MAX)
+        );
+        assert_eq!(Number::Unsigned(u64::from(u32::MAX) + 1).as_u32(), None);
+        assert_eq!(Number::Float(4_294_967_295.0).as_u32(), Some(u32::MAX));
+        assert_eq!(Number::Float(4_294_967_296.0).as_u32(), None);
+    }
+
+    #[test]
+    fn exponent_extremes_are_pinned() {
+        // overflow to ±inf violates the strict contract: typed rejection
+        for bad in ["1e999", "-1e999", "2e308", "123e100000"] {
+            let err = parse(bad).unwrap_err();
+            assert_eq!(err.reason, "number out of range", "{bad}");
+        }
+        // underflow rounds to 0.0 and is accepted
+        assert_eq!(parse("1e-999").unwrap(), Json::Number(Number::Float(0.0)));
+        // `-0` stays an exact signed integer, and signed numbers are
+        // never valid edge endpoints
+        assert_eq!(parse("-0").unwrap(), Json::Number(Number::Signed(0)));
+        assert_eq!(Number::Signed(0).as_u64(), None);
+        assert!(parse_edge_pairs("[[-0,1]]").is_err());
+        // `-0.0` is a float equal to zero (IEEE) and converts to 0
+        let n = parse("-0.0").unwrap().as_number().unwrap();
+        assert_eq!(n, Number::Float(-0.0));
+        assert_eq!(n.as_u64(), Some(0));
+    }
+
+    #[test]
     fn edge_pairs_fast_path() {
         assert_eq!(parse_edge_pairs("[]").unwrap(), vec![]);
         assert_eq!(
@@ -792,5 +1280,46 @@ mod tests {
         ] {
             assert!(parse_edge_pairs(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn fast_edge_scan_matches_the_strict_parser() {
+        let cases = [
+            "[]",
+            "[[0,1]]",
+            "[[0,1],[2, 3]]",
+            " [ [ 12 , 7 ] ] ",
+            "[[18446744073709551615,0]]",
+            "[[18446744073709551616,0]]",
+            "[[01,2]]",
+            "[[+1,2]]",
+            "[[1,2.0]]",
+            "[[1,2e1]]",
+            "[[-0,1]]",
+            "[[1,2],]",
+            "[[1]]",
+            "[[1,2,3]]",
+            "[1,2]",
+            "[[1,2]]x",
+            "[[1,2]",
+            "",
+            "[",
+            "[[",
+        ];
+        for case in cases {
+            let strict = parse_edge_pairs(case);
+            let fast = scan_edge_pairs(case);
+            match (&strict, &fast) {
+                (Ok(a), Ok((b, _))) => assert_eq!(a, b, "{case:?}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "{case:?}"),
+                _ => panic!("{case:?}: strict {strict:?} vs fast {fast:?}"),
+            }
+        }
+        // the canonical rendering must ride the fast path...
+        assert!(scan_edge_pairs("[[0,1],[2,3]]").unwrap().1);
+        assert!(scan_edge_pairs("[]").unwrap().1);
+        // ...and anything fancy falls back (still accepted, via strict)
+        assert!(!scan_edge_pairs("[[0,1],[2,3.0]]").unwrap().1);
+        assert!(!scan_edge_pairs("[[0,1],[2,2e1]]").unwrap().1);
     }
 }

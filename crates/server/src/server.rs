@@ -134,6 +134,10 @@ struct Job {
     /// Client-supplied idempotency key; the delivered reply is cached
     /// under it so a retry replays instead of re-solving.
     idempotency_key: Option<String>,
+    /// Field ranges and pre-parsed edge pairs harvested by the ingest
+    /// scan, when the frame's spelling was canonical — the worker then
+    /// re-scans nothing. Never journaled; recovered jobs re-parse.
+    prescan: Option<wire::PreScan>,
 }
 
 enum Report {
@@ -226,6 +230,13 @@ struct Shared {
     /// behaves.
     killed: AtomicBool,
     idempotency: Mutex<IdempotencyCache>,
+    /// Interned instances, keyed by content hash (`upload` frames).
+    /// Requests carrying a handle resolve here at ingest and share the
+    /// `Arc` — a handle solve never re-parses or copies the graph.
+    handles: Mutex<HashMap<crate::journal::PayloadHash, Arc<splitting_api::Instance>>>,
+    /// Instance edge parses that fell off the zero-copy fast scanner
+    /// onto the strict fallback (canonical encodings never do).
+    parse_fallbacks: AtomicU64,
     /// One slot per worker: the cancellation token of the solve it is
     /// running right now, so `drain` can abandon over-deadline work.
     active: Vec<Mutex<Option<CancelToken>>>,
@@ -325,13 +336,15 @@ impl Shared {
             journal_appended: journal.appended,
             journal_bytes: journal.bytes,
             journal_recovered: journal.recovered,
+            parse_fallbacks: self.parse_fallbacks.load(Ordering::Relaxed),
+            handles_held: self.handles.lock().unwrap().len() as u64,
         }
     }
 }
 
 fn worker_loop(shared: &Shared, slot: usize) {
     let session = Session::with_threads(1);
-    while let Some(job) = shared.queue.pop() {
+    while let Some(mut job) = shared.queue.pop() {
         if shared.is_killed() {
             // the "dead" process does nothing with remaining queued
             // work: drop it on the floor (draining so every worker
@@ -384,6 +397,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
             None => CancelToken::new(),
         };
         *shared.active[slot].lock().unwrap() = Some(token.clone());
+        let prescan = job.prescan.take();
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
             if inject_panic {
                 panic!("chaos: injected worker panic");
@@ -395,10 +409,21 @@ fn worker_loop(shared: &Shared, slot: usize) {
                     .unwrap_or_else(|e| e.to_json_line())
             };
             match &job.payload {
-                Payload::Wire(line) => match wire::parse_request(line) {
-                    Ok((_, request)) => solve(&request),
-                    Err(e) => e.to_json_line(),
-                },
+                Payload::Wire(line) => {
+                    let parsed = match prescan {
+                        Some(pre) => wire::parse_request_prescanned(line, pre),
+                        None => wire::parse_request_traced(line),
+                    };
+                    match parsed {
+                        Ok((_, request, fast)) => {
+                            if !fast {
+                                shared.parse_fallbacks.fetch_add(1, Ordering::Relaxed);
+                            }
+                            solve(&request)
+                        }
+                        Err(e) => e.to_json_line(),
+                    }
+                }
                 Payload::Parsed(request) => solve(request),
             }
         }));
@@ -465,6 +490,8 @@ impl Server {
             next_conn: AtomicU64::new(0),
             killed: AtomicBool::new(false),
             idempotency: Mutex::new(idempotency),
+            handles: Mutex::new(HashMap::new()),
+            parse_fallbacks: AtomicU64::new(0),
             active: (0..workers).map(|_| Mutex::new(None)).collect(),
             config: ServerConfig { workers, ..config },
         });
@@ -505,6 +532,7 @@ impl Server {
                 deadline: None,
                 journal_id: Some(rec.record.record_id),
                 idempotency_key: rec.record.idempotency_key,
+                prescan: None,
             };
             if self
                 .shared
@@ -683,7 +711,13 @@ impl Submitter {
         self.send_now(seq, wire::error_frame(id, seq, None, &payload));
     }
 
-    fn enqueue(&self, envelope: Envelope, seq: u64, payload: Payload) -> Submitted {
+    fn enqueue(
+        &self,
+        envelope: Envelope,
+        seq: u64,
+        payload: Payload,
+        prescan: Option<wire::PreScan>,
+    ) -> Submitted {
         if self.shared.is_killed() {
             // a dead process answers nothing
             return Submitted::Skipped;
@@ -739,6 +773,7 @@ impl Submitter {
                 .map(|ms| (Instant::now() + Duration::from_millis(ms), ms)),
             journal_id,
             idempotency_key: envelope.idempotency_key,
+            prescan,
         };
         let refused = match self.shared.config.admission {
             Admission::Reject => match self.shared.queue.try_push(envelope.priority, job) {
@@ -800,16 +835,22 @@ impl Submitter {
             self.send_now(seq, wire::error_frame("", seq, None, &payload));
             return Submitted::Replied;
         }
-        match wire::scan_envelope(trimmed) {
-            Ok(ClientFrame::Request(envelope)) => {
-                self.enqueue(envelope, seq, Payload::Wire(trimmed.to_owned()))
+        match wire::scan_envelope_prescanned(trimmed) {
+            Ok((ClientFrame::Request(envelope), prescan)) => {
+                if envelope.handle.is_some() {
+                    self.enqueue_handle(envelope, seq, trimmed)
+                } else {
+                    self.enqueue(envelope, seq, Payload::Wire(trimmed.to_owned()), prescan)
+                }
             }
-            Ok(ClientFrame::Ping { id }) => {
+            Ok((ClientFrame::Upload { id }, _)) => self.upload(&id, seq, trimmed),
+            Ok((ClientFrame::Release { id, handle }, _)) => self.release(&id, seq, &handle),
+            Ok((ClientFrame::Ping { id }, _)) => {
                 let frame = wire::heartbeat_frame(&id, seq, self.shared.stats());
                 self.send_now(seq, frame);
                 Submitted::Replied
             }
-            Ok(ClientFrame::Shutdown) => {
+            Ok((ClientFrame::Shutdown, _)) => {
                 // the shutdown frame itself gets no reply; hand its
                 // sequence number back
                 self.next_seq = seq;
@@ -858,10 +899,116 @@ impl Submitter {
                 priority,
                 deadline_ms,
                 idempotency_key: None,
+                handle: None,
             },
             seq,
             Payload::Parsed(Box::new(request)),
+            None,
         )
+    }
+
+    /// Handles an `upload` frame: parse the inline instance, intern it
+    /// keyed by its content hash, and answer with an `uploaded` frame
+    /// carrying the handle. Idempotent by construction — re-uploading
+    /// the same content lands on the same table entry and returns the
+    /// same handle. Processed inline on the ingest thread (like pings),
+    /// so a request referencing a just-uploaded handle can never race a
+    /// queued upload job.
+    fn upload(&self, id: &str, seq: u64, line: &str) -> Submitted {
+        if self.shared.is_killed() {
+            return Submitted::Skipped;
+        }
+        let fields = crate::json::scan_top_level(line).expect("validated by scan_envelope");
+        let raw = fields
+            .iter()
+            .find(|(k, _)| *k == "instance")
+            .map(|(_, v)| *v)
+            .expect("instance presence checked by scan_envelope");
+        match wire::parse_instance_traced(raw) {
+            Ok((instance, fast)) => {
+                if !fast {
+                    self.shared.parse_fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+                let hash = wire::instance_fingerprint(&instance);
+                let handle = wire::render_handle(hash);
+                let mut handles = self.shared.handles.lock().unwrap();
+                let entry = handles.entry(hash).or_insert_with(|| Arc::new(instance));
+                let shared_instance = Arc::clone(entry);
+                let held = handles.len();
+                drop(handles);
+                let payload = wire::uploaded_payload(&handle, &shared_instance, held);
+                self.send_now(seq, wire::uploaded_frame(id, seq, &payload));
+                Submitted::Replied
+            }
+            Err(e) => {
+                self.send_now(seq, wire::error_frame(id, seq, None, &e.to_json_line()));
+                Submitted::Replied
+            }
+        }
+    }
+
+    /// Handles a `release` frame: drop the interned instance. In-flight
+    /// requests that already resolved the handle keep their `Arc` — the
+    /// graph is freed once the last of them finishes.
+    fn release(&self, id: &str, seq: u64, handle: &str) -> Submitted {
+        if self.shared.is_killed() {
+            return Submitted::Skipped;
+        }
+        let hash = wire::parse_handle(handle).expect("validated by scan_envelope");
+        let (removed, held) = {
+            let mut handles = self.shared.handles.lock().unwrap();
+            (handles.remove(&hash).is_some(), handles.len())
+        };
+        if removed {
+            let payload = wire::released_payload(handle, held);
+            self.send_now(seq, wire::released_frame(id, seq, &payload));
+        } else {
+            let payload = ApiError::InvalidRequest {
+                field: "handle",
+                reason: format!("unknown instance handle \"{handle}\""),
+            }
+            .to_json_line();
+            self.send_now(seq, wire::error_frame(id, seq, None, &payload));
+        }
+        Submitted::Replied
+    }
+
+    /// Admits a handle-form request: the handle is resolved against the
+    /// interned table *at ingest* and the job is queued already-typed
+    /// (sharing the interned `Arc<Instance>`), so workers pay no codec
+    /// or graph-build cost and multi-worker scheduling cannot reorder a
+    /// solve ahead of the upload it references.
+    fn enqueue_handle(&self, envelope: Envelope, seq: u64, line: &str) -> Submitted {
+        let handle = envelope.handle.as_deref().expect("checked by submit_line");
+        let hash = wire::parse_handle(handle).expect("validated by scan_envelope");
+        let instance = self
+            .shared
+            .handles
+            .lock()
+            .unwrap()
+            .get(&hash)
+            .map(Arc::clone);
+        let Some(instance) = instance else {
+            let payload = ApiError::InvalidRequest {
+                field: "handle",
+                reason: format!("unknown instance handle \"{handle}\"; upload it first"),
+            }
+            .to_json_line();
+            self.send_now(seq, wire::error_frame(&envelope.id, seq, None, &payload));
+            return Submitted::Replied;
+        };
+        match wire::parse_request_with_instance(line, instance) {
+            Ok((_, request)) => {
+                self.enqueue(envelope, seq, Payload::Parsed(Box::new(request)), None)
+            }
+            Err(e) => {
+                self.send_now(
+                    seq,
+                    wire::error_frame(&envelope.id, seq, None, &e.to_json_line()),
+                );
+                Submitted::Replied
+            }
+        }
     }
 
     /// Signals end of input: the reporting half will finish after
@@ -1552,5 +1699,105 @@ mod tests {
         server.shutdown();
         drop(journal);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn handle_lifecycle_upload_solve_release() {
+        let server = Server::start(quiet_config());
+        let (mut tx, mut rx) = server.connect().split();
+        let g = generators::cycle(8).unwrap();
+        let request = Request::new(
+            Problem::Mis {
+                base_degree: Some(8),
+            },
+            g.clone(),
+        )
+        .seed(5);
+        let handle = wire::render_handle(wire::instance_fingerprint(request.instance()));
+        let direct = Session::with_threads(1)
+            .solve(&request)
+            .unwrap()
+            .to_json_line();
+
+        // upload answers immediately with the content-derived handle
+        let upload = wire::render_upload("u1", request.instance());
+        assert_eq!(tx.submit_line(&upload), Submitted::Replied);
+        let frame = rx.recv().unwrap();
+        let reply = split_reply(&frame).expect(&frame);
+        assert_eq!(reply.frame_type, "uploaded");
+        assert_eq!(reply.id, "u1");
+        assert!(
+            reply.payload.unwrap().contains(&handle),
+            "uploaded frame names the handle: {frame}"
+        );
+        assert!(frame.contains("\"held\":1"), "{frame}");
+
+        // re-uploading the same content is idempotent: same handle, no
+        // second table entry
+        assert_eq!(tx.submit_line(&upload), Submitted::Replied);
+        let again = rx.recv().unwrap();
+        assert!(again.contains(&handle), "{again}");
+        assert!(again.contains("\"held\":1"), "{again}");
+        assert_eq!(server.stats().handles_held, 1);
+
+        // a handle-form solve is byte-identical to the inline form
+        let by_handle = wire::render_request_with_handle("h1", Priority::Normal, &handle, &request);
+        assert_eq!(tx.submit_line(&by_handle), Submitted::Queued);
+        let frame = rx.recv().unwrap();
+        let reply = split_reply(&frame).expect(&frame);
+        assert_eq!(reply.frame_type, "solution");
+        assert_eq!(reply.payload, Some(direct.as_str()), "byte parity");
+
+        // release frees the entry and reports the new count
+        let release = wire::render_release("d1", &handle);
+        assert_eq!(tx.submit_line(&release), Submitted::Replied);
+        let frame = rx.recv().unwrap();
+        let reply = split_reply(&frame).expect(&frame);
+        assert_eq!(reply.frame_type, "released");
+        assert!(frame.contains("\"held\":0"), "{frame}");
+        assert_eq!(server.stats().handles_held, 0);
+
+        // double release and post-release solves are typed errors
+        assert_eq!(tx.submit_line(&release), Submitted::Replied);
+        let frame = rx.recv().unwrap();
+        assert!(frame.contains("unknown instance handle"), "{frame}");
+        assert_eq!(tx.submit_line(&by_handle), Submitted::Replied);
+        let frame = rx.recv().unwrap();
+        assert!(frame.contains("upload it first"), "{frame}");
+
+        // re-upload works and yields the same handle
+        assert_eq!(tx.submit_line(&upload), Submitted::Replied);
+        assert!(rx.recv().unwrap().contains(&handle));
+
+        // the canonical renderings above never fall off the fast path,
+        // and the heartbeat carries both new counters
+        assert_eq!(
+            tx.submit_line(r#"{"v":1,"type":"ping","id":"hb"}"#),
+            Submitted::Replied
+        );
+        let beat = rx.recv().unwrap();
+        for needle in ["\"parse_fallbacks\":0", "\"handles_held\":1"] {
+            assert!(beat.contains(needle), "heartbeat lacks {needle}: {beat}");
+        }
+        assert_eq!(server.stats().parse_fallbacks, 0);
+        tx.finish();
+        assert!(rx.recv().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn exotic_encodings_fall_back_and_are_counted() {
+        let server = Server::start(quiet_config());
+        let (mut tx, mut rx) = server.connect().split();
+        // float-typed integral endpoints are valid under the strict
+        // grammar but off the fast scanner's canonical subset
+        let line = r#"{"v":1,"type":"request","id":"x1","problem":{"name":"mis","base_degree":8},"instance":{"kind":"host","nodes":4,"edges":[[0,1],[1,2],[2,3],[3,0.0]]}}"#;
+        assert_eq!(tx.submit_line(line), Submitted::Queued);
+        let frame = rx.recv().unwrap();
+        assert!(frame.contains("\"type\":\"solution\""), "{frame}");
+        assert_eq!(server.stats().parse_fallbacks, 1);
+        tx.finish();
+        assert!(rx.recv().is_none());
+        server.shutdown();
     }
 }

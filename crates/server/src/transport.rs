@@ -294,6 +294,49 @@ mod tests {
     }
 
     #[test]
+    fn handle_lifecycle_rides_the_stream_transport() {
+        use crate::wire::{self, Priority};
+        use splitting_api::{Problem, Request};
+
+        let server = quiet_server();
+        let g = splitgraph::generators::cycle(6).unwrap();
+        let request = Request::new(
+            Problem::Mis {
+                base_degree: Some(8),
+            },
+            g,
+        )
+        .seed(2);
+        let handle = wire::render_handle(wire::instance_fingerprint(request.instance()));
+        let input = format!(
+            "{}\n{}\n{}\n{}\n",
+            wire::render_upload("up", request.instance()),
+            wire::render_request_with_handle("s1", Priority::Normal, &handle, &request),
+            wire::render_request("s2", Priority::Normal, &request),
+            wire::render_release("rel", &handle),
+        );
+        let mut out = Vec::new();
+        let summary = serve_stream(&server, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.lines_in, 4);
+        assert_eq!(summary.replies_out, 4);
+        let text = String::from_utf8(out).unwrap();
+        let frames: Vec<&str> = text.lines().collect();
+        let kinds: Vec<_> = frames
+            .iter()
+            .map(|f| split_reply(f).unwrap().frame_type)
+            .collect();
+        assert_eq!(kinds, ["uploaded", "solution", "solution", "released"]);
+        // handle-form and inline-form replies carry the same payload
+        assert_eq!(
+            split_reply(frames[1]).unwrap().payload,
+            split_reply(frames[2]).unwrap().payload,
+            "handle-vs-inline byte parity over the stream transport"
+        );
+        assert!(frames[0].contains(&handle), "{}", frames[0]);
+        server.shutdown();
+    }
+
+    #[test]
     fn tcp_transport_serves_concurrent_clients() {
         use std::io::{BufRead, BufReader, Write};
         use std::net::TcpStream;

@@ -91,6 +91,12 @@ pub struct Envelope {
     /// — the retry-after-reconnect contract (see `docs/PROTOCOL.md`
     /// § Durability and idempotency). Absent key = no caching.
     pub idempotency_key: Option<String>,
+    /// Optional instance handle (32-hex, see [`render_handle`]). When
+    /// set, the frame carries no inline `instance`; the server resolves
+    /// the handle against its interned-instance table at admission.
+    /// Exactly one of handle / inline instance is present — the
+    /// envelope scan enforces the exclusion.
+    pub handle: Option<String>,
 }
 
 /// One scanned client frame, classified by `type`.
@@ -98,6 +104,19 @@ pub struct Envelope {
 pub enum ClientFrame {
     /// A `request` frame (body not yet parsed — workers do that).
     Request(Envelope),
+    /// An `upload` frame: intern the carried instance server-side and
+    /// reply with its handle (body not yet parsed — ingest does that).
+    Upload {
+        /// Echoed id.
+        id: String,
+    },
+    /// A `release` frame: drop an interned instance.
+    Release {
+        /// Echoed id.
+        id: String,
+        /// The 32-hex handle to drop (format-validated by the scan).
+        handle: String,
+    },
     /// A `ping` frame; the server replies with a heartbeat.
     Ping {
         /// Echoed id ("" when the ping carried none).
@@ -128,7 +147,10 @@ const REQUEST_KEYS: &[&str] = &[
     "attempts",
     "deadline_ms",
     "idempotency_key",
+    "handle",
 ];
+const UPLOAD_KEYS: &[&str] = &["v", "type", "id", "instance"];
+const RELEASE_KEYS: &[&str] = &["v", "type", "id", "handle"];
 const PING_KEYS: &[&str] = &["v", "type", "id"];
 const SHUTDOWN_KEYS: &[&str] = &["v", "type"];
 
@@ -210,6 +232,82 @@ fn parse_priority(raw: Option<&&str>) -> Result<Priority, ApiError> {
 pub fn scan_envelope(line: &str) -> Result<ClientFrame, ApiError> {
     let fields = json::scan_top_level(line)
         .map_err(|e| invalid("frame", format!("not a JSON object: {e}")))?;
+    classify_frame(&fields)
+}
+
+/// Everything the ingest scan harvested beyond the envelope, as byte
+/// ranges into the submitted line (ranges survive the ingest copy of
+/// the line into the job, slices would not). A worker holding this
+/// skips every byte of re-scanning: it reslices the fields, parses the
+/// small ones, and builds the graph straight from the pre-parsed edge
+/// pairs.
+pub struct PreScan {
+    /// Top-level `(key, value)` ranges of the frame.
+    pub fields: Vec<(std::ops::Range<usize>, std::ops::Range<usize>)>,
+    /// `(key, value)` ranges of the instance object's own fields.
+    pub instance_fields: Vec<(std::ops::Range<usize>, std::ops::Range<usize>)>,
+    /// Edge pairs parsed by the canonical fast grammar.
+    pub edge_pairs: Vec<(usize, usize)>,
+}
+
+/// [`scan_envelope`] plus a [`PreScan`] when the line is an
+/// inline-instance request frame whose instance the fused scan fully
+/// served. Classification and errors are byte-identical to
+/// [`scan_envelope`]; the prescan is a side harvest for the worker.
+///
+/// # Errors
+///
+/// Exactly the [`ApiError`]s of [`scan_envelope`].
+pub fn scan_envelope_prescanned(line: &str) -> Result<(ClientFrame, Option<PreScan>), ApiError> {
+    let scan =
+        json::scan_frame(line).map_err(|e| invalid("frame", format!("not a JSON object: {e}")))?;
+    let frame = classify_frame(&scan.fields)?;
+    let base = line.as_ptr() as usize;
+    let to_ranges = |fields: &[(&str, &str)]| {
+        fields
+            .iter()
+            .map(|(k, v)| {
+                let ks = k.as_ptr() as usize - base;
+                let vs = v.as_ptr() as usize - base;
+                (ks..ks + k.len(), vs..vs + v.len())
+            })
+            .collect()
+    };
+    let prescan = match (&frame, scan.instance_fields, scan.edge_pairs) {
+        (ClientFrame::Request(envelope), Some(instance_fields), Some(edge_pairs))
+            if envelope.handle.is_none() =>
+        {
+            Some(PreScan {
+                fields: to_ranges(&scan.fields),
+                instance_fields: to_ranges(&instance_fields),
+                edge_pairs,
+            })
+        }
+        _ => None,
+    };
+    Ok((frame, prescan))
+}
+
+/// Parses a raw `"handle"` value: a JSON string of exactly 32 lowercase
+/// hex digits (the rendering of [`instance_fingerprint`]).
+fn parse_handle_field(raw: &str) -> Result<String, ApiError> {
+    let handle = json::parse(raw)
+        .ok()
+        .and_then(|j| j.as_str().map(str::to_owned))
+        .ok_or_else(|| invalid("handle", "must be a JSON string"))?;
+    if parse_handle(&handle).is_none() {
+        return Err(invalid(
+            "handle",
+            format!("\"{handle}\" is not a 32-digit lowercase-hex instance handle"),
+        ));
+    }
+    Ok(handle)
+}
+
+/// [`scan_envelope`] over already-scanned top-level fields, so callers
+/// that need the field slices anyway (the full request parse, the
+/// ingest upload path) pay for one scan instead of two.
+fn classify_frame(fields: &[(&str, &str)]) -> Result<ClientFrame, ApiError> {
     let get = |key: &str| fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v);
     check_version(get("v"))?;
     let ty = match get("type") {
@@ -221,16 +319,18 @@ pub fn scan_envelope(line: &str) -> Result<ClientFrame, ApiError> {
     };
     let allowed: &[&str] = match ty.as_str() {
         "request" => REQUEST_KEYS,
+        "upload" => UPLOAD_KEYS,
+        "release" => RELEASE_KEYS,
         "ping" => PING_KEYS,
         "shutdown" => SHUTDOWN_KEYS,
-        other => {
-            return Err(invalid(
-                "type",
-                format!("unknown frame type \"{other}\"; use request, ping, or shutdown"),
-            ))
-        }
+        other => return Err(invalid(
+            "type",
+            format!(
+                "unknown frame type \"{other}\"; use request, upload, release, ping, or shutdown"
+            ),
+        )),
     };
-    for (key, _) in &fields {
+    for (key, _) in fields {
         if !allowed.contains(key) {
             return Err(invalid(
                 "frame",
@@ -276,18 +376,55 @@ pub fn scan_envelope(line: &str) -> Result<ClientFrame, ApiError> {
                     Some(key)
                 }
             };
+            let handle = match get("handle") {
+                None => None,
+                Some(raw) => Some(parse_handle_field(raw)?),
+            };
             if get("problem").is_none() {
                 return Err(invalid("problem", "request frames must carry a problem"));
             }
-            if get("instance").is_none() {
-                return Err(invalid("instance", "request frames must carry an instance"));
+            match (get("instance").is_some(), handle.is_some()) {
+                (true, true) => {
+                    return Err(invalid(
+                        "instance",
+                        "carry either an inline instance or a handle, not both",
+                    ))
+                }
+                (false, false) => {
+                    return Err(invalid(
+                        "instance",
+                        "request frames must carry an instance or an instance handle",
+                    ))
+                }
+                _ => {}
             }
             Ok(ClientFrame::Request(Envelope {
                 id,
                 priority,
                 deadline_ms,
                 idempotency_key,
+                handle,
             }))
+        }
+        "upload" => {
+            let id = parse_id(get("id"))?;
+            if get("instance").is_none() {
+                return Err(invalid("instance", "upload frames must carry an instance"));
+            }
+            Ok(ClientFrame::Upload { id })
+        }
+        "release" => {
+            let id = parse_id(get("id"))?;
+            let handle = match get("handle") {
+                Some(raw) => parse_handle_field(raw)?,
+                None => {
+                    return Err(invalid(
+                        "handle",
+                        "release frames must name the handle to drop",
+                    ))
+                }
+            };
+            Ok(ClientFrame::Release { id, handle })
         }
         "ping" => {
             let id = match get("id") {
@@ -460,9 +597,33 @@ fn parse_problem(raw: &str) -> Result<Problem, ApiError> {
     }
 }
 
-fn parse_instance(raw: &str) -> Result<Instance, ApiError> {
-    let fields = json::scan_top_level(raw)
+/// Parses a raw `"instance"` object (as sliced out of a frame by the
+/// envelope scan) into a typed [`Instance`], reporting whether the
+/// zero-copy edge scanner served the edge list (`false` = the strict
+/// fallback parser ran; the server counts those on its
+/// [`StatsSnapshot::parse_fallbacks`] gauge).
+///
+/// # Errors
+///
+/// [`ApiError::InvalidRequest`] on the `instance` field. Edge-list error
+/// offsets are reported in the coordinate system of the instance object
+/// — the same one every other instance error uses — not of the inner
+/// edges slice.
+pub fn parse_instance_traced(raw: &str) -> Result<(Instance, bool), ApiError> {
+    let (fields, fused_pairs) = json::scan_object_with_edges(raw)
         .map_err(|e| invalid("instance", format!("not a JSON object: {e}")))?;
+    parse_instance_from_parts(raw, &fields, fused_pairs)
+}
+
+/// [`parse_instance_traced`] over an already-scanned field list, so the
+/// prescanned ingest path ([`parse_request_prescanned`]) skips the
+/// object re-scan entirely. `fused_pairs` carries edge pairs the fused
+/// scan already parsed on the canonical fast grammar (`fast = true`).
+fn parse_instance_from_parts(
+    raw: &str,
+    fields: &[(&str, &str)],
+    mut fused_pairs: Option<Vec<(usize, usize)>>,
+) -> Result<(Instance, bool), ApiError> {
     let get = |key: &str| fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
     let kind = match get("kind") {
         Some(raw) => json::parse(raw)
@@ -484,16 +645,25 @@ fn parse_instance(raw: &str) -> Result<Instance, ApiError> {
                 }),
         }
     };
-    let edges = || -> Result<Vec<(usize, usize)>, ApiError> {
+    let mut edges = || -> Result<(Vec<(usize, usize)>, bool), ApiError> {
         match get("edges") {
-            Some(raw) => {
-                json::parse_edge_pairs(raw).map_err(|e| invalid("instance", format!("edges: {e}")))
+            // the fused scan already parsed the canonical fast grammar
+            // in the same pass that located the value's end
+            Some(_) if fused_pairs.is_some() => {
+                Ok((fused_pairs.take().expect("checked above"), true))
             }
+            Some(slice) => json::scan_edge_pairs(slice).map_err(|mut e| {
+                // the edge parser reports offsets relative to the edges
+                // slice; shift into the instance object so every
+                // instance error shares one coordinate system
+                e.offset += slice.as_ptr() as usize - raw.as_ptr() as usize;
+                invalid("instance", format!("edges: {e}"))
+            }),
             None => Err(invalid("instance", "missing edges array")),
         }
     };
     let check_keys = |allowed: &[&str]| -> Result<(), ApiError> {
-        for (key, _) in &fields {
+        for (key, _) in fields {
             if !allowed.contains(key) {
                 return Err(invalid(
                     "instance",
@@ -510,23 +680,25 @@ fn parse_instance(raw: &str) -> Result<Instance, ApiError> {
                 .ok_or_else(|| invalid("instance", "missing left (constraint count)"))?;
             let right = small_usize("right")?
                 .ok_or_else(|| invalid("instance", "missing right (variable count)"))?;
-            let b = BipartiteGraph::from_edges_bulk(left, right, &edges()?)
+            let (pairs, fast) = edges()?;
+            let b = BipartiteGraph::from_edges_bulk(left, right, &pairs)
                 .map_err(|e| invalid("instance", e.to_string()))?;
-            Ok(Instance::Bipartite(b))
+            Ok((Instance::Bipartite(b), fast))
         }
         "host" => {
             check_keys(&["kind", "nodes", "edges"])?;
             let n =
                 small_usize("nodes")?.ok_or_else(|| invalid("instance", "missing node count"))?;
-            let g = Graph::from_edges_bulk(n, &edges()?)
+            let (pairs, fast) = edges()?;
+            let g = Graph::from_edges_bulk(n, &pairs)
                 .map_err(|e| invalid("instance", e.to_string()))?;
-            Ok(Instance::Host(g))
+            Ok((Instance::Host(g), fast))
         }
         "multigraph" => {
             check_keys(&["kind", "nodes", "edges"])?;
             let n =
                 small_usize("nodes")?.ok_or_else(|| invalid("instance", "missing node count"))?;
-            let endpoints = edges()?;
+            let (endpoints, fast) = edges()?;
             // from_endpoints panics on out-of-range ids; validate first so
             // malformed frames stay typed errors
             for &(a, b) in &endpoints {
@@ -537,7 +709,10 @@ fn parse_instance(raw: &str) -> Result<Instance, ApiError> {
                     ));
                 }
             }
-            Ok(Instance::Multi(MultiGraph::from_endpoints(n, endpoints)))
+            Ok((
+                Instance::Multi(MultiGraph::from_endpoints(n, endpoints)),
+                fast,
+            ))
         }
         other => Err(invalid(
             "instance",
@@ -555,7 +730,23 @@ fn parse_instance(raw: &str) -> Result<Instance, ApiError> {
 ///
 /// [`ApiError::InvalidRequest`] describing the first offending field.
 pub fn parse_request(line: &str) -> Result<(Envelope, Request), ApiError> {
-    let envelope = match scan_envelope(line)? {
+    parse_request_traced(line).map(|(envelope, request, _)| (envelope, request))
+}
+
+/// [`parse_request`] plus the zero-copy tracing bit of
+/// [`parse_instance_traced`]: `true` when the fast edge scanner served
+/// the instance, `false` when the strict fallback ran. The worker loop
+/// uses this to maintain the fast-path fallback counter.
+///
+/// # Errors
+///
+/// As [`parse_request`]. Handle-form frames are an error here: the
+/// handle table lives in the server, which resolves handles at
+/// admission and enqueues an already-typed request.
+pub fn parse_request_traced(line: &str) -> Result<(Envelope, Request, bool), ApiError> {
+    let fields = json::scan_top_level(line)
+        .map_err(|e| invalid("frame", format!("not a JSON object: {e}")))?;
+    let envelope = match classify_frame(&fields)? {
         ClientFrame::Request(envelope) => envelope,
         other => {
             return Err(invalid(
@@ -564,12 +755,109 @@ pub fn parse_request(line: &str) -> Result<(Envelope, Request), ApiError> {
             ))
         }
     };
-    let fields = json::scan_top_level(line).expect("validated by scan_envelope");
+    if envelope.handle.is_some() {
+        return Err(invalid(
+            "handle",
+            "instance handles are resolved by the server at admission; \
+             this parser needs an inline instance",
+        ));
+    }
     let get = |key: &str| fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
-    let problem = parse_problem(get("problem").expect("checked by scan_envelope"))?;
-    let instance = parse_instance(get("instance").expect("checked by scan_envelope"))?;
-    let mut request = Request::new(problem, instance);
-    match field_str(&fields, "determinism")?.as_deref() {
+    let problem = parse_problem(get("problem").expect("checked by classify_frame"))?;
+    let (instance, fast) =
+        parse_instance_traced(get("instance").expect("checked by classify_frame"))?;
+    let request = apply_policy_fields(&fields, &envelope, Request::new(problem, instance))?;
+    Ok((envelope, request, fast))
+}
+
+/// [`parse_request_traced`] fed by the ingest thread's [`PreScan`]: no
+/// byte of the line is re-scanned — the field slices are restored from
+/// the recorded ranges and the edge list was already parsed by the
+/// fused fast grammar (so `fast` is `true` by construction). Falls back
+/// to the full parse if the ranges do not reslice cleanly (they always
+/// do for a prescan built from the same line content).
+///
+/// # Errors
+///
+/// As [`parse_request_traced`] — the prescan carries no validation the
+/// full parse would not redo identically.
+pub fn parse_request_prescanned(
+    line: &str,
+    pre: PreScan,
+) -> Result<(Envelope, Request, bool), ApiError> {
+    let reslice = |ranges: &[(std::ops::Range<usize>, std::ops::Range<usize>)]| {
+        ranges
+            .iter()
+            .map(|(k, v)| Some((line.get(k.clone())?, line.get(v.clone())?)))
+            .collect::<Option<Vec<(&str, &str)>>>()
+    };
+    let (Some(fields), Some(instance_fields)) =
+        (reslice(&pre.fields), reslice(&pre.instance_fields))
+    else {
+        return parse_request_traced(line);
+    };
+    let envelope = match classify_frame(&fields)? {
+        ClientFrame::Request(envelope) => envelope,
+        other => {
+            return Err(invalid(
+                "type",
+                format!("expected a request frame, got {other:?}"),
+            ))
+        }
+    };
+    let get = |key: &str| fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+    let problem = parse_problem(get("problem").expect("checked by classify_frame"))?;
+    let raw = get("instance").expect("checked by classify_frame");
+    let (instance, fast) = parse_instance_from_parts(raw, &instance_fields, Some(pre.edge_pairs))?;
+    let request = apply_policy_fields(&fields, &envelope, Request::new(problem, instance))?;
+    Ok((envelope, request, fast))
+}
+
+/// Parses a handle-form `request` frame against its already-resolved
+/// shared instance: everything [`parse_request`] does, except that the
+/// instance comes from the server's handle table (structurally shared,
+/// no per-request graph allocation) instead of the frame body.
+///
+/// # Errors
+///
+/// [`ApiError::InvalidRequest`] for frames that are not handle-form
+/// requests or whose policy fields are malformed.
+pub fn parse_request_with_instance(
+    line: &str,
+    instance: std::sync::Arc<Instance>,
+) -> Result<(Envelope, Request), ApiError> {
+    let fields = json::scan_top_level(line)
+        .map_err(|e| invalid("frame", format!("not a JSON object: {e}")))?;
+    let envelope = match classify_frame(&fields)? {
+        ClientFrame::Request(envelope) => envelope,
+        other => {
+            return Err(invalid(
+                "type",
+                format!("expected a request frame, got {other:?}"),
+            ))
+        }
+    };
+    if envelope.handle.is_none() {
+        return Err(invalid(
+            "handle",
+            "this frame carries an inline instance; use parse_request",
+        ));
+    }
+    let get = |key: &str| fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+    let problem = parse_problem(get("problem").expect("checked by classify_frame"))?;
+    let request = apply_policy_fields(&fields, &envelope, Request::from_shared(problem, instance))?;
+    Ok((envelope, request))
+}
+
+/// Applies the policy tail of a request frame — determinism, seed,
+/// pipeline override, budget — shared by the inline and handle-form
+/// parsers.
+fn apply_policy_fields(
+    fields: &[(&str, &str)],
+    envelope: &Envelope,
+    mut request: Request,
+) -> Result<Request, ApiError> {
+    match field_str(fields, "determinism")?.as_deref() {
         None => {}
         Some("deterministic") => request = request.deterministic(),
         Some("randomized") => request = request.randomized(),
@@ -580,13 +868,13 @@ pub fn parse_request(line: &str) -> Result<(Envelope, Request), ApiError> {
             ))
         }
     }
-    if let Some(n) = field_number(&fields, "seed")? {
+    if let Some(n) = field_number(fields, "seed")? {
         let seed = n
             .as_u64()
             .ok_or_else(|| invalid("seed", "must be an unsigned 64-bit integer"))?;
         request = request.seed(seed);
     }
-    if let Some(name) = field_str(&fields, "force_pipeline")? {
+    if let Some(name) = field_str(fields, "force_pipeline")? {
         let pipeline = [
             Pipeline::Theorem27,
             Pipeline::Theorem25,
@@ -605,10 +893,10 @@ pub fn parse_request(line: &str) -> Result<(Envelope, Request), ApiError> {
         })?;
         request = request.force_pipeline(pipeline);
     }
-    if let Some(n) = field_number(&fields, "max_rounds")? {
+    if let Some(n) = field_number(fields, "max_rounds")? {
         request = request.max_rounds(n.as_f64());
     }
-    if let Some(n) = field_number(&fields, "attempts")? {
+    if let Some(n) = field_number(fields, "attempts")? {
         let attempts = n
             .as_usize()
             .ok_or_else(|| invalid("attempts", "must be a non-negative integer"))?;
@@ -617,7 +905,7 @@ pub fn parse_request(line: &str) -> Result<(Envelope, Request), ApiError> {
     if let Some(ms) = envelope.deadline_ms {
         request = request.deadline_ms(ms);
     }
-    Ok((envelope, request))
+    Ok(request)
 }
 
 // ------------------------------------------------------ request rendering
@@ -776,28 +1064,76 @@ pub fn render_request_with_key(
     obj.finish()
 }
 
-/// 128-bit structural fingerprint of a request's *content* — exactly
-/// the fields [`render_request`] serializes, minus the envelope (id,
-/// priority, idempotency key). Two requests with equal fingerprints
-/// render byte-identical canonical payloads, which is what lets the
-/// write-ahead journal intern one payload blob for many admissions
-/// without paying for a JSON rendering per admission (see
-/// [`crate::journal`]).
-///
-/// The hash is a fast non-cryptographic content address in its own
-/// domain ([`crate::journal::DOMAIN_REQUEST`]); the journal trusts its
-/// in-process writers, so the bar is accidental collisions, not
-/// adversarial ones.
-pub fn request_fingerprint(request: &Request) -> crate::journal::PayloadHash {
-    use crate::journal;
-    let mut h = journal::PayloadHasher::new(journal::DOMAIN_REQUEST);
+/// Renders a `request` frame that references an interned instance by
+/// handle instead of carrying it inline — the upload-once/solve-many
+/// client encoder. The request's own instance is *not* serialized; the
+/// server resolves `handle` against its table at admission.
+pub fn render_request_with_handle(
+    id: &str,
+    priority: Priority,
+    handle: &str,
+    request: &Request,
+) -> String {
+    let problem = render_problem(request.problem());
+    let mut obj = JsonObject::new();
+    obj.uint("v", PROTOCOL_VERSION)
+        .string("type", "request")
+        .string("id", id)
+        .string("priority", priority.name())
+        .raw("problem", &problem)
+        .string("handle", handle)
+        .string("determinism", request.determinism().name())
+        .uint("seed", request.master_seed());
+    if let Some(p) = request.pipeline_override() {
+        obj.string("force_pipeline", p.name());
+    }
+    if let Some(r) = request.budget().max_rounds {
+        obj.float("max_rounds", r);
+    }
+    if let Some(a) = request.budget().attempts {
+        obj.uint("attempts", a as u64);
+    }
+    if let Some(ms) = request.budget().deadline_ms {
+        obj.uint("deadline_ms", ms);
+    }
+    obj.finish()
+}
+
+/// Renders an `upload` frame interning `instance` server-side. The
+/// reply is an `uploaded` frame carrying the handle.
+pub fn render_upload(id: &str, instance: &Instance) -> String {
+    let body = render_instance(instance);
+    let mut obj = JsonObject::new();
+    obj.uint("v", PROTOCOL_VERSION)
+        .string("type", "upload")
+        .string("id", id)
+        .raw("instance", &body);
+    obj.finish()
+}
+
+/// Renders a `release` frame dropping an interned instance.
+pub fn render_release(id: &str, handle: &str) -> String {
+    let mut obj = JsonObject::new();
+    obj.uint("v", PROTOCOL_VERSION)
+        .string("type", "release")
+        .string("id", id)
+        .string("handle", handle);
+    obj.finish()
+}
+
+/// Feeds an instance's structural content into a hasher: a kind/shape
+/// tag word followed by the packed edge list. Shared by
+/// [`request_fingerprint`] (journal payload interning) and
+/// [`instance_fingerprint`] (instance handles), which differ only in
+/// their domain tags.
+fn hash_instance(h: &mut crate::journal::PayloadHasher, instance: &Instance) {
     // an edge fits one word in any graph that fits in memory; the
     // packing cannot alias across edges because positions line up
     let mut edge = |(u, v): (usize, usize)| {
         debug_assert!(u >> 32 == 0 && v >> 32 == 0, "node id exceeds 32 bits");
         h.word(((u as u64) << 32) | (v as u64 & 0xFFFF_FFFF));
     };
-    match request.instance() {
+    match instance {
         Instance::Bipartite(b) => {
             edge((b.left_count(), b.right_count()));
             b.edges().for_each(&mut edge);
@@ -813,6 +1149,69 @@ pub fn request_fingerprint(request: &Request) -> crate::journal::PayloadHash {
                 .for_each(&mut edge);
         }
     }
+}
+
+/// 128-bit structural fingerprint of an instance's *content* — exactly
+/// what [`render_request`] serializes as the `"instance"` object. Two
+/// instances with equal fingerprints render byte-identical canonical
+/// encodings; the hex rendering of this hash ([`render_handle`]) **is**
+/// the wire-level instance handle, so re-uploading an instance is
+/// idempotent by construction. Hashed in its own domain
+/// ([`crate::journal::DOMAIN_INSTANCE`]) so handles can never alias
+/// journal payload fingerprints.
+pub fn instance_fingerprint(instance: &Instance) -> crate::journal::PayloadHash {
+    use crate::journal;
+    let mut h = journal::PayloadHasher::new(journal::DOMAIN_INSTANCE);
+    hash_instance(&mut h, instance);
+    h.finish()
+}
+
+/// Encodes an instance fingerprint as the 32-digit lowercase-hex wire
+/// handle string. [`parse_handle`] inverts it exactly.
+pub fn render_handle(hash: crate::journal::PayloadHash) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(32);
+    for b in hash {
+        write!(s, "{b:02x}").expect("writing hex to a String cannot fail");
+    }
+    s
+}
+
+/// Decodes a wire handle back into the fingerprint it names. `None`
+/// unless the string is exactly 32 lowercase hex digits.
+pub fn parse_handle(s: &str) -> Option<crate::journal::PayloadHash> {
+    let bytes = s.as_bytes();
+    if bytes.len() != 32 {
+        return None;
+    }
+    let nib = |b: u8| match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        _ => None,
+    };
+    let mut hash = [0u8; 16];
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        hash[i] = nib(pair[0])? * 16 + nib(pair[1])?;
+    }
+    Some(hash)
+}
+
+/// 128-bit structural fingerprint of a request's *content* — exactly
+/// the fields [`render_request`] serializes, minus the envelope (id,
+/// priority, idempotency key). Two requests with equal fingerprints
+/// render byte-identical canonical payloads, which is what lets the
+/// write-ahead journal intern one payload blob for many admissions
+/// without paying for a JSON rendering per admission (see
+/// [`crate::journal`]).
+///
+/// The hash is a fast non-cryptographic content address in its own
+/// domain ([`crate::journal::DOMAIN_REQUEST`]); the journal trusts its
+/// in-process writers, so the bar is accidental collisions, not
+/// adversarial ones.
+pub fn request_fingerprint(request: &Request) -> crate::journal::PayloadHash {
+    use crate::journal;
+    let mut h = journal::PayloadHasher::new(journal::DOMAIN_REQUEST);
+    hash_instance(&mut h, request.instance());
     // every problem field the renderer serializes, with presence tags
     // for the optional ones; the variant name separates the variants
     let problem = request.problem();
@@ -954,6 +1353,58 @@ pub fn replayed_frame(solution: bool, id: &str, seq: u64, payload: &str) -> Stri
     reply_frame(key, id, seq, None, true, key, payload)
 }
 
+/// Renders the payload of an `uploaded` reply: the handle, the interned
+/// instance's shape (so the client can sanity-check what the server
+/// holds), and the table size after interning.
+pub fn uploaded_payload(handle: &str, instance: &Instance, held: usize) -> String {
+    let mut obj = JsonObject::new();
+    obj.string("event", "uploaded").string("handle", handle);
+    match instance {
+        Instance::Bipartite(b) => {
+            obj.string("kind", "bipartite")
+                .uint("left", b.left_count() as u64)
+                .uint("right", b.right_count() as u64)
+                .uint("edges", b.edges().count() as u64);
+        }
+        Instance::Host(g) => {
+            obj.string("kind", "host")
+                .uint("nodes", g.node_count() as u64)
+                .uint("edges", g.edge_count() as u64);
+        }
+        Instance::Multi(g) => {
+            obj.string("kind", "multigraph")
+                .uint("nodes", g.node_count() as u64)
+                .uint("edges", g.edge_count() as u64);
+        }
+    }
+    obj.uint("held", held as u64);
+    obj.finish()
+}
+
+/// Renders the payload of a `released` reply: the dropped handle and
+/// the table size after the drop.
+pub fn released_payload(handle: &str, held: usize) -> String {
+    let mut obj = JsonObject::new();
+    obj.string("event", "released")
+        .string("handle", handle)
+        .uint("held", held as u64);
+    obj.finish()
+}
+
+/// Assembles an `uploaded` reply frame around a rendered
+/// [`uploaded_payload`] (embedded verbatim, last field like every reply
+/// payload). Timings are omitted — interning happens at ingest, nothing
+/// is queued or solved.
+pub fn uploaded_frame(id: &str, seq: u64, payload: &str) -> String {
+    reply_frame("uploaded", id, seq, None, false, "uploaded", payload)
+}
+
+/// Assembles a `released` reply frame around a rendered
+/// [`released_payload`].
+pub fn released_frame(id: &str, seq: u64, payload: &str) -> String {
+    reply_frame("released", id, seq, None, false, "released", payload)
+}
+
 /// A point-in-time service snapshot, reported on heartbeat frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
@@ -982,6 +1433,13 @@ pub struct StatsSnapshot {
     pub journal_bytes: u64,
     /// Incomplete jobs recovered from the journal at startup.
     pub journal_recovered: u64,
+    /// Instance edge lists that fell off the zero-copy fast scanner
+    /// onto the strict fallback parser. Canonical encodings never fall
+    /// back, so a non-zero value means a client is sending exotic (but
+    /// valid) edge spellings — the bench smoke job fails on it.
+    pub parse_fallbacks: u64,
+    /// Instances currently interned in the upload-handle table.
+    pub handles_held: u64,
 }
 
 /// Assembles a `heartbeat` reply frame.
@@ -1002,7 +1460,9 @@ pub fn heartbeat_frame(id: &str, seq: u64, stats: StatsSnapshot) -> String {
         .uint("replayed", stats.replayed)
         .uint("journal_appended", stats.journal_appended)
         .uint("journal_bytes", stats.journal_bytes)
-        .uint("journal_recovered", stats.journal_recovered);
+        .uint("journal_recovered", stats.journal_recovered)
+        .uint("parse_fallbacks", stats.parse_fallbacks)
+        .uint("handles_held", stats.handles_held);
     obj.finish()
 }
 
@@ -1069,6 +1529,8 @@ pub fn split_reply(frame: &str) -> Option<Reply<'_>> {
     let payload = match frame_type.as_str() {
         "solution" => Some(get("solution")?),
         "error" => Some(get("error")?),
+        "uploaded" => Some(get("uploaded")?),
+        "released" => Some(get("released")?),
         "heartbeat" => None,
         _ => return None,
     };
@@ -1099,6 +1561,7 @@ mod tests {
                 priority: Priority::High,
                 deadline_ms: None,
                 idempotency_key: None,
+                handle: None,
             })
         );
         assert_eq!(
@@ -1467,5 +1930,210 @@ mod tests {
         assert!(
             split_reply(r#"{"v":2,"type":"solution","id":"x","seq":0,"solution":{}}"#).is_none()
         );
+    }
+
+    #[test]
+    fn handles_roundtrip_through_render_and_parse() {
+        let g = generators::cycle(6).unwrap();
+        let hash = instance_fingerprint(&Instance::from(g));
+        let handle = render_handle(hash);
+        assert_eq!(handle.len(), 32);
+        assert!(handle
+            .bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()));
+        assert_eq!(parse_handle(&handle), Some(hash));
+        // rejects: wrong length, uppercase, non-hex
+        assert_eq!(parse_handle(&handle[1..]), None);
+        assert_eq!(parse_handle(&handle.to_uppercase()), None);
+        assert_eq!(parse_handle(&format!("{}g", &handle[..31])), None);
+    }
+
+    #[test]
+    fn instance_fingerprints_separate_structure_and_domain() {
+        let g = generators::cycle(6).unwrap();
+        let g2 = generators::cycle(7).unwrap();
+        let a = instance_fingerprint(&Instance::from(g.clone()));
+        assert_eq!(a, instance_fingerprint(&Instance::from(g.clone())));
+        assert_ne!(a, instance_fingerprint(&Instance::from(g2)));
+        // the instance domain must not collide with the request domain
+        // over the same underlying graph content
+        let request = Request::new(Problem::Mis { base_degree: None }, g);
+        assert_ne!(a, request_fingerprint(&request));
+    }
+
+    #[test]
+    fn handle_requests_scan_and_render_consistently() {
+        let g = generators::cycle(6).unwrap();
+        let request = Request::new(Problem::Mis { base_degree: None }, g).seed(3);
+        let handle = render_handle(instance_fingerprint(request.instance()));
+        let line = render_request_with_handle("h1", Priority::Normal, &handle, &request);
+        match scan_envelope(&line).unwrap() {
+            ClientFrame::Request(envelope) => {
+                assert_eq!(envelope.id, "h1");
+                assert_eq!(envelope.handle.as_deref(), Some(handle.as_str()));
+            }
+            other => panic!("expected a request frame, got {other:?}"),
+        }
+        // the inline-only parser refuses handle frames with a typed error
+        let err = parse_request(&line).unwrap_err();
+        assert_eq!(err.kind(), "invalid-request");
+        assert!(err.to_string().contains("handle"), "{err}");
+        // the resolved-instance parser reconstructs the same request
+        let shared = std::sync::Arc::new(request.instance().clone());
+        let (envelope, parsed) = parse_request_with_instance(&line, shared).unwrap();
+        assert_eq!(envelope.id, "h1");
+        assert_eq!(parsed, request);
+        // and refuses inline frames, pointing callers at parse_request
+        let inline = render_request("h1", Priority::Normal, &request);
+        let shared = std::sync::Arc::new(request.instance().clone());
+        let err = parse_request_with_instance(&inline, shared).unwrap_err();
+        assert!(err.to_string().contains("inline"), "{err}");
+    }
+
+    #[test]
+    fn upload_and_release_frames_classify_and_reject() {
+        let g = generators::cycle(6).unwrap();
+        let instance = Instance::from(g);
+        let upload = render_upload("u1", &instance);
+        assert_eq!(
+            scan_envelope(&upload).unwrap(),
+            ClientFrame::Upload { id: "u1".into() }
+        );
+        let handle = render_handle(instance_fingerprint(&instance));
+        let release = render_release("u2", &handle);
+        assert_eq!(
+            scan_envelope(&release).unwrap(),
+            ClientFrame::Release {
+                id: "u2".into(),
+                handle: handle.clone(),
+            }
+        );
+        for (line, field) in [
+            // a request may not carry both an inline instance and a handle
+            (
+                format!(
+                    r#"{{"v":1,"type":"request","id":"x","problem":{{"name":"mis"}},"handle":"{handle}","instance":{{"kind":"host","nodes":1,"edges":[]}}}}"#
+                ),
+                "instance",
+            ),
+            // ... and must carry at least one of them
+            (
+                r#"{"v":1,"type":"request","id":"x","problem":{"name":"mis"}}"#.to_owned(),
+                "instance",
+            ),
+            // malformed handle strings are typed errors, not lookups
+            (
+                r#"{"v":1,"type":"request","id":"x","problem":{"name":"mis"},"handle":"nope"}"#
+                    .to_owned(),
+                "handle",
+            ),
+            (r#"{"v":1,"type":"upload","id":"x"}"#.to_owned(), "instance"),
+            (r#"{"v":1,"type":"release","id":"x"}"#.to_owned(), "handle"),
+            (
+                r#"{"v":1,"type":"release","id":"x","handle":"XYZ"}"#.to_owned(),
+                "handle",
+            ),
+            (
+                format!(r#"{{"v":1,"type":"upload","id":"x","handle":"{handle}"}}"#),
+                "frame",
+            ),
+        ] {
+            match scan_envelope(&line) {
+                Err(ApiError::InvalidRequest { field: f, .. }) => {
+                    assert_eq!(f, field, "line {line}")
+                }
+                other => panic!("{line}: expected invalid-request on {field}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn uploaded_and_released_frames_keep_the_payload_last() {
+        let g = generators::cycle(6).unwrap();
+        let instance = Instance::from(g);
+        let handle = render_handle(instance_fingerprint(&instance));
+        let payload = uploaded_payload(&handle, &instance, 1);
+        assert!(
+            payload.starts_with(r#"{"event":"uploaded","handle":""#),
+            "{payload}"
+        );
+        assert!(payload.ends_with(r#","held":1}"#), "{payload}");
+        let frame = uploaded_frame("u1", 3, &payload);
+        assert!(
+            frame.ends_with(&format!(r#","uploaded":{payload}}}"#)),
+            "{frame}"
+        );
+        let reply = split_reply(&frame).unwrap();
+        assert_eq!(reply.frame_type, "uploaded");
+        assert_eq!(reply.id, "u1");
+        assert_eq!(reply.seq, 3);
+        assert_eq!(reply.payload, Some(payload.as_str()));
+
+        let payload = released_payload(&handle, 0);
+        assert_eq!(
+            payload,
+            format!(r#"{{"event":"released","handle":"{handle}","held":0}}"#)
+        );
+        let frame = released_frame("u2", 4, &payload);
+        let reply = split_reply(&frame).unwrap();
+        assert_eq!(reply.frame_type, "released");
+        assert_eq!(reply.payload, Some(payload.as_str()));
+    }
+
+    // Satellite bugfix pin: edge errors deep inside an instance object
+    // must report offsets relative to the whole instance text, not the
+    // inner edges slice the parser happens to re-scan.
+    #[test]
+    fn edge_errors_report_offsets_into_the_instance_text() {
+        let raw = r#"{"kind":"host","nodes":4,"edges":[[0,1],[1,x]]}"#;
+        let err = parse_instance_traced(raw).unwrap_err();
+        let expected = raw.find('x').unwrap();
+        assert!(
+            err.to_string().contains(&format!("at byte {expected}")),
+            "expected offset {expected} in: {err}"
+        );
+        // canonical encodings ride the fast scanner; exotic-but-valid
+        // ones fall back but still parse
+        let (_, fast) =
+            parse_instance_traced(r#"{"kind":"host","nodes":4,"edges":[[0,1],[1,2]]}"#).unwrap();
+        assert!(fast);
+        let (_, slow) =
+            parse_instance_traced(r#"{"kind":"host","nodes":4,"edges":[[0,1],[1,2.0]]}"#).unwrap();
+        assert!(!slow);
+    }
+
+    #[test]
+    fn prescanned_requests_parse_identically_without_rescanning() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let b = generators::random_biregular(8, 8, 4, &mut rng).unwrap();
+        let request = Request::new(Problem::weak_splitting(), b).seed(9);
+        let line = render_request("pre", Priority::High, &request);
+        let (frame, prescan) = scan_envelope_prescanned(&line).unwrap();
+        assert_eq!(frame, scan_envelope(&line).unwrap());
+        let prescan = prescan.expect("canonical inline request must prescan");
+        // the job stores a copy of the line; ranges must survive it
+        let copied = line.clone();
+        let (env_pre, req_pre, fast_pre) = parse_request_prescanned(&copied, prescan).unwrap();
+        let (env_full, req_full, fast_full) = parse_request_traced(&line).unwrap();
+        assert_eq!(env_pre, env_full);
+        assert!(fast_pre && fast_full);
+        assert_eq!(
+            request_fingerprint(&req_pre),
+            request_fingerprint(&req_full)
+        );
+
+        // exotic edge spellings, handle-form requests, and non-request
+        // frames never carry a prescan — those paths re-parse as before
+        let exotic = r#"{"v":1,"type":"request","id":"x","problem":{"name":"weak_splitting"},"instance":{"kind":"host","nodes":4,"edges":[[0,1],[1,2.0]]}}"#;
+        let (_, none) = scan_envelope_prescanned(exotic).unwrap();
+        assert!(none.is_none(), "exotic spelling must not prescan");
+        let (instance, _) =
+            parse_instance_traced(r#"{"kind":"host","nodes":2,"edges":[[0,1]]}"#).unwrap();
+        let handle = render_handle(instance_fingerprint(&instance));
+        let with_handle = render_request_with_handle("pre", Priority::Normal, &handle, &request);
+        let (_, none) = scan_envelope_prescanned(&with_handle).unwrap();
+        assert!(none.is_none(), "handle-form requests must not prescan");
+        let (_, none) = scan_envelope_prescanned(r#"{"v":1,"type":"ping","id":"p"}"#).unwrap();
+        assert!(none.is_none(), "pings must not prescan");
     }
 }

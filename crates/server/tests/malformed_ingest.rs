@@ -135,6 +135,45 @@ fn hostile_lines() -> Vec<(&'static str, String)> {
                 "y".repeat(8000)
             ),
         ),
+        (
+            // the error offset must index into the instance text (pinned
+            // precisely in wire's offset-consistency unit test); here we
+            // assert the frame is the usual typed error
+            "malformed edge deep in a long array",
+            r#"{"v":1,"type":"request","id":"x","problem":{"name":"mis"},"instance":{"kind":"host","nodes":9,"edges":[[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,]]}}"#.into(),
+        ),
+        (
+            "request with both inline instance and handle",
+            r#"{"v":1,"type":"request","id":"x","problem":{"name":"mis"},"handle":"00000000000000000000000000000000","instance":{"kind":"host","nodes":1,"edges":[]}}"#.into(),
+        ),
+        (
+            "request with neither instance nor handle",
+            r#"{"v":1,"type":"request","id":"x","problem":{"name":"mis"}}"#.into(),
+        ),
+        (
+            "malformed handle string",
+            r#"{"v":1,"type":"request","id":"x","problem":{"name":"mis"},"handle":"BEEF"}"#.into(),
+        ),
+        (
+            "handle nobody uploaded",
+            r#"{"v":1,"type":"request","id":"x","problem":{"name":"mis"},"handle":"00000000000000000000000000000000"}"#.into(),
+        ),
+        (
+            "upload without an instance",
+            r#"{"v":1,"type":"upload","id":"x"}"#.into(),
+        ),
+        (
+            "upload with a malformed instance",
+            r#"{"v":1,"type":"upload","id":"x","instance":{"kind":"host","nodes":2,"edges":[[0,5]]}}"#.into(),
+        ),
+        (
+            "release without a handle",
+            r#"{"v":1,"type":"release","id":"x"}"#.into(),
+        ),
+        (
+            "release of a handle nobody holds",
+            r#"{"v":1,"type":"release","id":"x","handle":"00000000000000000000000000000000"}"#.into(),
+        ),
     ];
     for t in truncated {
         table.push(("truncated request", t));
@@ -255,5 +294,120 @@ fn hostile_client_does_not_disturb_other_connections() {
         let frame = hostile_replies.next().unwrap().unwrap();
         let parsed = split_reply(&frame).expect(&frame);
         assert_eq!(parsed.frame_type, "error");
+    }
+}
+
+/// Differential fuzzing of the zero-copy edge scanner against the strict
+/// parser: whatever bytes arrive, both must agree on accept vs reject,
+/// on the parsed pairs, and on the exact error (offset and reason).
+mod edge_scanner_differential {
+    use proptest::prelude::*;
+    use splitting_server::json;
+
+    fn assert_agreement(input: &str) {
+        let strict = json::parse_edge_pairs(input);
+        let scanned = json::scan_edge_pairs(input);
+        match (&strict, &scanned) {
+            (Ok(a), Ok((b, _fast))) => assert_eq!(a, b, "parsed pairs diverge on {input:?}"),
+            (Err(a), Err(b)) => assert_eq!(a, b, "errors diverge on {input:?}"),
+            _ => {
+                panic!("accept/reject diverges on {input:?}: strict={strict:?} scanned={scanned:?}")
+            }
+        }
+        assert_frame_scan_agreement(input);
+    }
+
+    /// The fused frame scan (ingest prescan path) must accept, reject,
+    /// and err byte-identically to the plain scanner with the edge text
+    /// embedded where it travels on the wire, and any pairs it captures
+    /// must match the strict parser's.
+    fn assert_frame_scan_agreement(edges: &str) {
+        let line = format!(
+            r#"{{"v":1,"type":"request","id":"d","problem":{{"name":"weak_splitting"}},"instance":{{"kind":"bipartite","left":4,"right":4,"edges":{edges}}}}}"#
+        );
+        let plain = json::scan_top_level(&line);
+        match json::scan_frame(&line) {
+            Ok(scan) => {
+                let plain = plain.expect("scan_frame accepted, scan_top_level rejected");
+                assert_eq!(scan.fields, plain, "fused fields diverge on {edges:?}");
+                if let Some(pairs) = &scan.edge_pairs {
+                    assert_eq!(
+                        &json::parse_edge_pairs(edges).expect("capture implies strict accept"),
+                        pairs,
+                        "captured pairs diverge on {edges:?}"
+                    );
+                    let instance = scan
+                        .fields
+                        .iter()
+                        .find(|(k, _)| *k == "instance")
+                        .expect("frame carries an instance")
+                        .1;
+                    assert_eq!(
+                        scan.instance_fields,
+                        Some(json::scan_top_level(instance).expect("instance scans")),
+                        "captured instance fields diverge on {edges:?}"
+                    );
+                }
+            }
+            Err(e) => {
+                let plain_err = plain.expect_err("scan_frame rejected, scan_top_level accepted");
+                assert_eq!(e, plain_err, "errors diverge on {edges:?}");
+            }
+        }
+    }
+
+    /// Every character class an edge encoding (or near-miss) can use:
+    /// digits, structure, whitespace, sign/float/exponent spellings, and
+    /// one outright illegal byte.
+    const ALPHABET: &[u8] = b"0123456789,[] -+.eEx";
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        // byte soup over the edge-list alphabet: mostly invalid inputs,
+        // exercising every early-bail branch of the fast scanner
+        #[test]
+        fn random_soup_agrees(
+            picks in proptest::collection::vec(0usize..ALPHABET.len(), 0..64)
+        ) {
+            let input: String = picks.iter().map(|&i| ALPHABET[i] as char).collect();
+            assert_agreement(&input);
+        }
+
+        // structurally valid edge lists with random whitespace, then a
+        // single-character substitution and deletion — near-valid inputs
+        // probe the boundary between the fast path and the fallback
+        #[test]
+        fn perturbed_edge_lists_agree(
+            (pairs, gaps, mutate, at, replacement) in (
+                proptest::collection::vec((0u64..1u64 << 40, 0u64..1u64 << 40), 0..24),
+                proptest::collection::vec(0usize..3, 1..16),
+                0usize..2,
+                0usize..4096,
+                0usize..ALPHABET.len(),
+            )
+        ) {
+            let mut encoded = String::from("[");
+            for (i, (u, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    encoded.push(',');
+                }
+                let pad = " ".repeat(gaps[i % gaps.len()]);
+                encoded.push_str(&format!("{pad}[{u},{pad}{v}]"));
+            }
+            encoded.push(']');
+            assert_agreement(&encoded);
+            if mutate == 1 {
+                let at = at % encoded.len();
+                let mut mutated: String = encoded
+                    .char_indices()
+                    .map(|(i, c)| if i == at { ALPHABET[replacement] as char } else { c })
+                    .collect();
+                assert_agreement(&mutated);
+                // and a deletion at the same spot
+                mutated.remove(at);
+                assert_agreement(&mutated);
+            }
+        }
     }
 }

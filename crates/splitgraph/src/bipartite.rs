@@ -87,21 +87,40 @@ impl BipartiteGraph {
                 });
             }
         }
-        let mut b = BipartiteGraph::new(left_count, right_count);
+        // degree prepass so every row is allocated exactly once — the
+        // incremental `push` growth pattern costs several reallocations
+        // per row, which dominates build time on parse-heavy paths
+        let mut left_deg = vec![0usize; left_count];
+        let mut right_deg = vec![0usize; right_count];
+        for &(u, v) in edges {
+            left_deg[u] += 1;
+            right_deg[v] += 1;
+        }
+        let mut b = BipartiteGraph {
+            adj_left: left_deg.iter().map(|&d| Vec::with_capacity(d)).collect(),
+            adj_right: right_deg.iter().map(|&d| Vec::with_capacity(d)).collect(),
+            edge_count: edges.len(),
+        };
         for &(u, v) in edges {
             b.adj_left[u].push(v);
             b.adj_right[v].push(u);
         }
+        // canonical encodings list edges in adjacency order, so the rows
+        // usually arrive sorted — checking is one linear pass, far
+        // cheaper than re-sorting every row
         for (u, row) in b.adj_left.iter_mut().enumerate() {
-            row.sort_unstable();
+            if !row.is_sorted() {
+                row.sort_unstable();
+            }
             if let Some(w) = row.windows(2).find(|w| w[0] == w[1]) {
                 return Err(GraphError::DuplicateEdge { u, v: w[0] });
             }
         }
         for row in &mut b.adj_right {
-            row.sort_unstable();
+            if !row.is_sorted() {
+                row.sort_unstable();
+            }
         }
-        b.edge_count = edges.len();
         Ok(b)
     }
 
