@@ -16,6 +16,9 @@
 //!   parameters + why), and the round ledger;
 //! * [`Session`] — solves single requests or parallel batches over
 //!   scoped worker threads, returning results in request order;
+//! * [`Session::hold`] / [`HeldSolution`] — the churn surface: hold an
+//!   instance, stream [`splitgraph::EdgeDelta`] batches into it, and get
+//!   back incrementally repaired (still fully certified) solutions;
 //! * [`ApiError`] — the closed error taxonomy of the boundary.
 //!
 //! Solutions are **verified before they are returned**: a session never
@@ -51,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 mod error;
+mod hold;
 mod problem;
 pub mod render;
 mod request;
@@ -58,6 +62,7 @@ mod session;
 mod solution;
 
 pub use error::ApiError;
+pub use hold::{ChurnStats, HeldSolution, DEFAULT_REFIX_THRESHOLD};
 pub use problem::{Instance, Output, Problem};
 pub use request::{Budget, Determinism, Request, DEFAULT_SEED};
 pub use session::{solve, Session};

@@ -1,0 +1,16 @@
+//! Experiment `churn` — incremental re-splitting of a held solution
+//! under seeded edge-mutation streams versus re-solving the patched
+//! instance from scratch, per churn style. `--quick` shrinks the
+//! instance and stream; `--json <path>` additionally emits the
+//! machine-readable `BENCH_churn.json` report.
+fn main() {
+    let quick = splitting_bench::quick_flag();
+    let (tables, report) = splitting_bench::run_churn_perf(quick);
+    for t in &tables {
+        t.print();
+    }
+    if let Some(path) = splitting_bench::json_path_flag() {
+        std::fs::write(&path, report.to_json()).expect("write --json output");
+        eprintln!("wrote {path}");
+    }
+}

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 
 mod api_perf;
+mod churn_perf;
 mod exp_ablations;
 mod exp_conformance;
 mod exp_fig1;
@@ -25,6 +26,7 @@ mod substrate_perf;
 mod table;
 
 pub use api_perf::{run_api_perf, ApiRecord, ApiReport};
+pub use churn_perf::{run_churn_perf, ChurnRecord, ChurnReport};
 pub use exp_ablations::{exp_abl_engine, exp_abl_eps, exp_abl_shatter};
 pub use exp_conformance::exp_conformance;
 pub use exp_fig1::{exp_fig1, exp_thm210};

@@ -63,11 +63,20 @@ pub enum Group {
     /// cache instead of re-solving, and corrupt or torn journal images
     /// recover cleanly to the last valid record.
     Recovery,
+    /// Incremental re-splitting under churn: seeded grow/shrink/rewire
+    /// mutation streams driven through `Session::hold` /
+    /// `HeldSolution::apply`, asserting every repaired solution's
+    /// certificate re-verifies against the patched instance, repair and
+    /// from-scratch solves agree on accept/decline at every step, the
+    /// full stream applied up front reproduces the final instance
+    /// bit-for-bit, and the server's `mutate` path answers
+    /// byte-identically to the direct hold → apply path.
+    Churn,
 }
 
 impl Group {
     /// Every group, in matrix-column order.
-    pub const ALL: [Group; 10] = [
+    pub const ALL: [Group; 11] = [
         Group::Solver,
         Group::Theorems,
         Group::Multicolor,
@@ -78,6 +87,7 @@ impl Group {
         Group::Server,
         Group::Chaos,
         Group::Recovery,
+        Group::Churn,
     ];
 
     /// Stable display/selector name.
@@ -93,6 +103,7 @@ impl Group {
             Group::Server => "server",
             Group::Chaos => "chaos",
             Group::Recovery => "recovery",
+            Group::Churn => "churn",
         }
     }
 
@@ -262,6 +273,7 @@ pub fn run_cell(s: &Scenario, group: Group) -> CellReport {
         Group::Server => check_server(&mut ctx),
         Group::Chaos => check_chaos(&mut ctx),
         Group::Recovery => check_recovery(&mut ctx),
+        Group::Churn => check_churn(&mut ctx),
     }
     ctx.into_cell()
 }
@@ -2079,6 +2091,243 @@ fn check_recovery(ctx: &mut Ctx<'_>) {
         },
     );
     let _ = std::fs::remove_file(&path);
+}
+
+// ----------------------------------------------------------------- churn
+
+fn check_churn(ctx: &mut Ctx<'_>) {
+    use splitgraph::delta::{random_delta, ChurnStyle, EdgeDelta};
+    use splitting_api::{HeldSolution, Instance, Problem, Request, Session};
+
+    let s = ctx.scenario;
+    let b = &s.bipartite;
+    if b.left_count() == 0 || b.right_count() == 0 || b.edge_count() == 0 {
+        return;
+    }
+    // CI sweeps extra mutation streams by exporting
+    // CONFORMANCE_CHURN_SEED; the default stream is keyed from the
+    // scenario seed so a failing cell replays bit-identically
+    let sweep = std::env::var("CONFORMANCE_CHURN_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(s.seed);
+    let session = Session::with_threads(1);
+    let request = Request::new(
+        Problem::WeakSplitting {
+            thm12_constant: s.thm12_constant,
+        },
+        b.clone(),
+    )
+    .deterministic()
+    .seed(s.seed);
+
+    let scratch = match (session.hold(&request), session.solve(&request)) {
+        (Err(held_err), Err(solve_err)) => {
+            // negative regimes: hold must decline with the same typed
+            // error the one-shot path reports — nothing to churn
+            ctx.check(
+                "churn.decline-typed",
+                held_err.kind() == solve_err.kind(),
+                || format!("hold declined with {held_err}, solve with {solve_err}"),
+            );
+            return;
+        }
+        (held, solve) => {
+            ctx.check(
+                "churn.hold-agrees-with-solve",
+                held.is_ok() && solve.is_ok(),
+                || {
+                    format!(
+                        "hold {:?} vs solve {:?} disagree about solvability",
+                        held.as_ref().err().map(splitting_api::ApiError::kind),
+                        solve.as_ref().err().map(splitting_api::ApiError::kind),
+                    )
+                },
+            );
+            let Ok(solution) = solve else { return };
+            solution
+        }
+    };
+
+    // one seeded mutation stream per churn style, each starting from an
+    // adopted copy of the same from-scratch solution
+    const STEPS: usize = 3;
+    for (idx, style) in ChurnStyle::ALL.into_iter().enumerate() {
+        let Ok(mut held) = HeldSolution::adopt(&session, &request, scratch.clone()) else {
+            ctx.check("churn.adopt", false, || {
+                format!("{}: adopting the scratch solution failed", style.name())
+            });
+            continue;
+        };
+        let mut rng = StdRng::seed_from_u64(sweep ^ ((idx as u64 + 1) << 32));
+        let mut deltas: Vec<EdgeDelta> = Vec::new();
+        for step in 0..STEPS {
+            let delta = random_delta(held.instance(), style, 2, &mut rng);
+            deltas.push(delta.clone());
+            // ground truth: from-scratch solve of the patched instance
+            let mut patched = held.instance().clone();
+            if delta.apply(&mut patched).is_err() {
+                ctx.check("churn.delta-applies", false, || {
+                    format!("{}#{step}: sampled delta does not apply", style.name())
+                });
+                continue;
+            }
+            let patched_request = Request::new(
+                Problem::WeakSplitting {
+                    thm12_constant: s.thm12_constant,
+                },
+                patched,
+            )
+            .deterministic()
+            .seed(s.seed);
+            match (held.apply(&delta), session.solve(&patched_request)) {
+                (Ok(repaired), Ok(_)) => {
+                    ctx.check(
+                        "churn.certificate-holds",
+                        repaired.certificate.holds(),
+                        || {
+                            format!(
+                                "{}#{step}: {} solution's certificate fails",
+                                style.name(),
+                                repaired.provenance.route
+                            )
+                        },
+                    );
+                    ctx.check(
+                        "churn.reverifies-on-patched",
+                        repaired.reverify(&Instance::Bipartite(held.instance().clone())),
+                        || {
+                            format!(
+                                "{}#{step}: certificate does not re-verify against the patched instance",
+                                style.name()
+                            )
+                        },
+                    );
+                }
+                (Err(repair_err), Err(scratch_err)) => ctx.check(
+                    "churn.decline-parity",
+                    repair_err.kind() == scratch_err.kind(),
+                    || {
+                        format!(
+                            "{}#{step}: repair declined with {repair_err}, scratch with {scratch_err}",
+                            style.name()
+                        )
+                    },
+                ),
+                (Ok(repaired), Err(scratch_err)) => {
+                    ctx.check("churn.accept-parity", false, || {
+                        format!(
+                            "{}#{step}: repair accepted via {} where scratch declined with {scratch_err}",
+                            style.name(),
+                            repaired.provenance.route
+                        )
+                    });
+                }
+                (Err(repair_err), Ok(_)) => {
+                    ctx.check("churn.accept-parity", false, || {
+                        format!(
+                            "{}#{step}: repair declined with {repair_err} where scratch solved",
+                            style.name()
+                        )
+                    });
+                }
+            }
+        }
+        // the whole stream applied up front reproduces the final held
+        // instance bit-for-bit
+        let mut replayed = b.clone();
+        let replays_cleanly = deltas.iter().all(|d| d.apply(&mut replayed).is_ok());
+        ctx.check(
+            "churn.stream-composes",
+            replays_cleanly && replayed == *held.instance(),
+            || {
+                format!(
+                    "{}: replaying the delta stream diverges from the held instance",
+                    style.name()
+                )
+            },
+        );
+        ctx.check(
+            "churn.stats-count-updates",
+            held.stats().mutations_applied == STEPS as u64
+                && held.stats().repairs + held.stats().full_resolves <= STEPS as u64,
+            || {
+                format!(
+                    "{}: stats {:?} disagree with {STEPS} updates",
+                    style.name(),
+                    held.stats()
+                )
+            },
+        );
+    }
+
+    // server subcheck: a wire-level mutate on an uploaded handle moves
+    // the held solution with it, and the follow-up handle solve answers
+    // byte-identically to the direct hold → apply path
+    {
+        use splitting_server::{wire, Priority, Server, ServerConfig, Submitted};
+
+        let mut rng = StdRng::seed_from_u64(sweep ^ 0x5EB7E5);
+        let delta = random_delta(b, ChurnStyle::Rewire, 2, &mut rng);
+        if delta.inserts().is_empty() && delta.deletes().is_empty() {
+            return; // too dense to rewire: nothing to send
+        }
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            record_timings: false,
+            ..ServerConfig::default()
+        });
+        let (mut tx, mut rx) = server.connect().split();
+        let handle = wire::render_handle(wire::instance_fingerprint(request.instance()));
+        tx.submit_line(&wire::render_upload("up", request.instance()));
+        rx.recv();
+        tx.submit_line(&wire::render_request_with_handle(
+            "s1",
+            Priority::Normal,
+            &handle,
+            &request,
+        ));
+        rx.recv();
+        let mutate = wire::render_mutate("m1", &handle, delta.inserts(), delta.deletes());
+        ctx.check(
+            "churn.server-mutate-inline",
+            tx.submit_line(&mutate) == Submitted::Replied,
+            || "mutate frame was not answered inline".into(),
+        );
+        let frame = rx.recv().unwrap_or_default();
+        let new_handle = frame
+            .split("\"new_handle\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap_or_default()
+            .to_owned();
+        ctx.check(
+            "churn.server-mutated-frame",
+            frame.contains("\"type\":\"mutated\"") && !new_handle.is_empty(),
+            || format!("expected a mutated frame naming the new handle, got {frame}"),
+        );
+        tx.submit_line(&wire::render_request_with_handle(
+            "s2",
+            Priority::Normal,
+            &new_handle,
+            &request,
+        ));
+        let reply = rx.recv().unwrap_or_default();
+        let want = match HeldSolution::adopt(&session, &request, scratch) {
+            Ok(mut direct) => direct
+                .apply(&delta)
+                .map_or_else(|e| e.to_json_line(), |sol| sol.to_json_line()),
+            Err(e) => e.to_json_line(),
+        };
+        ctx.check(
+            "churn.server-repair-byte-identical",
+            wire::split_reply(&reply).and_then(|r| r.payload.map(str::to_owned))
+                == Some(want.clone()),
+            || format!("server churn reply diverges from direct hold → apply: {reply}"),
+        );
+        tx.finish();
+        server.shutdown();
+    }
 }
 
 // ----------------------------------------------------------- metamorphic

@@ -266,6 +266,59 @@ fn main() {
     assert_eq!(tx.submit_line(&release), Submitted::Replied, "release");
     let reply = rx.recv().expect("released frame");
     print_pair("release-instance", &release, &reply);
+
+    // the churn transcript behind § Mutating held instances: upload a
+    // bipartite instance, solve it by handle, mutate it (one edge
+    // moved between constraints), then solve the patched instance by
+    // its re-derived handle — the second solve is answered by the
+    // incremental repair path seeded from the held solution, visible in
+    // its provenance route. 8 constraints of degree 8 over 64 variables
+    // of degree 1: the δ ≥ 6r zero-round regime with one edge of margin
+    // (the delete below leaves δ = 7 ≥ 6), and wide enough that a
+    // one-edge move dirties exactly 2 of 8 constraints — at the repair
+    // path's 25% refix threshold, not over it
+    let churned = splitgraph::BipartiteGraph::from_edges_bulk(
+        8,
+        64,
+        &(0..8)
+            .flat_map(|c| (0..8).map(move |j| (c, 8 * c + j)))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let bip = splitting_api::Instance::Bipartite(churned.clone());
+    let bip_handle = wire::render_handle(wire::instance_fingerprint(&bip));
+    let upload = wire::render_upload("up-2", &bip);
+    assert_eq!(tx.submit_line(&upload), Submitted::Replied, "upload");
+    let reply = rx.recv().expect("uploaded frame");
+    print_pair("upload-bipartite", &upload, &reply);
+    let churn_request = Request::new(Problem::weak_splitting(), churned.clone()).seed(7);
+    let line =
+        wire::render_request_with_handle("w-1", Priority::Normal, &bip_handle, &churn_request);
+    assert_eq!(tx.submit_line(&line), Submitted::Queued, "handle-weak-1");
+    let reply = rx.recv().expect("one reply per handle request");
+    print_pair("handle-weak-1", &line, &reply);
+    let inserts = [(7usize, 0usize)];
+    let deletes = [(0usize, 0usize)];
+    let mutate = wire::render_mutate("mut-1", &bip_handle, &inserts, &deletes);
+    assert_eq!(tx.submit_line(&mutate), Submitted::Replied, "mutate");
+    let reply = rx.recv().expect("mutated frame");
+    print_pair("mutate-instance", &mutate, &reply);
+    // the new handle is the content hash of the patched instance; a
+    // client can recompute it like this or read it off the `mutated`
+    // reply's `new_handle` field
+    let mut patched = churned.clone();
+    splitgraph::delta::EdgeDelta::new(&patched, &inserts, &deletes)
+        .unwrap()
+        .apply(&mut patched)
+        .unwrap();
+    let new_handle = wire::render_handle(wire::instance_fingerprint(
+        &splitting_api::Instance::Bipartite(patched),
+    ));
+    let line =
+        wire::render_request_with_handle("w-2", Priority::Normal, &new_handle, &churn_request);
+    assert_eq!(tx.submit_line(&line), Submitted::Queued, "handle-weak-2");
+    let reply = rx.recv().expect("one reply per handle request");
+    print_pair("handle-weak-2", &line, &reply);
     tx.finish();
     server.shutdown();
 

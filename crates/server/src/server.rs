@@ -18,10 +18,11 @@
 //! they never tear down the pool or the connection.
 
 use crate::chaos::{self, ChaosConfig};
-use crate::journal::Journal;
+use crate::journal::{Journal, PayloadHash};
 use crate::queue::{JobQueue, PushError};
 use crate::wire::{self, ClientFrame, Envelope, Priority, StatsSnapshot, Timing};
-use splitting_api::{ApiError, CancelToken, Request, Session};
+use splitgraph::delta::EdgeDelta;
+use splitting_api::{ApiError, CancelToken, HeldSolution, Instance, Request, Session};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -131,6 +132,10 @@ struct Job {
     /// Journal record id of this admission, when a journal is armed —
     /// completion is marked against it once the reply is delivered.
     journal_id: Option<u64>,
+    /// The interned-instance hash the request addressed, when it came
+    /// in handle form — the key the worker uses to find (or seed) the
+    /// held-solution cache entry for incremental churn repair.
+    handle_hash: Option<PayloadHash>,
     /// Client-supplied idempotency key; the delivered reply is cached
     /// under it so a retry replays instead of re-solving.
     idempotency_key: Option<String>,
@@ -214,6 +219,21 @@ impl IdempotencyCache {
     }
 }
 
+/// A held solution waiting for churn: the live [`HeldSolution`] plus
+/// the edge deltas applied to its instance (by `mutate` frames) since
+/// the last solve. The next handle-solve with the same policy drains
+/// `pending` through the incremental repair path instead of solving
+/// from scratch.
+struct HeldEntry {
+    held: HeldSolution,
+    pending: Vec<EdgeDelta>,
+}
+
+/// Bound on cached held solutions (each holds a full instance copy plus
+/// a coloring). At capacity, new solves simply are not held — requests
+/// still solve normally, they just repair nothing later.
+const HELD_CAPACITY: usize = 64;
+
 struct Shared {
     queue: JobQueue<Job>,
     registry: Mutex<HashMap<u64, SyncSender<Report>>>,
@@ -237,6 +257,19 @@ struct Shared {
     /// Instance edge parses that fell off the zero-copy fast scanner
     /// onto the strict fallback (canonical encodings never do).
     parse_fallbacks: AtomicU64,
+    /// Held solutions for handle-form weak-splitting requests, keyed by
+    /// `(instance fingerprint, policy fingerprint)`. `mutate` re-keys
+    /// entries to the patched instance's hash and records the delta;
+    /// the next matching solve repairs incrementally.
+    held: Mutex<HashMap<(PayloadHash, PayloadHash), HeldEntry>>,
+    /// `mutate` frames successfully applied (including journal replays).
+    mutations_applied: AtomicU64,
+    /// Held-solution updates served by the incremental repair path.
+    repairs: AtomicU64,
+    /// Held-solution updates that fell back to a from-scratch solve.
+    full_resolves: AtomicU64,
+    /// Sum of per-repair refix fractions, in permille (for the mean).
+    refix_sum_permille: AtomicU64,
     /// One slot per worker: the cancellation token of the solve it is
     /// running right now, so `drain` can abandon over-deadline work.
     active: Vec<Mutex<Option<CancelToken>>>,
@@ -323,6 +356,7 @@ impl Shared {
             .as_ref()
             .map(|j| j.stats())
             .unwrap_or_default();
+        let repairs = self.repairs.load(Ordering::Relaxed);
         StatsSnapshot {
             served: self.served.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -338,7 +372,182 @@ impl Shared {
             journal_recovered: journal.recovered,
             parse_fallbacks: self.parse_fallbacks.load(Ordering::Relaxed),
             handles_held: self.handles.lock().unwrap().len() as u64,
+            mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
+            repairs,
+            full_resolves: self.full_resolves.load(Ordering::Relaxed),
+            refix_mean_permille: self.refix_sum_permille.load(Ordering::Relaxed) / repairs.max(1),
         }
+    }
+
+    /// Applies a validated `mutate` frame to the interned-instance
+    /// table: patch a copy of the addressed bipartite instance, re-derive
+    /// its content hash, move the table entry to the new hash, and
+    /// re-key any held solutions (recording the delta as pending repair
+    /// work). Shared verbatim by live ingest and journal replay, so a
+    /// recovered mutation stream rebuilds the exact same table.
+    fn apply_mutation(
+        &self,
+        handle: &str,
+        inserts: &[(usize, usize)],
+        deletes: &[(usize, usize)],
+    ) -> Result<String, ApiError> {
+        let hash = wire::parse_handle(handle).expect("validated by scan_envelope");
+        let mut handles = self.handles.lock().unwrap();
+        let Some(existing) = handles.get(&hash) else {
+            return Err(ApiError::InvalidRequest {
+                field: "handle",
+                reason: format!("unknown instance handle \"{handle}\"; upload it first"),
+            });
+        };
+        let Instance::Bipartite(b) = &**existing else {
+            return Err(ApiError::InvalidRequest {
+                field: "handle",
+                reason: format!(
+                    "mutate targets a bipartite instance; \"{handle}\" holds a {}",
+                    existing.kind()
+                ),
+            });
+        };
+        let mut graph = b.clone();
+        let delta =
+            EdgeDelta::new(&graph, inserts, deletes).map_err(|e| ApiError::InvalidRequest {
+                field: "delta",
+                reason: e.to_string(),
+            })?;
+        delta
+            .apply(&mut graph)
+            .map_err(|e| ApiError::InvalidRequest {
+                field: "delta",
+                reason: e.to_string(),
+            })?;
+        let edges = graph.edge_count();
+        let patched = Instance::Bipartite(graph);
+        let new_hash = wire::instance_fingerprint(&patched);
+        handles.remove(&hash);
+        handles.entry(new_hash).or_insert_with(|| Arc::new(patched));
+        let held_count = handles.len();
+        drop(handles);
+        // move held solutions along with the instance, carrying the
+        // delta as pending repair work for the next matching solve
+        let mut held = self.held.lock().unwrap();
+        let moved: Vec<_> = held.keys().filter(|(h, _)| *h == hash).cloned().collect();
+        for key in moved {
+            let mut entry = held.remove(&key).expect("key just listed");
+            entry.pending.push(delta.clone());
+            held.insert((new_hash, key.1), entry);
+        }
+        drop(held);
+        self.mutations_applied.fetch_add(1, Ordering::Relaxed);
+        Ok(wire::mutated_payload(
+            handle,
+            &wire::render_handle(new_hash),
+            delta.inserts().len(),
+            delta.deletes().len(),
+            edges,
+            held_count,
+        ))
+    }
+
+    /// Journal-replay half of `upload`: re-parse and re-intern the
+    /// instance, silently. Idempotent — repeated uploads of the same
+    /// content land on the same table entry.
+    fn replay_upload(&self, line: &str) {
+        let Ok(fields) = crate::json::scan_top_level(line) else {
+            return;
+        };
+        let Some(raw) = fields
+            .iter()
+            .find(|(k, _)| *k == "instance")
+            .map(|(_, v)| *v)
+        else {
+            return;
+        };
+        if let Ok((instance, _)) = wire::parse_instance_traced(raw) {
+            let hash = wire::instance_fingerprint(&instance);
+            self.handles
+                .lock()
+                .unwrap()
+                .entry(hash)
+                .or_insert_with(|| Arc::new(instance));
+        }
+    }
+
+    /// Journal-replay half of `release`: drop the interned instance if
+    /// it is still present.
+    fn replay_release(&self, handle: &str) {
+        if let Some(hash) = wire::parse_handle(handle) {
+            self.handles.lock().unwrap().remove(&hash);
+        }
+    }
+}
+
+/// Solves a handle-form request through the held-solution cache. A hit
+/// with pending deltas is repaired incrementally ([`HeldSolution::apply`]
+/// re-fixes only the dirty constraints and re-certifies); a clean hit
+/// answers from the retained, already-certified solution; a miss solves
+/// from scratch and — capacity permitting — adopts the result so the
+/// next mutation of this handle repairs instead of re-solving. Entries
+/// are removed from the map while in use, so two workers can never
+/// repair the same held solution concurrently.
+fn solve_held(
+    shared: &Shared,
+    session: &Session,
+    token: &CancelToken,
+    request: &Request,
+    hash: PayloadHash,
+) -> String {
+    let key = (hash, wire::policy_fingerprint(request));
+    let entry = shared.held.lock().unwrap().remove(&key);
+    match entry {
+        Some(mut entry) if !entry.pending.is_empty() => {
+            let before = *entry.held.stats();
+            let mut payload = String::new();
+            for delta in std::mem::take(&mut entry.pending) {
+                payload = match entry.held.apply(&delta) {
+                    Ok(s) => s.to_json_line(),
+                    Err(e) => e.to_json_line(),
+                };
+            }
+            let after = *entry.held.stats();
+            shared
+                .repairs
+                .fetch_add(after.repairs - before.repairs, Ordering::Relaxed);
+            shared.full_resolves.fetch_add(
+                after.full_resolves - before.full_resolves,
+                Ordering::Relaxed,
+            );
+            let refix_sum = after.mean_refix_fraction() * after.repairs as f64
+                - before.mean_refix_fraction() * before.repairs as f64;
+            shared
+                .refix_sum_permille
+                .fetch_add((refix_sum * 1000.0).round() as u64, Ordering::Relaxed);
+            shared.held.lock().unwrap().insert(key, entry);
+            payload
+        }
+        Some(entry) => {
+            let payload = entry.held.solution().to_json_line();
+            shared.held.lock().unwrap().insert(key, entry);
+            payload
+        }
+        None => match session.solve_with_cancel(request, token) {
+            Ok(solution) => {
+                let line = solution.to_json_line();
+                let mut held = shared.held.lock().unwrap();
+                if held.len() < HELD_CAPACITY {
+                    if let Ok(h) = HeldSolution::adopt(session, request, solution) {
+                        held.insert(
+                            key,
+                            HeldEntry {
+                                held: h,
+                                pending: Vec::new(),
+                            },
+                        );
+                    }
+                }
+                line
+            }
+            Err(e) => e.to_json_line(),
+        },
     }
 }
 
@@ -424,7 +633,10 @@ fn worker_loop(shared: &Shared, slot: usize) {
                         Err(e) => e.to_json_line(),
                     }
                 }
-                Payload::Parsed(request) => solve(request),
+                Payload::Parsed(request) => match job.handle_hash {
+                    Some(hash) => solve_held(shared, &session, &token, request, hash),
+                    None => solve(request),
+                },
             }
         }));
         *shared.active[slot].lock().unwrap() = None;
@@ -491,7 +703,12 @@ impl Server {
             killed: AtomicBool::new(false),
             idempotency: Mutex::new(idempotency),
             handles: Mutex::new(HashMap::new()),
+            held: Mutex::new(HashMap::new()),
             parse_fallbacks: AtomicU64::new(0),
+            mutations_applied: AtomicU64::new(0),
+            repairs: AtomicU64::new(0),
+            full_resolves: AtomicU64::new(0),
+            refix_sum_permille: AtomicU64::new(0),
             active: (0..workers).map(|_| Mutex::new(None)).collect(),
             config: ServerConfig { workers, ..config },
         });
@@ -522,10 +739,37 @@ impl Server {
         let Some(journal) = &self.shared.config.journal else {
             return;
         };
-        for (index, rec) in journal.take_recovered().into_iter().enumerate() {
+        let mut seq = 0u64;
+        for rec in journal.take_recovered() {
+            // state records (upload / mutate / release) were journaled
+            // at admission and deliberately never marked completed, so
+            // every restart sees them here. Replaying them inline — in
+            // admission order, before any recovered solve is pushed —
+            // rebuilds the interned-handle table exactly as the old
+            // process held it. Replays answer nobody and swallow
+            // errors: a mutate that failed live fails identically here.
+            match wire::scan_envelope(&rec.line) {
+                Ok(ClientFrame::Upload { .. }) => {
+                    self.shared.replay_upload(&rec.line);
+                    continue;
+                }
+                Ok(ClientFrame::Release { handle, .. }) => {
+                    self.shared.replay_release(&handle);
+                    continue;
+                }
+                Ok(ClientFrame::Mutate { handle, .. }) => {
+                    if let Ok(fields) = crate::json::scan_top_level(&rec.line) {
+                        if let Ok((inserts, deletes)) = wire::parse_mutate_edits(&fields) {
+                            let _ = self.shared.apply_mutation(&handle, &inserts, &deletes);
+                        }
+                    }
+                    continue;
+                }
+                _ => {}
+            }
             let job = Job {
                 conn: RECOVERY_CONN,
-                seq: index as u64,
+                seq,
                 id: rec.record.id,
                 payload: Payload::Wire(rec.line),
                 enqueued: self.shared.config.record_timings.then(Instant::now),
@@ -533,7 +777,9 @@ impl Server {
                 journal_id: Some(rec.record.record_id),
                 idempotency_key: rec.record.idempotency_key,
                 prescan: None,
+                handle_hash: None,
             };
+            seq += 1;
             if self
                 .shared
                 .queue
@@ -774,6 +1020,7 @@ impl Submitter {
             journal_id,
             idempotency_key: envelope.idempotency_key,
             prescan,
+            handle_hash: envelope.handle.as_deref().and_then(wire::parse_handle),
         };
         let refused = match self.shared.config.admission {
             Admission::Reject => match self.shared.queue.try_push(envelope.priority, job) {
@@ -844,7 +1091,10 @@ impl Submitter {
                 }
             }
             Ok((ClientFrame::Upload { id }, _)) => self.upload(&id, seq, trimmed),
-            Ok((ClientFrame::Release { id, handle }, _)) => self.release(&id, seq, &handle),
+            Ok((ClientFrame::Release { id, handle }, _)) => {
+                self.release(&id, seq, trimmed, &handle)
+            }
+            Ok((ClientFrame::Mutate { id, handle }, _)) => self.mutate(&id, seq, trimmed, &handle),
             Ok((ClientFrame::Ping { id }, _)) => {
                 let frame = wire::heartbeat_frame(&id, seq, self.shared.stats());
                 self.send_now(seq, frame);
@@ -936,6 +1186,12 @@ impl Submitter {
                 let shared_instance = Arc::clone(entry);
                 let held = handles.len();
                 drop(handles);
+                // journaled as a state record — appended at admission,
+                // never marked completed — so every restart replays the
+                // upload and the handle survives a crash
+                if let Some(journal) = &self.shared.config.journal {
+                    let _ = journal.append_admitted(id, Priority::Normal, None, None, line);
+                }
                 let payload = wire::uploaded_payload(&handle, &shared_instance, held);
                 self.send_now(seq, wire::uploaded_frame(id, seq, &payload));
                 Submitted::Replied
@@ -950,7 +1206,7 @@ impl Submitter {
     /// Handles a `release` frame: drop the interned instance. In-flight
     /// requests that already resolved the handle keep their `Arc` — the
     /// graph is freed once the last of them finishes.
-    fn release(&self, id: &str, seq: u64, handle: &str) -> Submitted {
+    fn release(&self, id: &str, seq: u64, line: &str, handle: &str) -> Submitted {
         if self.shared.is_killed() {
             return Submitted::Skipped;
         }
@@ -960,6 +1216,11 @@ impl Submitter {
             (handles.remove(&hash).is_some(), handles.len())
         };
         if removed {
+            // state record (see `upload`): replayed on restart so a
+            // released handle stays released across recovery
+            if let Some(journal) = &self.shared.config.journal {
+                let _ = journal.append_admitted(id, Priority::Normal, None, None, line);
+            }
             let payload = wire::released_payload(handle, held);
             self.send_now(seq, wire::released_frame(id, seq, &payload));
         } else {
@@ -969,6 +1230,39 @@ impl Submitter {
             }
             .to_json_line();
             self.send_now(seq, wire::error_frame(id, seq, None, &payload));
+        }
+        Submitted::Replied
+    }
+
+    /// Handles a `mutate` frame: patch the addressed interned instance
+    /// (edge inserts/deletes), re-derive its content hash, and answer
+    /// with a `mutated` frame naming the new handle. Processed inline
+    /// on the ingest thread like `upload`, so a solve submitted after
+    /// the mutation can never race it. Applied mutations are journaled
+    /// as state records (never completed) so recovery replays the
+    /// mutation stream in admission order.
+    fn mutate(&self, id: &str, seq: u64, line: &str, handle: &str) -> Submitted {
+        if self.shared.is_killed() {
+            return Submitted::Skipped;
+        }
+        let fields = crate::json::scan_top_level(line).expect("validated by scan_envelope");
+        let (inserts, deletes) = match wire::parse_mutate_edits(&fields) {
+            Ok(edits) => edits,
+            Err(e) => {
+                self.send_now(seq, wire::error_frame(id, seq, None, &e.to_json_line()));
+                return Submitted::Replied;
+            }
+        };
+        match self.shared.apply_mutation(handle, &inserts, &deletes) {
+            Ok(payload) => {
+                if let Some(journal) = &self.shared.config.journal {
+                    let _ = journal.append_admitted(id, Priority::Normal, None, None, line);
+                }
+                self.send_now(seq, wire::mutated_frame(id, seq, &payload));
+            }
+            Err(e) => {
+                self.send_now(seq, wire::error_frame(id, seq, None, &e.to_json_line()));
+            }
         }
         Submitted::Replied
     }
@@ -1783,6 +2077,262 @@ mod tests {
         tx.finish();
         assert!(rx.recv().is_none());
         server.shutdown();
+    }
+
+    #[test]
+    fn mutate_repairs_held_solution_and_counts() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use splitgraph::delta::{random_delta, ChurnStyle};
+
+        let server = Server::start(quiet_config());
+        let (mut tx, mut rx) = server.connect().split();
+        // δ = r = 32 over n = 4000: regime margin so deletes cannot exit
+        // the dispatch, large enough that 8 rewires stay under the refix
+        // threshold (same shape as the api hold tests)
+        let mut rng = StdRng::seed_from_u64(41);
+        let b = generators::random_biregular(2000, 2000, 32, &mut rng).unwrap();
+        let request = Request::new(Problem::weak_splitting(), b.clone())
+            .deterministic()
+            .seed(7);
+        let handle = wire::render_handle(wire::instance_fingerprint(request.instance()));
+
+        // upload, then a first handle-form solve: the worker adopts the
+        // solution into the held cache before its reply is delivered
+        let upload = wire::render_upload("u1", request.instance());
+        assert_eq!(tx.submit_line(&upload), Submitted::Replied);
+        rx.recv().unwrap();
+        let solve1 = wire::render_request_with_handle("s1", Priority::Normal, &handle, &request);
+        assert_eq!(tx.submit_line(&solve1), Submitted::Queued);
+        let frame = rx.recv().unwrap();
+        assert!(frame.contains("\"type\":\"solution\""), "{frame}");
+
+        // a small rewire through the wire protocol moves the handle
+        let delta = random_delta(&b, ChurnStyle::Rewire, 8, &mut rng);
+        let mutate = wire::render_mutate("m1", &handle, delta.inserts(), delta.deletes());
+        assert_eq!(tx.submit_line(&mutate), Submitted::Replied);
+        let frame = rx.recv().unwrap();
+        let reply = split_reply(&frame).expect(&frame);
+        assert_eq!(reply.frame_type, "mutated");
+        assert_eq!(reply.id, "m1");
+        let new_handle = reply
+            .payload
+            .unwrap()
+            .split("\"new_handle\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("mutated payload names the new handle")
+            .to_owned();
+        assert_ne!(new_handle, handle, "content hash must move");
+        assert_eq!(server.stats().handles_held, 1, "moved, not duplicated");
+
+        // the pre-mutation handle is gone
+        assert_eq!(tx.submit_line(&solve1), Submitted::Replied);
+        assert!(rx.recv().unwrap().contains("upload it first"));
+
+        // solving by the new handle repairs the held solution instead of
+        // re-solving, byte-identical to the direct hold → apply path
+        let solve2 =
+            wire::render_request_with_handle("s2", Priority::Normal, &new_handle, &request);
+        assert_eq!(tx.submit_line(&solve2), Submitted::Queued);
+        let frame = rx.recv().unwrap();
+        let reply = split_reply(&frame).expect(&frame);
+        assert_eq!(reply.frame_type, "solution");
+        let session = Session::with_threads(1);
+        let mut direct = session.hold(&request).unwrap();
+        let expect = direct.apply(&delta).unwrap().to_json_line();
+        assert!(
+            expect.contains("weak-splitting/repair"),
+            "the direct path takes the repair route: {expect}"
+        );
+        assert_eq!(reply.payload, Some(expect.as_str()), "byte parity");
+
+        // churn counters surface in the heartbeat and the snapshot
+        assert_eq!(
+            tx.submit_line(r#"{"v":1,"type":"ping","id":"hb"}"#),
+            Submitted::Replied
+        );
+        let beat = rx.recv().unwrap();
+        for needle in [
+            "\"mutations_applied\":1",
+            "\"repairs\":1",
+            "\"full_resolves\":0",
+        ] {
+            assert!(beat.contains(needle), "heartbeat lacks {needle}: {beat}");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.mutations_applied, 1);
+        assert_eq!(stats.repairs, 1);
+        assert_eq!(stats.full_resolves, 0);
+        assert!(
+            stats.refix_mean_permille > 0,
+            "a repair records its refix fraction"
+        );
+        tx.finish();
+        assert!(rx.recv().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn mutate_error_paths_are_typed() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let server = Server::start(quiet_config());
+        let (mut tx, mut rx) = server.connect().split();
+
+        // unknown handle
+        let bogus = "0123456789abcdef0123456789abcdef";
+        let line = wire::render_mutate("m1", bogus, &[(0, 0)], &[]);
+        assert_eq!(tx.submit_line(&line), Submitted::Replied);
+        let frame = rx.recv().unwrap();
+        assert!(
+            frame.contains("\"type\":\"error\"") && frame.contains("unknown instance handle"),
+            "{frame}"
+        );
+
+        // a mutate without any edit list never classifies
+        let no_edits = format!(r#"{{"v":1,"type":"mutate","id":"m2","handle":"{bogus}"}}"#);
+        assert_eq!(tx.submit_line(&no_edits), Submitted::Replied);
+        let frame = rx.recv().unwrap();
+        assert!(
+            frame.contains("inserts and/or deletes"),
+            "typed classify error: {frame}"
+        );
+
+        // mutating a non-bipartite instance is refused by kind
+        let host = Request::new(
+            Problem::Mis {
+                base_degree: Some(8),
+            },
+            generators::cycle(6).unwrap(),
+        );
+        let host_handle = wire::render_handle(wire::instance_fingerprint(host.instance()));
+        assert_eq!(
+            tx.submit_line(&wire::render_upload("u1", host.instance())),
+            Submitted::Replied
+        );
+        rx.recv().unwrap();
+        let line = wire::render_mutate("m3", &host_handle, &[(0, 0)], &[]);
+        assert_eq!(tx.submit_line(&line), Submitted::Replied);
+        let frame = rx.recv().unwrap();
+        assert!(
+            frame.contains("mutate targets a bipartite instance"),
+            "{frame}"
+        );
+
+        // a structurally invalid delta (deleting an absent edge) is a
+        // typed error and leaves the handle untouched
+        let mut rng = StdRng::seed_from_u64(51);
+        let b = generators::random_biregular(8, 8, 3, &mut rng).unwrap();
+        let absent = (0..8)
+            .map(|v| (0, v))
+            .find(|&(u, v)| !b.contains_edge(u, v))
+            .expect("degree 3 of 8 leaves absent edges");
+        let instance = Instance::Bipartite(b);
+        let handle = wire::render_handle(wire::instance_fingerprint(&instance));
+        assert_eq!(
+            tx.submit_line(&wire::render_upload("u2", &instance)),
+            Submitted::Replied
+        );
+        rx.recv().unwrap();
+        let line = wire::render_mutate("m4", &handle, &[], &[absent]);
+        assert_eq!(tx.submit_line(&line), Submitted::Replied);
+        let frame = rx.recv().unwrap();
+        assert!(
+            frame.contains("\"kind\":\"invalid-request\"") && frame.contains("missing edge"),
+            "{frame}"
+        );
+        assert_eq!(
+            server.stats().mutations_applied,
+            0,
+            "failed mutations never count"
+        );
+        tx.finish();
+        assert!(rx.recv().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn journal_replays_mutation_stream_across_restart() {
+        use crate::journal::{FsyncPolicy, Journal};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use splitgraph::delta::{random_delta, ChurnStyle};
+
+        let path = temp_journal_path("churn");
+        let _ = std::fs::remove_file(&path);
+        let mut rng = StdRng::seed_from_u64(71);
+        let b = generators::random_biregular(64, 64, 6, &mut rng).unwrap();
+        let delta = random_delta(&b, ChurnStyle::Rewire, 3, &mut rng);
+        let mut patched = b.clone();
+        delta.apply(&mut patched).unwrap();
+        let instance = Instance::Bipartite(b);
+        let handle = wire::render_handle(wire::instance_fingerprint(&instance));
+        let expected =
+            wire::render_handle(wire::instance_fingerprint(&Instance::Bipartite(patched)));
+
+        {
+            let journal = Arc::new(Journal::open(&path, FsyncPolicy::Never).unwrap());
+            let server = Server::start(ServerConfig {
+                journal: Some(journal),
+                ..quiet_config()
+            });
+            let (mut tx, mut rx) = server.connect().split();
+            assert_eq!(
+                tx.submit_line(&wire::render_upload("u1", &instance)),
+                Submitted::Replied
+            );
+            rx.recv().unwrap();
+            let mutate = wire::render_mutate("m1", &handle, delta.inserts(), delta.deletes());
+            assert_eq!(tx.submit_line(&mutate), Submitted::Replied);
+            let frame = rx.recv().unwrap();
+            assert!(
+                frame.contains(&expected),
+                "mutated frame names the patched content hash: {frame}"
+            );
+            tx.finish();
+            assert!(rx.recv().is_none());
+            server.shutdown();
+        }
+
+        // restart: upload and mutation replay from the journal in
+        // admission order, rebuilding the table at the patched content
+        {
+            let journal = Arc::new(Journal::open(&path, FsyncPolicy::Never).unwrap());
+            let server = Server::start(ServerConfig {
+                journal: Some(journal),
+                ..quiet_config()
+            });
+            let stats = server.stats();
+            assert_eq!(stats.handles_held, 1, "one instance survives recovery");
+            assert_eq!(stats.mutations_applied, 1, "the replayed mutation counts");
+            let (mut tx, mut rx) = server.connect().split();
+            // the pre-mutation handle did not survive; the patched one did
+            let stale = wire::render_mutate("m2", &handle, delta.inserts(), delta.deletes());
+            assert_eq!(tx.submit_line(&stale), Submitted::Replied);
+            assert!(rx.recv().unwrap().contains("unknown instance handle"));
+            assert_eq!(
+                tx.submit_line(&wire::render_release("d1", &expected)),
+                Submitted::Replied
+            );
+            assert!(rx.recv().unwrap().contains("\"held\":0"));
+            tx.finish();
+            assert!(rx.recv().is_none());
+            server.shutdown();
+        }
+
+        // third start: the journaled release replays too
+        {
+            let journal = Arc::new(Journal::open(&path, FsyncPolicy::Never).unwrap());
+            let server = Server::start(ServerConfig {
+                journal: Some(journal),
+                ..quiet_config()
+            });
+            assert_eq!(server.stats().handles_held, 0, "released stays released");
+            server.shutdown();
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

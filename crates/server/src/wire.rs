@@ -117,6 +117,15 @@ pub enum ClientFrame {
         /// The 32-hex handle to drop (format-validated by the scan).
         handle: String,
     },
+    /// A `mutate` frame: apply an edge-delta batch to an interned
+    /// bipartite instance and reply with its re-derived handle (edit
+    /// lists not yet parsed — ingest does that).
+    Mutate {
+        /// Echoed id.
+        id: String,
+        /// The 32-hex handle of the instance to patch.
+        handle: String,
+    },
     /// A `ping` frame; the server replies with a heartbeat.
     Ping {
         /// Echoed id ("" when the ping carried none).
@@ -151,6 +160,7 @@ const REQUEST_KEYS: &[&str] = &[
 ];
 const UPLOAD_KEYS: &[&str] = &["v", "type", "id", "instance"];
 const RELEASE_KEYS: &[&str] = &["v", "type", "id", "handle"];
+const MUTATE_KEYS: &[&str] = &["v", "type", "id", "handle", "inserts", "deletes"];
 const PING_KEYS: &[&str] = &["v", "type", "id"];
 const SHUTDOWN_KEYS: &[&str] = &["v", "type"];
 
@@ -321,12 +331,13 @@ fn classify_frame(fields: &[(&str, &str)]) -> Result<ClientFrame, ApiError> {
         "request" => REQUEST_KEYS,
         "upload" => UPLOAD_KEYS,
         "release" => RELEASE_KEYS,
+        "mutate" => MUTATE_KEYS,
         "ping" => PING_KEYS,
         "shutdown" => SHUTDOWN_KEYS,
         other => return Err(invalid(
             "type",
             format!(
-                "unknown frame type \"{other}\"; use request, upload, release, ping, or shutdown"
+                "unknown frame type \"{other}\"; use request, upload, release, mutate, ping, or shutdown"
             ),
         )),
     };
@@ -425,6 +436,25 @@ fn classify_frame(fields: &[(&str, &str)]) -> Result<ClientFrame, ApiError> {
                 }
             };
             Ok(ClientFrame::Release { id, handle })
+        }
+        "mutate" => {
+            let id = parse_id(get("id"))?;
+            let handle = match get("handle") {
+                Some(raw) => parse_handle_field(raw)?,
+                None => {
+                    return Err(invalid(
+                        "handle",
+                        "mutate frames must name the handle to patch",
+                    ))
+                }
+            };
+            if get("inserts").is_none() && get("deletes").is_none() {
+                return Err(invalid(
+                    "frame",
+                    "mutate frames must carry inserts and/or deletes",
+                ));
+            }
+            Ok(ClientFrame::Mutate { id, handle })
         }
         "ping" => {
             let id = match get("id") {
@@ -1121,6 +1151,56 @@ pub fn render_release(id: &str, handle: &str) -> String {
     obj.finish()
 }
 
+/// Renders a `mutate` frame applying an edge-delta batch to an interned
+/// bipartite instance. Empty lists are omitted (the frame must carry at
+/// least one non-empty list to classify).
+pub fn render_mutate(
+    id: &str,
+    handle: &str,
+    inserts: &[(usize, usize)],
+    deletes: &[(usize, usize)],
+) -> String {
+    let mut obj = JsonObject::new();
+    obj.uint("v", PROTOCOL_VERSION)
+        .string("type", "mutate")
+        .string("id", id)
+        .string("handle", handle);
+    let mut buf = String::new();
+    if !inserts.is_empty() {
+        render_edges(&mut buf, inserts.iter().copied());
+        obj.raw("inserts", &buf);
+    }
+    if !deletes.is_empty() {
+        buf.clear();
+        render_edges(&mut buf, deletes.iter().copied());
+        obj.raw("deletes", &buf);
+    }
+    obj.finish()
+}
+
+/// One edit list of a `mutate` frame: `(left, right)` edge endpoints.
+pub type EditList = Vec<(usize, usize)>;
+
+/// Parses the edit lists of a `mutate` frame out of its already-scanned
+/// top-level fields: `(inserts, deletes)`, each `[]` when the frame
+/// omitted the list. Edits ride the same `[[u,v],...]` grammar as
+/// instance edge lists (and the same fast scanner).
+///
+/// # Errors
+///
+/// [`ApiError::InvalidRequest`] on a malformed list.
+pub fn parse_mutate_edits(fields: &[(&str, &str)]) -> Result<(EditList, EditList), ApiError> {
+    let list = |key: &'static str| -> Result<EditList, ApiError> {
+        match fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v) {
+            None => Ok(Vec::new()),
+            Some(slice) => json::scan_edge_pairs(slice)
+                .map(|(pairs, _)| pairs)
+                .map_err(|e| invalid(key, format!("malformed edit list: {e}"))),
+        }
+    };
+    Ok((list("inserts")?, list("deletes")?))
+}
+
 /// Feeds an instance's structural content into a hasher: a kind/shape
 /// tag word followed by the packed edge list. Shared by
 /// [`request_fingerprint`] (journal payload interning) and
@@ -1212,6 +1292,27 @@ pub fn request_fingerprint(request: &Request) -> crate::journal::PayloadHash {
     use crate::journal;
     let mut h = journal::PayloadHasher::new(journal::DOMAIN_REQUEST);
     hash_instance(&mut h, request.instance());
+    hash_policy(&mut h, request);
+    h.finish()
+}
+
+/// 128-bit fingerprint of a request's *policy* — everything
+/// [`request_fingerprint`] hashes except the instance. Two requests with
+/// equal policy fingerprints solve identically on any given instance,
+/// which is what keys the server's held-solution cache: `(instance
+/// fingerprint, policy fingerprint)` identifies "the same solve" across
+/// mutations that move the instance to a new content hash.
+pub fn policy_fingerprint(request: &Request) -> crate::journal::PayloadHash {
+    use crate::journal;
+    let mut h = journal::PayloadHasher::new(journal::DOMAIN_REQUEST);
+    // a fixed tag word in place of the instance keeps policy
+    // fingerprints from aliasing full request fingerprints
+    h.word(u64::MAX);
+    hash_policy(&mut h, request);
+    h.finish()
+}
+
+fn hash_policy(h: &mut crate::journal::PayloadHasher, request: &Request) {
     // every problem field the renderer serializes, with presence tags
     // for the optional ones; the variant name separates the variants
     let problem = request.problem();
@@ -1271,7 +1372,6 @@ pub fn request_fingerprint(request: &Request) -> crate::journal::PayloadHash {
     opt_word(budget.max_rounds.map(f64::to_bits));
     opt_word(budget.attempts.map(|a| a as u64));
     opt_word(budget.deadline_ms);
-    h.finish()
 }
 
 /// Renders a `ping` frame.
@@ -1391,6 +1491,29 @@ pub fn released_payload(handle: &str, held: usize) -> String {
     obj.finish()
 }
 
+/// Renders the payload of a `mutated` reply: the patched handle moves
+/// from `handle` to `new_handle` (handles are content hashes, so the
+/// hash is re-derived after the patch), with the edit counts applied,
+/// the patched instance's edge count, and the table size.
+pub fn mutated_payload(
+    handle: &str,
+    new_handle: &str,
+    inserted: usize,
+    deleted: usize,
+    edges: usize,
+    held: usize,
+) -> String {
+    let mut obj = JsonObject::new();
+    obj.string("event", "mutated")
+        .string("handle", handle)
+        .string("new_handle", new_handle)
+        .uint("inserted", inserted as u64)
+        .uint("deleted", deleted as u64)
+        .uint("edges", edges as u64)
+        .uint("held", held as u64);
+    obj.finish()
+}
+
 /// Assembles an `uploaded` reply frame around a rendered
 /// [`uploaded_payload`] (embedded verbatim, last field like every reply
 /// payload). Timings are omitted — interning happens at ingest, nothing
@@ -1403,6 +1526,14 @@ pub fn uploaded_frame(id: &str, seq: u64, payload: &str) -> String {
 /// [`released_payload`].
 pub fn released_frame(id: &str, seq: u64, payload: &str) -> String {
     reply_frame("released", id, seq, None, false, "released", payload)
+}
+
+/// Assembles a `mutated` reply frame around a rendered
+/// [`mutated_payload`] (embedded verbatim, last field like every reply
+/// payload). Timings are omitted — patching happens at ingest, nothing
+/// is queued or solved.
+pub fn mutated_frame(id: &str, seq: u64, payload: &str) -> String {
+    reply_frame("mutated", id, seq, None, false, "mutated", payload)
 }
 
 /// A point-in-time service snapshot, reported on heartbeat frames.
@@ -1440,6 +1571,17 @@ pub struct StatsSnapshot {
     pub parse_fallbacks: u64,
     /// Instances currently interned in the upload-handle table.
     pub handles_held: u64,
+    /// Edge-delta batches applied to interned instances (`mutate`
+    /// frames that succeeded).
+    pub mutations_applied: u64,
+    /// Held-solution updates served by the incremental repair path.
+    pub repairs: u64,
+    /// Held-solution updates that fell back to a from-scratch solve.
+    pub full_resolves: u64,
+    /// Mean fraction of constraints re-examined per repair, in
+    /// permille (‰, 0–1000; integral so heartbeat frames stay
+    /// byte-stable).
+    pub refix_mean_permille: u64,
 }
 
 /// Assembles a `heartbeat` reply frame.
@@ -1462,7 +1604,11 @@ pub fn heartbeat_frame(id: &str, seq: u64, stats: StatsSnapshot) -> String {
         .uint("journal_bytes", stats.journal_bytes)
         .uint("journal_recovered", stats.journal_recovered)
         .uint("parse_fallbacks", stats.parse_fallbacks)
-        .uint("handles_held", stats.handles_held);
+        .uint("handles_held", stats.handles_held)
+        .uint("mutations_applied", stats.mutations_applied)
+        .uint("repairs", stats.repairs)
+        .uint("full_resolves", stats.full_resolves)
+        .uint("refix_mean_permille", stats.refix_mean_permille);
     obj.finish()
 }
 
@@ -1531,6 +1677,7 @@ pub fn split_reply(frame: &str) -> Option<Reply<'_>> {
         "error" => Some(get("error")?),
         "uploaded" => Some(get("uploaded")?),
         "released" => Some(get("released")?),
+        "mutated" => Some(get("mutated")?),
         "heartbeat" => None,
         _ => return None,
     };

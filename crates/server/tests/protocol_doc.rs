@@ -75,11 +75,11 @@ fn protocol_examples_replay_byte_identically() {
     let examples = parse_examples(&doc);
     assert_eq!(
         examples.len(),
-        16,
+        20,
         "docs/PROTOCOL.md must carry one worked example per Problem variant, \
          the deadline-exceeded robustness example, the idempotent \
-         first/retry pair, and the instance-handle upload/solve/release \
-         transcript"
+         first/retry pair, the instance-handle upload/solve/release \
+         transcript, and the churn upload/solve/mutate/solve transcript"
     );
 
     // replay all requests in document order over one connection, in

@@ -20,6 +20,9 @@
 //!   graphs for Section 5;
 //! * [`csr`] — the flat compressed-sparse-row storage underneath the graph
 //!   types: bulk counting-sort construction with no per-edge shifting;
+//! * [`delta`] — typed edge-mutation batches ([`EdgeDelta`]) with in-place
+//!   patching, dirty-region tracking, and exact inverses for the churn
+//!   subsystem;
 //! * girth, connected components, and power-graph utilities.
 //!
 //! # Examples
@@ -44,6 +47,7 @@ pub mod checks;
 mod color;
 mod components;
 pub mod csr;
+pub mod delta;
 mod error;
 pub mod generators;
 mod girth;
@@ -54,7 +58,10 @@ mod power;
 
 pub use bipartite::BipartiteGraph;
 pub use color::{Color, MultiColor};
-pub use components::{bipartite_components, connected_components, BipartiteComponent, Components};
+pub use components::{
+    bipartite_components, connected_components, BipartiteComponent, Components, GroupedMembers,
+};
+pub use delta::{DeltaError, DirtyRegion, EdgeDelta};
 pub use error::GraphError;
 pub use girth::{bipartite_girth, girth};
 pub use graph::Graph;

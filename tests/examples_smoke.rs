@@ -21,6 +21,11 @@ const EXAMPLES: [&str; 7] = [
     "sinkless_orientation",
 ];
 
+/// Server-crate examples, gated here for the same rename protection
+/// (`cargo test -p splitting-server` compiles them, but nothing else
+/// asserts they exist).
+const SERVER_EXAMPLES: [&str; 3] = ["backoff_client", "churn_client", "protocol_examples"];
+
 #[test]
 fn all_expected_examples_exist() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
@@ -42,6 +47,67 @@ fn all_expected_examples_exist() {
         count,
         EXAMPLES.len(),
         "examples/ and EXAMPLES list out of sync"
+    );
+}
+
+#[test]
+fn all_expected_server_examples_exist() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/server/examples");
+    for name in SERVER_EXAMPLES {
+        let path = dir.join(format!("{name}.rs"));
+        assert!(path.is_file(), "missing example: {}", path.display());
+    }
+    let count = std::fs::read_dir(&dir)
+        .expect("server examples dir must be readable")
+        .filter(|e| {
+            e.as_ref()
+                .map(|e| e.path().extension().is_some_and(|x| x == "rs"))
+                .unwrap_or(false)
+        })
+        .count();
+    assert_eq!(
+        count,
+        SERVER_EXAMPLES.len(),
+        "crates/server/examples/ and SERVER_EXAMPLES list out of sync"
+    );
+}
+
+/// Runs the churn reference client end to end: upload → solve → five
+/// mutate/solve rounds → heartbeat. The example asserts the server's
+/// re-derived content handles against a local mirror and that its churn
+/// counters add up, so this smoke run is a real integration gate on the
+/// mutation subsystem, not just a compile check. Release profile — the
+/// example holds and repairs a 600-node weak-splitting instance, which
+/// is sluggish unoptimized.
+#[test]
+fn churn_client_runs_to_completion() {
+    let cargo = env!("CARGO");
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    let output = Command::new(cargo)
+        .args([
+            "run",
+            "--quiet",
+            "--release",
+            "-p",
+            "splitting-server",
+            "--example",
+            "churn_client",
+            "--manifest-path",
+        ])
+        .arg(&manifest)
+        .output()
+        .expect("failed to spawn cargo run --example churn_client");
+    assert!(
+        output.status.success(),
+        "churn_client exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("post-mutation solves served by incremental repair"),
+        "churn_client did not reach its summary line:\n{stdout}"
     );
 }
 
