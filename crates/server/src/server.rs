@@ -90,6 +90,18 @@ pub struct ServerConfig {
     /// keys). Only requests carrying an `idempotency_key` occupy a
     /// slot; `0` disables the cache entirely.
     pub idempotency_capacity: usize,
+    /// Bound on cached held solutions for churn repair (default 64;
+    /// `0` disables holding). Each entry pins a full instance copy plus
+    /// its coloring. At capacity, adopting a fresh solution evicts the
+    /// least-recently-used entry — adoption is never refused.
+    pub held_capacity: usize,
+    /// Compact journaled state records (upload/mutate/release) once
+    /// more than this many are outstanding (default 64; `0` disables
+    /// compaction): the interned-handle table is snapshotted as
+    /// synthetic upload records and the superseded history is marked
+    /// completed, so recovery replays the snapshot plus the tail
+    /// instead of every mutation ever applied.
+    pub journal_compact_threshold: usize,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +119,8 @@ impl Default for ServerConfig {
             chaos: None,
             journal: None,
             idempotency_capacity: 256,
+            held_capacity: 64,
+            journal_compact_threshold: 64,
         }
     }
 }
@@ -162,11 +176,22 @@ const DELIVER_POLL: Duration = Duration::from_millis(1);
 /// collide with it.
 const RECOVERY_CONN: u64 = u64::MAX;
 
+/// What reply frame a cached payload replays as.
+#[derive(Clone, Copy)]
+enum ReplyKind {
+    /// A solved request (`solution` frame).
+    Solution,
+    /// A typed error (`error` frame).
+    Error,
+    /// An applied mutation (`mutated` frame).
+    Mutated,
+}
+
 /// A delivered reply remembered under its idempotency key.
 #[derive(Clone)]
 struct CachedReply {
-    /// Whether the payload is a solution (vs a typed error).
-    solution: bool,
+    /// Which frame type the replay renders.
+    kind: ReplyKind,
     /// The reply payload, byte-for-byte as first delivered.
     payload: String,
 }
@@ -227,12 +252,10 @@ impl IdempotencyCache {
 struct HeldEntry {
     held: HeldSolution,
     pending: Vec<EdgeDelta>,
+    /// Recency stamp from [`Shared::held_tick`]; the entry with the
+    /// smallest stamp is the LRU eviction victim at capacity.
+    last_used: u64,
 }
-
-/// Bound on cached held solutions (each holds a full instance copy plus
-/// a coloring). At capacity, new solves simply are not held — requests
-/// still solve normally, they just repair nothing later.
-const HELD_CAPACITY: usize = 64;
 
 struct Shared {
     queue: JobQueue<Job>,
@@ -262,6 +285,15 @@ struct Shared {
     /// entries to the patched instance's hash and records the delta;
     /// the next matching solve repairs incrementally.
     held: Mutex<HashMap<(PayloadHash, PayloadHash), HeldEntry>>,
+    /// Monotonic recency clock for held-entry LRU eviction; bumped on
+    /// every (re)insert through [`Shared::store_held`].
+    held_tick: AtomicU64,
+    /// Journal record ids of outstanding state records (upload / mutate
+    /// / release) — the replay prefix a restart would execute. Once the
+    /// list outgrows [`ServerConfig::journal_compact_threshold`],
+    /// [`Shared::maybe_compact_journal`] snapshots the interned-handle
+    /// table and marks the superseded history completed.
+    state_records: Mutex<Vec<u64>>,
     /// `mutate` frames successfully applied (including journal replays).
     mutations_applied: AtomicU64,
     /// Held-solution updates served by the incremental repair path.
@@ -304,7 +336,7 @@ impl Shared {
     /// the sliver between completion and delivery loses only the frame,
     /// never the answer — the client's keyed retry re-solves the same
     /// deterministic request and gets byte-identical output.)
-    fn finish_job(&self, job: &Job, solution: bool, payload: String) {
+    fn finish_job(&self, job: &Job, kind: ReplyKind, payload: String) {
         if let (Some(journal), Some(record_id)) = (&self.config.journal, job.journal_id) {
             // a failing completion append degrades durability (the job
             // would be re-run after a crash), never availability
@@ -314,8 +346,102 @@ impl Shared {
             self.idempotency
                 .lock()
                 .unwrap()
-                .insert(key.clone(), CachedReply { solution, payload });
+                .insert(key.clone(), CachedReply { kind, payload });
         }
+    }
+
+    /// (Re)inserts a held solution, enforcing the cache discipline in
+    /// one place: entries whose instance hash no longer resolves in the
+    /// handles table are dropped (the instance was released — or mutated
+    /// while this entry was checked out by a worker, losing that delta,
+    /// so the retained solution can never be trusted again); at
+    /// capacity the least-recently-used entry is evicted so adoption is
+    /// never refused. Holding the `held` lock across the liveness check
+    /// keeps a racing `release` from slipping between check and insert:
+    /// release removes the handle *before* purging held entries, so
+    /// whichever side wins the lock, the dead entry goes.
+    fn store_held(&self, key: (PayloadHash, PayloadHash), mut entry: HeldEntry) {
+        if self.config.held_capacity == 0 {
+            return;
+        }
+        let mut held = self.held.lock().unwrap();
+        if !self.handles.lock().unwrap().contains_key(&key.0) {
+            return;
+        }
+        entry.last_used = self.held_tick.fetch_add(1, Ordering::Relaxed);
+        if held.len() >= self.config.held_capacity && !held.contains_key(&key) {
+            let victim = held
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            if let Some(victim) = victim {
+                held.remove(&victim);
+            }
+        }
+        held.insert(key, entry);
+    }
+
+    /// Drops every held solution keyed by the given instance hash —
+    /// `release` and its journal replay call this so released instances
+    /// do not pin cache capacity.
+    fn purge_held(&self, hash: PayloadHash) {
+        self.held.lock().unwrap().retain(|(h, _), _| *h != hash);
+    }
+
+    /// Remembers a state record's journal id for later compaction.
+    fn track_state_record(&self, record_id: Option<u64>) {
+        if let Some(id) = record_id {
+            self.state_records.lock().unwrap().push(id);
+        }
+    }
+
+    /// Compacts the journal's state-record history once it outgrows the
+    /// configured threshold: every live interned instance is re-journaled
+    /// as a synthetic `upload` (a snapshot of the table), then the
+    /// superseded upload/mutate/release records are marked completed.
+    /// Recovery replays the snapshot instead of the full mutation
+    /// history, so restart cost is O(live instances + tail), not
+    /// O(mutations ever applied). Crash-safe at every step: until the
+    /// completions land, replay applies both the history and the
+    /// snapshot, which converge (upload replay is an idempotent
+    /// `or_insert`, and a replayed mutate addressing an already-moved
+    /// hash fails silently).
+    fn maybe_compact_journal(&self) {
+        let threshold = self.config.journal_compact_threshold;
+        if threshold == 0 {
+            return;
+        }
+        let Some(journal) = &self.config.journal else {
+            return;
+        };
+        let mut tracked = self.state_records.lock().unwrap();
+        // the handles lock is held across snapshot + completions so a
+        // concurrent mutate cannot journal a record against a table
+        // state the snapshot does not contain
+        let handles = self.handles.lock().unwrap();
+        // 2× the live-table size keeps a workload with many handles and
+        // few mutations from re-snapshotting on every state record
+        if tracked.len() < threshold || tracked.len() < 2 * handles.len() {
+            return;
+        }
+        let mut snapshot_ids = Vec::with_capacity(handles.len());
+        for instance in handles.values() {
+            let line = wire::render_upload("snapshot", instance);
+            match journal.append_admitted("snapshot", Priority::Normal, None, None, &line) {
+                Ok(id) => snapshot_ids.push(id),
+                Err(_) => {
+                    // partial snapshot: keep the full history *and* the
+                    // uploads already appended (harmless duplicates on
+                    // replay) and retry at the next threshold crossing
+                    tracked.extend(snapshot_ids);
+                    return;
+                }
+            }
+        }
+        for id in tracked.drain(..) {
+            let _ = journal.mark_completed(id);
+        }
+        *tracked = snapshot_ids;
     }
 
     fn deliver(&self, conn: u64, seq: u64, line: String) {
@@ -473,10 +599,11 @@ impl Shared {
     }
 
     /// Journal-replay half of `release`: drop the interned instance if
-    /// it is still present.
+    /// it is still present, along with any held solutions keyed by it.
     fn replay_release(&self, handle: &str) {
         if let Some(hash) = wire::parse_handle(handle) {
             self.handles.lock().unwrap().remove(&hash);
+            self.purge_held(hash);
         }
     }
 }
@@ -502,10 +629,17 @@ fn solve_held(
         Some(mut entry) if !entry.pending.is_empty() => {
             let before = *entry.held.stats();
             let mut payload = String::new();
+            let mut stale = false;
             for delta in std::mem::take(&mut entry.pending) {
                 payload = match entry.held.apply(&delta) {
-                    Ok(s) => s.to_json_line(),
-                    Err(e) => e.to_json_line(),
+                    Ok(s) => {
+                        stale = false;
+                        s.to_json_line()
+                    }
+                    Err(e) => {
+                        stale = true;
+                        e.to_json_line()
+                    }
                 };
             }
             let after = *entry.held.stats();
@@ -521,28 +655,34 @@ fn solve_held(
             shared
                 .refix_sum_permille
                 .fetch_add((refix_sum * 1000.0).round() as u64, Ordering::Relaxed);
-            shared.held.lock().unwrap().insert(key, entry);
+            // a failed final apply leaves the entry's graph patched but
+            // its retained solution certified for the PRE-delta
+            // instance; re-inserting it would let the next identical
+            // solve take the clean-hit branch and serve that stale
+            // answer. Drop it instead — the next solve of this handle
+            // falls through to a from-scratch solve of the live graph.
+            if !stale {
+                shared.store_held(key, entry);
+            }
             payload
         }
         Some(entry) => {
             let payload = entry.held.solution().to_json_line();
-            shared.held.lock().unwrap().insert(key, entry);
+            shared.store_held(key, entry);
             payload
         }
         None => match session.solve_with_cancel(request, token) {
             Ok(solution) => {
                 let line = solution.to_json_line();
-                let mut held = shared.held.lock().unwrap();
-                if held.len() < HELD_CAPACITY {
-                    if let Ok(h) = HeldSolution::adopt(session, request, solution) {
-                        held.insert(
-                            key,
-                            HeldEntry {
-                                held: h,
-                                pending: Vec::new(),
-                            },
-                        );
-                    }
+                if let Ok(h) = HeldSolution::adopt(session, request, solution) {
+                    shared.store_held(
+                        key,
+                        HeldEntry {
+                            held: h,
+                            pending: Vec::new(),
+                            last_used: 0,
+                        },
+                    );
                 }
                 line
             }
@@ -583,7 +723,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
                 }
                 .to_json_line();
                 let frame = wire::error_frame(&job.id, job.seq, timing(started), &payload);
-                shared.finish_job(&job, false, payload);
+                shared.finish_job(&job, ReplyKind::Error, payload);
                 shared.deliver(job.conn, job.seq, frame);
                 shared.served.fetch_add(1, Ordering::Relaxed);
                 shared.inflight.fetch_sub(1, Ordering::Relaxed);
@@ -667,7 +807,12 @@ fn worker_loop(shared: &Shared, slot: usize) {
         } else {
             wire::error_frame(&job.id, job.seq, timing(started), &payload)
         };
-        shared.finish_job(&job, solution, payload);
+        let kind = if solution {
+            ReplyKind::Solution
+        } else {
+            ReplyKind::Error
+        };
+        shared.finish_job(&job, kind, payload);
         shared.deliver(job.conn, job.seq, frame);
         shared.served.fetch_add(1, Ordering::Relaxed);
         shared.inflight.fetch_sub(1, Ordering::Relaxed);
@@ -704,6 +849,8 @@ impl Server {
             idempotency: Mutex::new(idempotency),
             handles: Mutex::new(HashMap::new()),
             held: Mutex::new(HashMap::new()),
+            held_tick: AtomicU64::new(0),
+            state_records: Mutex::new(Vec::new()),
             parse_fallbacks: AtomicU64::new(0),
             mutations_applied: AtomicU64::new(0),
             repairs: AtomicU64::new(0),
@@ -751,18 +898,35 @@ impl Server {
             match wire::scan_envelope(&rec.line) {
                 Ok(ClientFrame::Upload { .. }) => {
                     self.shared.replay_upload(&rec.line);
+                    self.shared.track_state_record(Some(rec.record.record_id));
                     continue;
                 }
                 Ok(ClientFrame::Release { handle, .. }) => {
                     self.shared.replay_release(&handle);
+                    self.shared.track_state_record(Some(rec.record.record_id));
                     continue;
                 }
                 Ok(ClientFrame::Mutate { handle, .. }) => {
                     if let Ok(fields) = crate::json::scan_top_level(&rec.line) {
                         if let Ok((inserts, deletes)) = wire::parse_mutate_edits(&fields) {
-                            let _ = self.shared.apply_mutation(&handle, &inserts, &deletes);
+                            let outcome = self.shared.apply_mutation(&handle, &inserts, &deletes);
+                            // a keyed mutation that applied (live or
+                            // here) must keep replaying its reply after
+                            // the crash — the payload is deterministic,
+                            // so the recovered bytes match the originals
+                            if let (Ok(payload), Some(key)) = (outcome, &rec.record.idempotency_key)
+                            {
+                                self.shared.idempotency.lock().unwrap().insert(
+                                    key.clone(),
+                                    CachedReply {
+                                        kind: ReplyKind::Mutated,
+                                        payload,
+                                    },
+                                );
+                            }
                         }
                     }
+                    self.shared.track_state_record(Some(rec.record.record_id));
                     continue;
                 }
                 _ => {}
@@ -791,6 +955,9 @@ impl Server {
                 return;
             }
         }
+        // a crash can leave an arbitrarily long replayed history; fold
+        // it into a fresh snapshot now rather than carrying it forward
+        self.shared.maybe_compact_journal();
     }
 
     /// Starts a default-configured server.
@@ -974,7 +1141,20 @@ impl Submitter {
         if let Some(key) = envelope.idempotency_key.as_deref() {
             if let Some(hit) = self.shared.idempotency.lock().unwrap().get(key) {
                 self.shared.replayed.fetch_add(1, Ordering::Relaxed);
-                let frame = wire::replayed_frame(hit.solution, &envelope.id, seq, &hit.payload);
+                let frame = match hit.kind {
+                    ReplyKind::Solution => {
+                        wire::replayed_frame(true, &envelope.id, seq, &hit.payload)
+                    }
+                    ReplyKind::Error => {
+                        wire::replayed_frame(false, &envelope.id, seq, &hit.payload)
+                    }
+                    // a request reusing a key last answered by a mutate
+                    // replays the mutated frame — the key identifies the
+                    // delivered reply, not the frame type of the retry
+                    ReplyKind::Mutated => {
+                        wire::replayed_mutated_frame(&envelope.id, seq, &hit.payload)
+                    }
+                };
                 self.send_now(seq, frame);
                 return Submitted::Replied;
             }
@@ -1094,7 +1274,14 @@ impl Submitter {
             Ok((ClientFrame::Release { id, handle }, _)) => {
                 self.release(&id, seq, trimmed, &handle)
             }
-            Ok((ClientFrame::Mutate { id, handle }, _)) => self.mutate(&id, seq, trimmed, &handle),
+            Ok((
+                ClientFrame::Mutate {
+                    id,
+                    handle,
+                    idempotency_key,
+                },
+                _,
+            )) => self.mutate(&id, seq, trimmed, &handle, idempotency_key),
             Ok((ClientFrame::Ping { id }, _)) => {
                 let frame = wire::heartbeat_frame(&id, seq, self.shared.stats());
                 self.send_now(seq, frame);
@@ -1187,10 +1374,15 @@ impl Submitter {
                 let held = handles.len();
                 drop(handles);
                 // journaled as a state record — appended at admission,
-                // never marked completed — so every restart replays the
-                // upload and the handle survives a crash
+                // left incomplete until compaction folds it into a
+                // snapshot — so every restart replays the upload and
+                // the handle survives a crash
                 if let Some(journal) = &self.shared.config.journal {
-                    let _ = journal.append_admitted(id, Priority::Normal, None, None, line);
+                    let record = journal
+                        .append_admitted(id, Priority::Normal, None, None, line)
+                        .ok();
+                    self.shared.track_state_record(record);
+                    self.shared.maybe_compact_journal();
                 }
                 let payload = wire::uploaded_payload(&handle, &shared_instance, held);
                 self.send_now(seq, wire::uploaded_frame(id, seq, &payload));
@@ -1216,10 +1408,16 @@ impl Submitter {
             (handles.remove(&hash).is_some(), handles.len())
         };
         if removed {
+            // a released instance must not pin held-solution capacity
+            self.shared.purge_held(hash);
             // state record (see `upload`): replayed on restart so a
             // released handle stays released across recovery
             if let Some(journal) = &self.shared.config.journal {
-                let _ = journal.append_admitted(id, Priority::Normal, None, None, line);
+                let record = journal
+                    .append_admitted(id, Priority::Normal, None, None, line)
+                    .ok();
+                self.shared.track_state_record(record);
+                self.shared.maybe_compact_journal();
             }
             let payload = wire::released_payload(handle, held);
             self.send_now(seq, wire::released_frame(id, seq, &payload));
@@ -1239,11 +1437,37 @@ impl Submitter {
     /// with a `mutated` frame naming the new handle. Processed inline
     /// on the ingest thread like `upload`, so a solve submitted after
     /// the mutation can never race it. Applied mutations are journaled
-    /// as state records (never completed) so recovery replays the
-    /// mutation stream in admission order.
-    fn mutate(&self, id: &str, seq: u64, line: &str, handle: &str) -> Submitted {
+    /// as state records (left incomplete until compaction) so recovery
+    /// replays the mutation stream in admission order.
+    ///
+    /// A mutation moves the handle, so a client whose `mutated` reply
+    /// was lost cannot blindly retry — the old handle is gone. A keyed
+    /// mutate closes that gap: the applied reply is cached under the
+    /// key (and under the journal record across crashes), and a retry
+    /// replays it byte-for-byte instead of failing `unknown instance
+    /// handle`.
+    fn mutate(
+        &self,
+        id: &str,
+        seq: u64,
+        line: &str,
+        handle: &str,
+        idempotency_key: Option<String>,
+    ) -> Submitted {
         if self.shared.is_killed() {
             return Submitted::Skipped;
+        }
+        if let Some(key) = idempotency_key.as_deref() {
+            if let Some(hit) = self.shared.idempotency.lock().unwrap().get(key) {
+                self.shared.replayed.fetch_add(1, Ordering::Relaxed);
+                let frame = match hit.kind {
+                    ReplyKind::Mutated => wire::replayed_mutated_frame(id, seq, &hit.payload),
+                    ReplyKind::Solution => wire::replayed_frame(true, id, seq, &hit.payload),
+                    ReplyKind::Error => wire::replayed_frame(false, id, seq, &hit.payload),
+                };
+                self.send_now(seq, frame);
+                return Submitted::Replied;
+            }
         }
         let fields = crate::json::scan_top_level(line).expect("validated by scan_envelope");
         let (inserts, deletes) = match wire::parse_mutate_edits(&fields) {
@@ -1256,7 +1480,26 @@ impl Submitter {
         match self.shared.apply_mutation(handle, &inserts, &deletes) {
             Ok(payload) => {
                 if let Some(journal) = &self.shared.config.journal {
-                    let _ = journal.append_admitted(id, Priority::Normal, None, None, line);
+                    let record = journal
+                        .append_admitted(
+                            id,
+                            Priority::Normal,
+                            None,
+                            idempotency_key.as_deref(),
+                            line,
+                        )
+                        .ok();
+                    self.shared.track_state_record(record);
+                    self.shared.maybe_compact_journal();
+                }
+                if let Some(key) = idempotency_key {
+                    self.shared.idempotency.lock().unwrap().insert(
+                        key,
+                        CachedReply {
+                            kind: ReplyKind::Mutated,
+                            payload: payload.clone(),
+                        },
+                    );
                 }
                 self.send_now(seq, wire::mutated_frame(id, seq, &payload));
             }
@@ -2330,6 +2573,334 @@ mod tests {
                 ..quiet_config()
             });
             assert_eq!(server.stats().handles_held, 0, "released stays released");
+            server.shutdown();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_final_repair_drops_the_held_entry_instead_of_serving_stale() {
+        // δ = 6, r = 1 → Theorem 2.7; deleting constraint 0's six edges
+        // exits every regime, so the drained repair must decline — and a
+        // from-scratch solve of the patched instance declines identically
+        let mut edges = Vec::new();
+        for u in 0..4usize {
+            for j in 0..6usize {
+                edges.push((u, 6 * u + j));
+            }
+        }
+        let b = splitgraph::BipartiteGraph::from_edges(4, 24, &edges).unwrap();
+        let request = Request::new(Problem::weak_splitting(), b)
+            .deterministic()
+            .seed(5);
+        let handle = wire::render_handle(wire::instance_fingerprint(request.instance()));
+
+        let server = Server::start(quiet_config());
+        let (mut tx, mut rx) = server.connect().split();
+        assert_eq!(
+            tx.submit_line(&wire::render_upload("u1", request.instance())),
+            Submitted::Replied
+        );
+        rx.recv().unwrap();
+        let solve1 = wire::render_request_with_handle("s1", Priority::Normal, &handle, &request);
+        assert_eq!(tx.submit_line(&solve1), Submitted::Queued);
+        let frame = rx.recv().unwrap();
+        assert!(frame.contains("\"type\":\"solution\""), "{frame}");
+        assert_eq!(server.shared.held.lock().unwrap().len(), 1, "adopted");
+
+        let deletes: Vec<(usize, usize)> = (0..6).map(|j| (0, j)).collect();
+        let mutate = wire::render_mutate("m1", &handle, &[], &deletes);
+        assert_eq!(tx.submit_line(&mutate), Submitted::Replied);
+        let frame = rx.recv().unwrap();
+        let new_handle = frame
+            .split("\"new_handle\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("mutated payload names the new handle")
+            .to_owned();
+
+        // draining the pending delta exits the regime: a typed decline,
+        // and the now-stale entry is dropped rather than reinserted
+        let solve2 =
+            wire::render_request_with_handle("s2", Priority::Normal, &new_handle, &request);
+        assert_eq!(tx.submit_line(&solve2), Submitted::Queued);
+        let frame = rx.recv().unwrap();
+        assert!(frame.contains("unsupported-regime"), "{frame}");
+        assert_eq!(
+            server.shared.held.lock().unwrap().len(),
+            0,
+            "the stale entry must not survive a failed final repair"
+        );
+
+        // the retry must NOT flip error → stale accept: it re-solves the
+        // patched instance from scratch and declines identically
+        assert_eq!(tx.submit_line(&solve2), Submitted::Queued);
+        let frame = rx.recv().unwrap();
+        assert!(
+            frame.contains("unsupported-regime"),
+            "retry served a solution certified for the pre-mutation instance: {frame}"
+        );
+        tx.finish();
+        assert!(rx.recv().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn held_cache_evicts_lru_and_purges_on_release() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let server = Server::start(ServerConfig {
+            held_capacity: 1,
+            ..quiet_config()
+        });
+        let (mut tx, mut rx) = server.connect().split();
+        // δ = 16 ≥ 2·log₂(128): inside the Theorem 2.5 regime, so both
+        // solves accept and adopt
+        let mut rng = StdRng::seed_from_u64(61);
+        let a = generators::random_biregular(64, 64, 16, &mut rng).unwrap();
+        let b = generators::random_biregular(64, 64, 16, &mut rng).unwrap();
+        let req_a = Request::new(Problem::weak_splitting(), a)
+            .deterministic()
+            .seed(1);
+        let req_b = Request::new(Problem::weak_splitting(), b)
+            .deterministic()
+            .seed(2);
+        let hash_a = wire::instance_fingerprint(req_a.instance());
+        let hash_b = wire::instance_fingerprint(req_b.instance());
+        for (req, id) in [(&req_a, "ua"), (&req_b, "ub")] {
+            assert_eq!(
+                tx.submit_line(&wire::render_upload(id, req.instance())),
+                Submitted::Replied
+            );
+            rx.recv().unwrap();
+        }
+        let solve_a = wire::render_request_with_handle(
+            "sa",
+            Priority::Normal,
+            &wire::render_handle(hash_a),
+            &req_a,
+        );
+        assert_eq!(tx.submit_line(&solve_a), Submitted::Queued);
+        assert!(rx.recv().unwrap().contains("\"type\":\"solution\""));
+        {
+            let held = server.shared.held.lock().unwrap();
+            assert_eq!(held.len(), 1);
+            assert!(held.keys().all(|(h, _)| *h == hash_a));
+        }
+        // at capacity, adopting B's solution evicts A (the LRU entry)
+        // instead of refusing the adoption
+        let solve_b = wire::render_request_with_handle(
+            "sb",
+            Priority::Normal,
+            &wire::render_handle(hash_b),
+            &req_b,
+        );
+        assert_eq!(tx.submit_line(&solve_b), Submitted::Queued);
+        assert!(rx.recv().unwrap().contains("\"type\":\"solution\""));
+        {
+            let held = server.shared.held.lock().unwrap();
+            assert_eq!(held.len(), 1, "eviction keeps the cache at capacity");
+            assert!(
+                held.keys().all(|(h, _)| *h == hash_b),
+                "the LRU entry (A) was the victim"
+            );
+        }
+        // release purges the held entry along with the handle
+        assert_eq!(
+            tx.submit_line(&wire::render_release("db", &wire::render_handle(hash_b))),
+            Submitted::Replied
+        );
+        assert!(rx.recv().unwrap().contains("\"type\":\"released\""));
+        assert_eq!(
+            server.shared.held.lock().unwrap().len(),
+            0,
+            "released instances must not pin held-cache capacity"
+        );
+        // an entry whose instance hash no longer resolves is dropped on
+        // reinsert (the mutate-during-checkout orphan), never stored
+        let session = Session::with_threads(1);
+        let orphan = session.hold(&req_b).unwrap();
+        server.shared.store_held(
+            (hash_b, wire::policy_fingerprint(&req_b)),
+            HeldEntry {
+                held: orphan,
+                pending: Vec::new(),
+                last_used: 0,
+            },
+        );
+        assert_eq!(
+            server.shared.held.lock().unwrap().len(),
+            0,
+            "dead-hash entries are dropped at reinsert"
+        );
+        tx.finish();
+        assert!(rx.recv().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn keyed_mutate_replays_across_retry_and_restart() {
+        use crate::journal::{FsyncPolicy, Journal};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use splitgraph::delta::{random_delta, ChurnStyle};
+
+        let path = temp_journal_path("mutate-key");
+        let _ = std::fs::remove_file(&path);
+        let mut rng = StdRng::seed_from_u64(81);
+        let b = generators::random_biregular(64, 64, 6, &mut rng).unwrap();
+        let delta = random_delta(&b, ChurnStyle::Rewire, 3, &mut rng);
+        let instance = Instance::Bipartite(b);
+        let handle = wire::render_handle(wire::instance_fingerprint(&instance));
+        let mutate = wire::render_mutate_with_key(
+            "m1",
+            &handle,
+            Some("retry-m1"),
+            delta.inserts(),
+            delta.deletes(),
+        );
+
+        let first_payload;
+        {
+            let journal = Arc::new(Journal::open(&path, FsyncPolicy::Never).unwrap());
+            let server = Server::start(ServerConfig {
+                journal: Some(journal),
+                ..quiet_config()
+            });
+            let (mut tx, mut rx) = server.connect().split();
+            assert_eq!(
+                tx.submit_line(&wire::render_upload("u1", &instance)),
+                Submitted::Replied
+            );
+            rx.recv().unwrap();
+            assert_eq!(tx.submit_line(&mutate), Submitted::Replied);
+            let frame = rx.recv().unwrap();
+            let reply = split_reply(&frame).expect(&frame);
+            assert_eq!(reply.frame_type, "mutated");
+            assert!(!reply.replayed);
+            first_payload = reply.payload.unwrap().to_owned();
+            // a verbatim retry replays the cached reply: the mutation is
+            // NOT applied twice and the payload is byte-identical — this
+            // is how a client recovers the moved handle after losing the
+            // original reply
+            assert_eq!(tx.submit_line(&mutate), Submitted::Replied);
+            let frame = rx.recv().unwrap();
+            let reply = split_reply(&frame).expect(&frame);
+            assert_eq!(reply.frame_type, "mutated");
+            assert!(reply.replayed, "{frame}");
+            assert_eq!(reply.payload, Some(first_payload.as_str()), "byte parity");
+            assert_eq!(server.stats().mutations_applied, 1, "applied exactly once");
+            assert_eq!(server.stats().replayed, 1);
+            tx.finish();
+            assert!(rx.recv().is_none());
+            server.shutdown();
+        }
+
+        // restart: the journaled keyed mutation replays into BOTH the
+        // handle table and the idempotency cache, so a client that never
+        // saw the reply still recovers the moved handle by retrying
+        {
+            let journal = Arc::new(Journal::open(&path, FsyncPolicy::Never).unwrap());
+            let server = Server::start(ServerConfig {
+                journal: Some(journal),
+                ..quiet_config()
+            });
+            let (mut tx, mut rx) = server.connect().split();
+            assert_eq!(tx.submit_line(&mutate), Submitted::Replied);
+            let frame = rx.recv().unwrap();
+            let reply = split_reply(&frame).expect(&frame);
+            assert_eq!(reply.frame_type, "mutated");
+            assert!(reply.replayed, "{frame}");
+            assert_eq!(
+                reply.payload,
+                Some(first_payload.as_str()),
+                "the recovered reply matches the original bytes"
+            );
+            assert_eq!(
+                server.stats().mutations_applied,
+                1,
+                "only the recovery replay applied"
+            );
+            tx.finish();
+            assert!(rx.recv().is_none());
+            server.shutdown();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_compaction_bounds_recovery_replay() {
+        use crate::journal::{FsyncPolicy, Journal};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use splitgraph::delta::{random_delta, ChurnStyle};
+
+        let path = temp_journal_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut g = generators::random_biregular(64, 64, 6, &mut rng).unwrap();
+        {
+            let journal = Arc::new(Journal::open(&path, FsyncPolicy::Never).unwrap());
+            let server = Server::start(ServerConfig {
+                journal: Some(journal),
+                journal_compact_threshold: 4,
+                ..quiet_config()
+            });
+            let (mut tx, mut rx) = server.connect().split();
+            assert_eq!(
+                tx.submit_line(&wire::render_upload("u1", &Instance::Bipartite(g.clone()))),
+                Submitted::Replied
+            );
+            rx.recv().unwrap();
+            // a long churn stream: without compaction every one of these
+            // state records would replay on restart
+            for i in 0..12 {
+                let handle = wire::render_handle(wire::instance_fingerprint(&Instance::Bipartite(
+                    g.clone(),
+                )));
+                let delta = random_delta(&g, ChurnStyle::Rewire, 1, &mut rng);
+                let line = wire::render_mutate(
+                    &format!("m{i}"),
+                    &handle,
+                    delta.inserts(),
+                    delta.deletes(),
+                );
+                assert_eq!(tx.submit_line(&line), Submitted::Replied);
+                assert!(rx.recv().unwrap().contains("\"type\":\"mutated\""));
+                delta.apply(&mut g).unwrap();
+            }
+            tx.finish();
+            assert!(rx.recv().is_none());
+            server.shutdown();
+        }
+        let live = wire::render_handle(wire::instance_fingerprint(&Instance::Bipartite(g.clone())));
+        {
+            let journal = Arc::new(Journal::open(&path, FsyncPolicy::Never).unwrap());
+            let recovered = journal.stats().recovered;
+            assert!(
+                recovered <= 4,
+                "the snapshot bounds the replay prefix; {recovered} records recovered"
+            );
+            let server = Server::start(ServerConfig {
+                journal: Some(journal),
+                journal_compact_threshold: 4,
+                ..quiet_config()
+            });
+            assert_eq!(server.stats().handles_held, 1);
+            let (mut tx, mut rx) = server.connect().split();
+            // the snapshot captured the LIVE content: the post-churn
+            // handle resolves after recovery
+            assert_eq!(
+                tx.submit_line(&wire::render_release("d1", &live)),
+                Submitted::Replied
+            );
+            assert!(
+                rx.recv().unwrap().contains("\"held\":0"),
+                "the live handle survived compaction"
+            );
+            tx.finish();
+            assert!(rx.recv().is_none());
             server.shutdown();
         }
         let _ = std::fs::remove_file(&path);

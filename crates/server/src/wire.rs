@@ -125,6 +125,11 @@ pub enum ClientFrame {
         id: String,
         /// The 32-hex handle of the instance to patch.
         handle: String,
+        /// Optional client retry token: a mutate whose key matches an
+        /// already-delivered `mutated` reply replays it from the cache
+        /// instead of re-patching (the handle has already moved, so a
+        /// blind retry would otherwise fail `unknown instance handle`).
+        idempotency_key: Option<String>,
     },
     /// A `ping` frame; the server replies with a heartbeat.
     Ping {
@@ -160,7 +165,15 @@ const REQUEST_KEYS: &[&str] = &[
 ];
 const UPLOAD_KEYS: &[&str] = &["v", "type", "id", "instance"];
 const RELEASE_KEYS: &[&str] = &["v", "type", "id", "handle"];
-const MUTATE_KEYS: &[&str] = &["v", "type", "id", "handle", "inserts", "deletes"];
+const MUTATE_KEYS: &[&str] = &[
+    "v",
+    "type",
+    "id",
+    "handle",
+    "inserts",
+    "deletes",
+    "idempotency_key",
+];
 const PING_KEYS: &[&str] = &["v", "type", "id"];
 const SHUTDOWN_KEYS: &[&str] = &["v", "type"];
 
@@ -226,6 +239,29 @@ fn parse_priority(raw: Option<&&str>) -> Result<Priority, ApiError> {
             })
         }
     }
+}
+
+/// Parses a raw `"idempotency_key"` value (shared by request and mutate
+/// frames): a non-empty JSON string of at most [`MAX_ID_BYTES`] bytes.
+fn parse_idempotency_key(raw: Option<&&str>) -> Result<Option<String>, ApiError> {
+    let Some(raw) = raw else { return Ok(None) };
+    let key = json::parse(raw)
+        .ok()
+        .and_then(|j| j.as_str().map(str::to_owned))
+        .ok_or_else(|| invalid("idempotency_key", "must be a JSON string"))?;
+    if key.is_empty() {
+        return Err(invalid(
+            "idempotency_key",
+            "must be non-empty (omit the field for no idempotency)",
+        ));
+    }
+    if key.len() > MAX_ID_BYTES {
+        return Err(invalid(
+            "idempotency_key",
+            format!("exceeds {MAX_ID_BYTES} bytes ({} given)", key.len()),
+        ));
+    }
+    Ok(Some(key))
 }
 
 /// Classifies one line and validates its envelope (`v`, `type`, `id`,
@@ -365,28 +401,7 @@ fn classify_frame(fields: &[(&str, &str)]) -> Result<ClientFrame, ApiError> {
                         })?,
                 ),
             };
-            let idempotency_key = match get("idempotency_key") {
-                None => None,
-                Some(raw) => {
-                    let key = json::parse(raw)
-                        .ok()
-                        .and_then(|j| j.as_str().map(str::to_owned))
-                        .ok_or_else(|| invalid("idempotency_key", "must be a JSON string"))?;
-                    if key.is_empty() {
-                        return Err(invalid(
-                            "idempotency_key",
-                            "must be non-empty (omit the field for no idempotency)",
-                        ));
-                    }
-                    if key.len() > MAX_ID_BYTES {
-                        return Err(invalid(
-                            "idempotency_key",
-                            format!("exceeds {MAX_ID_BYTES} bytes ({} given)", key.len()),
-                        ));
-                    }
-                    Some(key)
-                }
-            };
+            let idempotency_key = parse_idempotency_key(get("idempotency_key"))?;
             let handle = match get("handle") {
                 None => None,
                 Some(raw) => Some(parse_handle_field(raw)?),
@@ -454,7 +469,12 @@ fn classify_frame(fields: &[(&str, &str)]) -> Result<ClientFrame, ApiError> {
                     "mutate frames must carry inserts and/or deletes",
                 ));
             }
-            Ok(ClientFrame::Mutate { id, handle })
+            let idempotency_key = parse_idempotency_key(get("idempotency_key"))?;
+            Ok(ClientFrame::Mutate {
+                id,
+                handle,
+                idempotency_key,
+            })
         }
         "ping" => {
             let id = match get("id") {
@@ -1160,11 +1180,29 @@ pub fn render_mutate(
     inserts: &[(usize, usize)],
     deletes: &[(usize, usize)],
 ) -> String {
+    render_mutate_with_key(id, handle, None, inserts, deletes)
+}
+
+/// [`render_mutate`] with an optional client-supplied idempotency key
+/// (`None` renders the exact same frame as the keyless variant). A keyed
+/// mutate whose reply is lost can be retried verbatim: the server
+/// replays the cached `mutated` frame instead of failing on the
+/// already-moved handle.
+pub fn render_mutate_with_key(
+    id: &str,
+    handle: &str,
+    idempotency_key: Option<&str>,
+    inserts: &[(usize, usize)],
+    deletes: &[(usize, usize)],
+) -> String {
     let mut obj = JsonObject::new();
     obj.uint("v", PROTOCOL_VERSION)
         .string("type", "mutate")
         .string("id", id)
         .string("handle", handle);
+    if let Some(key) = idempotency_key {
+        obj.string("idempotency_key", key);
+    }
     let mut buf = String::new();
     if !inserts.is_empty() {
         render_edges(&mut buf, inserts.iter().copied());
@@ -1451,6 +1489,14 @@ pub fn error_frame(id: &str, seq: u64, timing: Option<Timing>, payload: &str) ->
 pub fn replayed_frame(solution: bool, id: &str, seq: u64, payload: &str) -> String {
     let key = if solution { "solution" } else { "error" };
     reply_frame(key, id, seq, None, true, key, payload)
+}
+
+/// Assembles a `mutated` reply frame served from the idempotency cache:
+/// same shape as [`mutated_frame`] plus the `"replayed":true` marker
+/// before the payload. Nothing was re-patched — the cached payload
+/// (including the moved handle) is embedded byte-for-byte.
+pub fn replayed_mutated_frame(id: &str, seq: u64, payload: &str) -> String {
+    reply_frame("mutated", id, seq, None, true, "mutated", payload)
 }
 
 /// Renders the payload of an `uploaded` reply: the handle, the interned
@@ -1972,6 +2018,50 @@ mod tests {
         let (plain_env, plain_parsed) = parse_request(&plain).unwrap();
         assert_eq!(plain_env.idempotency_key, None);
         assert_eq!(parsed, plain_parsed);
+    }
+
+    #[test]
+    fn mutate_frames_carry_an_optional_idempotency_key() {
+        let handle = "0123456789abcdef0123456789abcdef";
+        let keyed = render_mutate_with_key("m1", handle, Some("retry-m"), &[(0, 1)], &[]);
+        assert!(keyed.contains(r#""idempotency_key":"retry-m""#), "{keyed}");
+        match scan_envelope(&keyed).unwrap() {
+            ClientFrame::Mutate {
+                id,
+                handle: h,
+                idempotency_key,
+            } => {
+                assert_eq!(id, "m1");
+                assert_eq!(h, handle);
+                assert_eq!(idempotency_key.as_deref(), Some("retry-m"));
+            }
+            other => panic!("expected a mutate frame, got {other:?}"),
+        }
+        // the keyless renderings are byte-identical (doc-sync transcripts
+        // rely on this), and scan to a None key
+        let plain = render_mutate("m1", handle, &[(0, 1)], &[]);
+        assert_eq!(
+            plain,
+            render_mutate_with_key("m1", handle, None, &[(0, 1)], &[])
+        );
+        match scan_envelope(&plain).unwrap() {
+            ClientFrame::Mutate {
+                idempotency_key, ..
+            } => assert_eq!(idempotency_key, None),
+            other => panic!("expected a mutate frame, got {other:?}"),
+        }
+        // malformed keys are typed errors, same rules as request keys
+        let empty = format!(
+            r#"{{"v":1,"type":"mutate","id":"m","handle":"{handle}","idempotency_key":"","inserts":[[0,1]]}}"#
+        );
+        assert_eq!(scan_envelope(&empty).unwrap_err().kind(), "invalid-request");
+        let non_string = format!(
+            r#"{{"v":1,"type":"mutate","id":"m","handle":"{handle}","idempotency_key":7,"inserts":[[0,1]]}}"#
+        );
+        assert_eq!(
+            scan_envelope(&non_string).unwrap_err().kind(),
+            "invalid-request"
+        );
     }
 
     #[test]
